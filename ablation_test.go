@@ -1,0 +1,139 @@
+package safespec_test
+
+import (
+	"testing"
+
+	"safespec/internal/core"
+	"safespec/internal/shadow"
+	"safespec/internal/workloads"
+)
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the
+// commit policy (WFB vs WFC), the shadow sizing, and the full-structure
+// behaviour. Run with `go test -bench=Ablation -benchmem`.
+
+const ablationInstrs = 20_000
+
+// BenchmarkAblationCommitPolicy compares the two SafeSpec policies on a
+// branchy kernel: the paper finds "the benefit from doing WFB is small"
+// (Section IV-B); the metric here is the WFB:WFC IPC ratio.
+func BenchmarkAblationCommitPolicy(b *testing.B) {
+	w, _ := workloads.ByName("gcc")
+	prog := w.Build()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		wfc := core.Run(core.WFC().WithLimits(ablationInstrs, 0), prog)
+		wfb := core.Run(core.WFB().WithLimits(ablationInstrs, 0), prog)
+		if wfc.IPC() > 0 {
+			ratio = wfb.IPC() / wfc.IPC()
+		}
+	}
+	b.ReportMetric(ratio, "wfb/wfc-IPC")
+}
+
+// BenchmarkAblationShadowSizing sweeps the shadow d-cache size under the
+// Drop policy: the performance knee shows how much capacity the workloads
+// actually need, motivating the Figures 6-9 sizing study.
+func BenchmarkAblationShadowSizing(b *testing.B) {
+	w, _ := workloads.ByName("blender")
+	prog := w.Build()
+	for _, size := range []int{2, 4, 8, 16, 32, 72} {
+		b.Run(sizeName(size), func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.WFC().WithShadowPolicy(
+					shadow.Policy{Name: "shadow-dcache", Entries: size, WhenFull: shadow.Drop},
+					shadow.Policy{Name: "shadow-icache", Entries: 224},
+					shadow.Policy{Name: "shadow-dtlb", Entries: 72},
+					shadow.Policy{Name: "shadow-itlb", Entries: 224},
+				).WithLimits(ablationInstrs, 0)
+				ipc = core.Run(cfg, prog).IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationFullPolicy compares Block vs Drop vs Replace on an
+// under-provisioned shadow d-cache: all three are functionally correct
+// (architectural results are unchanged) but trade stall time against lost
+// fills — and all three leak transiently (Section V), which is why the
+// Secure sizing exists.
+func BenchmarkAblationFullPolicy(b *testing.B) {
+	w, _ := workloads.ByName("xz")
+	prog := w.Build()
+	for _, tc := range []struct {
+		name string
+		of   shadow.OnFull
+	}{
+		{"Block", shadow.Block},
+		{"Drop", shadow.Drop},
+		{"Replace", shadow.Replace},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var ipc float64
+			for i := 0; i < b.N; i++ {
+				cfg := core.WFC().WithShadowPolicy(
+					shadow.Policy{Name: "shadow-dcache", Entries: 4, WhenFull: tc.of},
+					shadow.Policy{Name: "shadow-icache", Entries: 224},
+					shadow.Policy{Name: "shadow-dtlb", Entries: 72},
+					shadow.Policy{Name: "shadow-itlb", Entries: 224},
+				).WithLimits(ablationInstrs, 0)
+				ipc = core.Run(cfg, prog).IPC()
+			}
+			b.ReportMetric(ipc, "IPC")
+		})
+	}
+}
+
+// BenchmarkAblationDetectorOverhead measures the simulation-side cost of
+// the Section VII anomaly detector (it should be negligible).
+func BenchmarkAblationDetectorOverhead(b *testing.B) {
+	w, _ := workloads.ByName("x264")
+	prog := w.Build()
+	for _, det := range []bool{false, true} {
+		name := "off"
+		if det {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.WFC().WithLimits(ablationInstrs, 0)
+				cfg.Pipeline.DetectAnomalies = det
+				core.Run(cfg, prog)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMeltdownSemantics compares Meltdown-vulnerable
+// (FaultsReturnData=true, Intel-like) against fault-zeroing hardware: the
+// performance must be identical (the switch only affects forwarded values,
+// not timing), pinning down that WFC's Meltdown protection is free.
+func BenchmarkAblationMeltdownSemantics(b *testing.B) {
+	w, _ := workloads.ByName("perlbench")
+	prog := w.Build()
+	var dIPC float64
+	for i := 0; i < b.N; i++ {
+		vuln := core.WFC().WithLimits(ablationInstrs, 0)
+		safe := core.WFC().WithLimits(ablationInstrs, 0)
+		safe.Pipeline.FaultsReturnData = false
+		rv := core.Run(vuln, prog)
+		rs := core.Run(safe, prog)
+		dIPC = rv.IPC() - rs.IPC()
+	}
+	b.ReportMetric(dIPC, "IPC-delta")
+}
+
+func sizeName(n int) string {
+	const digits = "0123456789"
+	if n == 0 {
+		return "entries-0"
+	}
+	var buf []byte
+	for n > 0 {
+		buf = append([]byte{digits[n%10]}, buf...)
+		n /= 10
+	}
+	return "entries-" + string(buf)
+}

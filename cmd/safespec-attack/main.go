@@ -1,0 +1,81 @@
+// Command safespec-attack runs the proof-of-concept speculation attacks
+// against the simulated CPU under each protection mode and prints the leak
+// matrix (the paper's Tables III and IV).
+//
+// Usage:
+//
+//	safespec-attack                 # all attacks, all modes
+//	safespec-attack -attack meltdown -mode wfb -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safespec/internal/attacks"
+	"safespec/internal/core"
+)
+
+func main() {
+	var (
+		attackName = flag.String("attack", "", "single attack to run (default: all)")
+		modeName   = flag.String("mode", "", "single mode to run (default: all)")
+		verbose    = flag.Bool("v", false, "print per-slot probe timings")
+	)
+	flag.Parse()
+	if err := run(*attackName, *modeName, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "safespec-attack:", err)
+		os.Exit(1)
+	}
+}
+
+func run(attackName, modeName string, verbose bool) error {
+	modes := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline", core.Baseline()},
+		{"wfb", core.WFB()},
+		{"wfc", core.WFC()},
+	}
+
+	fmt.Printf("%-16s %-9s %-8s %-10s %s\n", "attack", "mode", "leaked", "recovered", "planted")
+	for _, a := range attacks.All() {
+		if attackName != "" && a.Name != attackName {
+			continue
+		}
+		for _, m := range modes {
+			if modeName != "" && m.name != modeName {
+				continue
+			}
+			out, err := attacks.Execute(a, m.cfg)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s %-9s %-8v %-10d %d\n", a.Name, m.name, out.Leaked, out.Recovered, out.Secret)
+			if verbose {
+				fmt.Printf("    probe cycles: %v\n", out.Times)
+			}
+		}
+	}
+
+	if attackName == "" || attackName == "tsa" {
+		tsa := attacks.TSA{Secret: attacks.DefaultSecret}
+		tiny := core.WFC().WithShadowPolicy(attacks.TinyShadowPolicy())
+		out, err := tsa.Run(tiny)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-9s %-8v %-10d %d\n", "tsa (tiny)", "wfc", out.Leaked, out.Recovered, out.Secret)
+		if verbose {
+			fmt.Printf("    per-bit cycles: %v\n", out.BitTimes)
+		}
+		out, err = tsa.Run(core.WFC())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-9s %-8v %-10d %d\n", "tsa (secure)", "wfc", out.Leaked, out.Recovered, out.Secret)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunSingleAttack(t *testing.T) {
+	if err := run("spectre-v1", "baseline", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTSAOnly(t *testing.T) {
+	if err := run("tsa", "", false); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+// Command safespec-bench regenerates the paper's evaluation: the shadow
+// sizing study (Figures 6-9), the performance comparison (Figures 11-16),
+// the security matrices (Tables III/IV) and the hardware overhead
+// (Table V).
+//
+// Usage:
+//
+//	safespec-bench                      # everything
+//	safespec-bench -figs sizing         # Figures 6-9 only
+//	safespec-bench -figs perf           # Figures 11-16 only
+//	safespec-bench -figs security       # Tables III/IV only
+//	safespec-bench -figs overhead       # Table V only
+//	safespec-bench -instrs 250000       # longer runs
+//	safespec-bench -bench mcf,gcc       # subset of benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"safespec/internal/figures"
+)
+
+func main() {
+	var (
+		figsFlag   = flag.String("figs", "all", "which outputs: all|sizing|perf|security|overhead|config")
+		instrs     = flag.Uint64("instrs", figures.DefaultSweep().Instructions, "committed instructions per benchmark run")
+		benchNames = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
+		serial     = flag.Bool("serial", false, "run benchmarks one at a time")
+	)
+	flag.Parse()
+
+	if err := run(*figsFlag, *instrs, *benchNames, *serial); err != nil {
+		fmt.Fprintln(os.Stderr, "safespec-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(figsFlag string, instrs uint64, benchNames string, serial bool) error {
+	want := func(k string) bool { return figsFlag == "all" || figsFlag == k }
+
+	if want("config") {
+		printConfig()
+	}
+
+	var sweep []figures.BenchResult
+	if want("sizing") || want("perf") || want("overhead") {
+		sc := figures.DefaultSweep()
+		sc.Instructions = instrs
+		sc.Parallel = !serial
+		if benchNames != "" {
+			sc.Benchmarks = strings.Split(benchNames, ",")
+		}
+		fmt.Printf("running sweep: %d instructions per benchmark per mode...\n\n", sc.Instructions)
+		var err error
+		sweep, err = figures.RunSweep(sc)
+		if err != nil {
+			return err
+		}
+	}
+
+	if want("sizing") {
+		fmt.Println("=== Figures 6-9: shadow structure size covering 99.99% of cycles ===")
+		fmt.Println(figures.FormatSizing(figures.Sizing(sweep)))
+	}
+	if want("perf") {
+		fmt.Println("=== Figures 11-16: performance of SafeSpec (WFC) vs baseline ===")
+		fmt.Println(figures.FormatPerformance(figures.Performance(sweep)))
+	}
+	if want("security") {
+		fmt.Println("=== Tables III/IV: security evaluation ===")
+		rows, err := figures.Security()
+		if err != nil {
+			return err
+		}
+		tr, err := figures.Transient()
+		if err != nil {
+			return err
+		}
+		fmt.Println(figures.FormatSecurity(rows, tr))
+	}
+	if want("overhead") {
+		fmt.Println("=== Table V: hardware overhead at 40nm ===")
+		fmt.Println(figures.FormatTableV(figures.TableVFromSizing(figures.Sizing(sweep))))
+	}
+	return nil
+}
+
+func printConfig() {
+	fmt.Println("=== Tables I/II: simulated CPU configuration (Skylake-like) ===")
+	fmt.Print(`CPU           6-wide issue, 96-entry IQ, 224-entry ROB, 72-entry LDQ, 56-entry STQ
+TLBs          64-entry iTLB, 64-entry dTLB (4-way)
+L1I / L1D     32 KB, 8-way, 64 B lines, 4-cycle hit
+L2            256 KB, 4-way, 64 B lines, 12-cycle hit
+L3            2 MB, 16-way, 64 B lines, 44-cycle hit
+Memory        191 cycles
+`)
+	fmt.Println()
+}

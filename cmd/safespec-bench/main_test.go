@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+func TestRunConfigOnly(t *testing.T) {
+	if err := run("config", 1000, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSizingSubset(t *testing.T) {
+	if err := run("sizing", 3000, "exchange2,lbm", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPerfSubset(t *testing.T) {
+	if err := run("perf", 3000, "exchange2", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run("perf", 1000, "missing-bench", false); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}

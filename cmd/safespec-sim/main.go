@@ -1,0 +1,90 @@
+// Command safespec-sim runs one benchmark kernel under one protection mode
+// and prints the full statistics — the workhorse for exploring the
+// simulator interactively.
+//
+// Usage:
+//
+//	safespec-sim -bench mcf -mode wfc -instrs 100000
+//	safespec-sim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"safespec/internal/core"
+	"safespec/internal/workloads"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "perlbench", "benchmark kernel to run")
+		mode      = flag.String("mode", "wfc", "protection mode: baseline|wfb|wfc")
+		instrs    = flag.Uint64("instrs", 100_000, "committed instructions to simulate")
+		list      = flag.Bool("list", false, "list available benchmarks and exit")
+		occupancy = flag.Bool("occupancy", false, "report shadow occupancy percentiles")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range workloads.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
+	if err := run(*benchName, *mode, *instrs, *occupancy); err != nil {
+		fmt.Fprintln(os.Stderr, "safespec-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, mode string, instrs uint64, occupancy bool) error {
+	w, err := workloads.ByName(benchName)
+	if err != nil {
+		return err
+	}
+	var cfg core.Config
+	switch mode {
+	case "baseline":
+		cfg = core.Baseline()
+	case "wfb":
+		cfg = core.WFB()
+	case "wfc":
+		cfg = core.WFC()
+	default:
+		return fmt.Errorf("unknown mode %q (want baseline|wfb|wfc)", mode)
+	}
+	cfg = cfg.WithLimits(instrs, 0)
+	cfg.SampleOccupancy = occupancy
+
+	res := core.Run(cfg, w.Build())
+
+	fmt.Printf("benchmark      %s\n", benchName)
+	fmt.Printf("mode           %s\n", res.Mode)
+	fmt.Printf("cycles         %d\n", res.Cycles)
+	fmt.Printf("committed      %d (IPC %.3f)\n", res.Committed, res.IPC())
+	fmt.Printf("  loads/stores %d / %d\n", res.CommittedLoads, res.CommittedStores)
+	fmt.Printf("squashed       %d\n", res.Squashed)
+	fmt.Printf("mispredicts    %d (rate %.4f)\n", res.Mispredicts, res.Bpred.MispredictRate())
+	fmt.Printf("d-reads        %d (miss rate %.4f, shadow hit share %.3f)\n",
+		res.DReads, res.DReadMissRate(), res.DShadowHitShare())
+	fmt.Printf("i-fetches      %d (miss rate %.4f, shadow hit share %.3f)\n",
+		res.IFetches, res.IFetchMissRate(), res.IShadowHitShare())
+	fmt.Printf("L1D            %d hits / %d misses\n", res.L1D.Hits, res.L1D.Misses)
+	fmt.Printf("L1I            %d hits / %d misses\n", res.L1I.Hits, res.L1I.Misses)
+	fmt.Printf("L2 / L3 miss   %.4f / %.4f\n", res.L2.MissRate(), res.L3.MissRate())
+	fmt.Printf("dTLB / iTLB    %.4f / %.4f miss\n", res.DTLB.MissRate(), res.ITLB.MissRate())
+	if res.Mode.SafeSpec() {
+		fmt.Printf("shadow d$      %d allocs, commit rate %.3f\n", res.ShD.Allocs, res.ShD.CommitRate())
+		fmt.Printf("shadow i$      %d allocs, commit rate %.3f\n", res.ShI.Allocs, res.ShI.CommitRate())
+		fmt.Printf("shadow dTLB    %d allocs, commit rate %.3f\n", res.ShDTLB.Allocs, res.ShDTLB.CommitRate())
+		fmt.Printf("shadow iTLB    %d allocs, commit rate %.3f\n", res.ShITLB.Allocs, res.ShITLB.CommitRate())
+		if occupancy && res.OccD != nil {
+			fmt.Printf("occupancy p99.99  d$=%d i$=%d dTLB=%d iTLB=%d\n",
+				res.OccD.Percentile(0.9999), res.OccI.Percentile(0.9999),
+				res.OccDTLB.Percentile(0.9999), res.OccITLB.Percentile(0.9999))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a tiny program with the assembler, run it on the
+// baseline out-of-order core and on SafeSpec (wait-for-commit), and compare
+// the statistics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"safespec/internal/asm"
+	"safespec/internal/core"
+	"safespec/internal/isa"
+)
+
+func main() {
+	// A little kernel: sum a 512-element array twice (the second pass hits
+	// in the cache) and store the result.
+	const (
+		arrayBase  = 0x1_0000
+		resultAddr = 0x2_0000
+		elems      = 512
+	)
+	b := asm.NewBuilder()
+	b.Region(arrayBase, elems*8, false)
+	b.Region(resultAddr, 4096, false)
+	for i := 0; i < elems; i++ {
+		b.Data(arrayBase+uint64(i*8), int64(i))
+	}
+
+	b.Movi(isa.S0, arrayBase) // cursor
+	b.Movi(isa.S1, 0)         // sum
+	b.Movi(isa.S2, 0)         // pass counter
+	b.Label("pass")
+	b.Movi(isa.T0, 0) // index
+	b.Movi(isa.T1, elems)
+	b.Label("loop")
+	b.Shli(isa.T2, isa.T0, 3)
+	b.Add(isa.T2, isa.S0, isa.T2)
+	b.Load(isa.T3, isa.T2, 0)
+	b.Add(isa.S1, isa.S1, isa.T3)
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Blt(isa.T0, isa.T1, "loop")
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Slti(isa.T4, isa.S2, 2)
+	b.Bne(isa.T4, isa.Zero, "pass")
+	b.Movi(isa.T5, resultAddr)
+	b.Store(isa.S1, isa.T5, 0)
+	b.Halt()
+	prog := b.MustBuild()
+
+	for _, cfg := range []struct {
+		name string
+		c    core.Config
+	}{
+		{"baseline (unprotected)", core.Baseline()},
+		{"SafeSpec WFC", core.WFC()},
+	} {
+		sim := core.New(cfg.c, prog)
+		res := sim.Run()
+		sum, _ := sim.CPU().Mem().Read(resultAddr, true)
+		fmt.Printf("%-24s sum=%-8d cycles=%-6d IPC=%.3f  dMiss=%.4f\n",
+			cfg.name, sum, res.Cycles, res.IPC(), res.DReadMissRate())
+	}
+	fmt.Println("\nThe architectural result is identical; SafeSpec changes only where")
+	fmt.Println("speculative cache fills live until their instructions commit.")
+}

@@ -1,0 +1,50 @@
+// Spectre end-to-end: run the variant-1 bounds-check-bypass proof of
+// concept against the unprotected core and against both SafeSpec policies,
+// showing the Flush+Reload probe timings the attacker sees.
+//
+//	go run ./examples/spectre
+package main
+
+import (
+	"fmt"
+
+	"safespec/internal/attacks"
+	"safespec/internal/core"
+)
+
+func main() {
+	attack := attacks.SpectreV1()
+	fmt.Printf("Spectre V1: planted secret = %d\n\n", attack.Secret)
+
+	for _, m := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"baseline", core.Baseline()},
+		{"safespec-wfb", core.WFB()},
+		{"safespec-wfc", core.WFC()},
+	} {
+		out, err := attacks.Execute(attack, m.cfg)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s\n", m.name)
+		fmt.Printf("  probe timings (cycles per candidate value):\n    ")
+		for i, t := range out.Times {
+			fmt.Printf("%d:%-5d", i, t)
+			if i%8 == 7 {
+				fmt.Printf("\n    ")
+			}
+		}
+		fmt.Println()
+		if out.Leaked {
+			fmt.Printf("  LEAKED: candidate %d is uniquely fast -> attacker recovers the secret\n\n", out.Recovered)
+		} else {
+			fmt.Printf("  closed: no candidate stands out (recovered=%d)\n\n", out.Recovered)
+		}
+	}
+
+	fmt.Println("On the baseline, the mis-speculated gadget's probe-line fill survives")
+	fmt.Println("the squash in the committed D-cache. Under SafeSpec the fill only ever")
+	fmt.Println("lived in the shadow D-cache and was annulled in place.")
+}

@@ -1,0 +1,148 @@
+package attacks
+
+import (
+	"testing"
+
+	"safespec/internal/core"
+)
+
+func TestDecideFastSignal(t *testing.T) {
+	times := make([]uint64, Slots)
+	for i := range times {
+		times[i] = 236
+	}
+	times[0] = 4 // slot 0 is reserved and must be ignored
+	times[7] = 5
+	if got := decide(times, 50, true); got != 7 {
+		t.Errorf("decide = %d, want 7", got)
+	}
+}
+
+func TestDecideSlowSignal(t *testing.T) {
+	times := make([]uint64, Slots)
+	for i := range times {
+		times[i] = 10
+	}
+	times[9] = 400
+	if got := decide(times, 50, false); got != 9 {
+		t.Errorf("decide = %d, want 9", got)
+	}
+}
+
+func TestDecideNoSignal(t *testing.T) {
+	times := make([]uint64, Slots)
+	for i := range times {
+		times[i] = 236
+	}
+	if got := decide(times, 50, true); got != -1 {
+		t.Errorf("uniform timings decided %d, want -1", got)
+	}
+}
+
+func TestDecideGapTooSmall(t *testing.T) {
+	times := make([]uint64, Slots)
+	for i := range times {
+		times[i] = 236
+	}
+	times[3] = 210 // only 26 cycles faster than the rest
+	if got := decide(times, 50, true); got != -1 {
+		t.Errorf("sub-threshold gap decided %d, want -1", got)
+	}
+}
+
+func TestDecideTwoFastSlots(t *testing.T) {
+	// Two equally fast candidates: ambiguous, no leak call.
+	times := make([]uint64, Slots)
+	for i := range times {
+		times[i] = 236
+	}
+	times[3] = 5
+	times[9] = 5
+	if got := decide(times, 50, true); got != -1 {
+		t.Errorf("ambiguous timings decided %d, want -1", got)
+	}
+}
+
+func TestAllAttackBuildersProduceValidPrograms(t *testing.T) {
+	for _, a := range All() {
+		prog, err := a.Build(a.Secret)
+		if err != nil {
+			t.Fatalf("%s: %v", a.Name, err)
+		}
+		if len(prog.Code) == 0 {
+			t.Errorf("%s: empty program", a.Name)
+		}
+		if a.Secret < 1 || a.Secret >= Slots {
+			t.Errorf("%s: secret %d out of range [1,%d)", a.Name, a.Secret, Slots)
+		}
+	}
+}
+
+// TestSpectreV1OtherSecrets: the recovery must track the planted value,
+// not accidentally fixate on one slot.
+func TestSpectreV1OtherSecrets(t *testing.T) {
+	for _, secret := range []int64{3, 8, 14} {
+		a := SpectreV1()
+		a.Secret = secret
+		out, err := Execute(a, core.Baseline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Leaked || out.Recovered != secret {
+			t.Errorf("secret %d: leaked=%v recovered=%d", secret, out.Leaked, out.Recovered)
+		}
+	}
+}
+
+// TestMeltdownRequiresFaultForwarding: on hardware that does not forward
+// data on a permission fault (FaultsReturnData=false), Meltdown must fail
+// even on the unprotected baseline.
+func TestMeltdownRequiresFaultForwarding(t *testing.T) {
+	cfg := core.Baseline()
+	cfg.Pipeline.FaultsReturnData = false
+	out, err := Execute(Meltdown(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leaked && out.Recovered == out.Secret {
+		t.Errorf("meltdown leaked the secret on non-forwarding hardware (recovered=%d)", out.Recovered)
+	}
+}
+
+// TestTSABlockPolicyClosedBySizing: the Block policy with Secure sizing
+// must not leak either (no contention is possible).
+func TestTSABlockPolicyClosedBySizing(t *testing.T) {
+	tsa := TSA{Secret: DefaultSecret}
+	out, err := tsa.Run(core.WFB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leaked {
+		t.Errorf("TSA leaked under Secure WFB sizing: recovered=%d", out.Recovered)
+	}
+}
+
+// TestTSAOtherSecrets: the transient channel must track the planted value.
+func TestTSAOtherSecrets(t *testing.T) {
+	for _, secret := range []int64{5, 10} {
+		tsa := TSA{Secret: secret}
+		out, err := tsa.Run(core.WFC().WithShadowPolicy(TinyShadowPolicy()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.Leaked || out.Recovered != secret {
+			t.Errorf("secret %d: leaked=%v recovered=%d times=%v",
+				secret, out.Leaked, out.Recovered, out.BitTimes)
+		}
+	}
+}
+
+func TestTinyShadowPolicy(t *testing.T) {
+	d, i, dtlb, itlb := TinyShadowPolicy()
+	if d.Entries != 2 {
+		t.Errorf("tiny d-cache entries = %d", d.Entries)
+	}
+	if i.Entries < 32 || dtlb.Entries < 8 || itlb.Entries < 32 {
+		t.Error("non-target structures must stay large enough not to interfere")
+	}
+}

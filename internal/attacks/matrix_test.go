@@ -1,0 +1,75 @@
+package attacks
+
+import (
+	"testing"
+
+	"safespec/internal/core"
+)
+
+// TestLeakMatrix verifies the security results of Tables III and IV: every
+// attack leaks on the unprotected baseline; SafeSpec-WFB stops everything
+// except Meltdown; SafeSpec-WFC stops everything.
+func TestLeakMatrix(t *testing.T) {
+	type want struct{ baseline, wfb, wfc bool }
+	wants := map[string]want{
+		"meltdown":       {baseline: true, wfb: true, wfc: false},
+		"spectre-v1":     {baseline: true, wfb: false, wfc: false},
+		"spectre-v2":     {baseline: true, wfb: false, wfc: false},
+		"spectre-icache": {baseline: true, wfb: false, wfc: false},
+		"spectre-itlb":   {baseline: true, wfb: false, wfc: false},
+		"spectre-dtlb":   {baseline: true, wfb: false, wfc: false},
+	}
+	cfgs := []struct {
+		name string
+		cfg  core.Config
+		pick func(w want) bool
+	}{
+		{"baseline", core.Baseline(), func(w want) bool { return w.baseline }},
+		{"wfb", core.WFB(), func(w want) bool { return w.wfb }},
+		{"wfc", core.WFC(), func(w want) bool { return w.wfc }},
+	}
+	for _, a := range All() {
+		w, ok := wants[a.Name]
+		if !ok {
+			t.Fatalf("no expectation for attack %s", a.Name)
+		}
+		for _, c := range cfgs {
+			out, err := Execute(a, c.cfg)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", a.Name, c.name, err)
+			}
+			t.Logf("%-15s %-8s leaked=%-5v recovered=%-3d times=%v",
+				a.Name, c.name, out.Leaked, out.Recovered, out.Times)
+			if out.Leaked != c.pick(w) {
+				t.Errorf("%s under %s: leaked=%v, want %v", a.Name, c.name, out.Leaked, c.pick(w))
+			}
+		}
+	}
+}
+
+// TestTSAMatrix verifies Section V: with undersized Replace-on-full shadow
+// structures the transient channel leaks under SafeSpec, and the Secure
+// (worst-case) sizing closes it.
+func TestTSAMatrix(t *testing.T) {
+	tsa := TSA{Secret: DefaultSecret}
+
+	tiny := core.WFC().WithShadowPolicy(TinyShadowPolicy())
+	out, err := tsa.Run(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tsa tiny-wfc: leaked=%v recovered=%d times=%v", out.Leaked, out.Recovered, out.BitTimes)
+	if !out.Leaked {
+		t.Errorf("TSA with tiny Replace shadow should leak, got recovered=%d", out.Recovered)
+	}
+
+	secure := core.WFC()
+	out, err = tsa.Run(secure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("tsa secure-wfc: leaked=%v recovered=%d times=%v", out.Leaked, out.Recovered, out.BitTimes)
+	if out.Leaked {
+		t.Errorf("TSA with Secure sizing must not leak, recovered=%d", out.Recovered)
+	}
+}

@@ -1,0 +1,269 @@
+// Package bpred implements the branch prediction unit of the simulated CPU:
+// a gshare direction predictor, a tagged (but aliasable) branch target
+// buffer, and a return address stack.
+//
+// The threat model of the paper assumes the attacker fully controls the
+// predictor state (Section II-C): Spectre v1 mistrains the direction
+// predictor with in-bounds executions, and Spectre v2 pollutes the BTB via
+// index aliasing. Both behaviours emerge naturally from this implementation:
+// gshare counters are trained by every committed branch, and the BTB is
+// indexed by low PC bits so distinct branches can collide.
+package bpred
+
+import (
+	"safespec/internal/isa"
+	"safespec/internal/stats"
+)
+
+// Config sizes the predictor structures.
+type Config struct {
+	// GshareBits is log2 of the pattern history table size.
+	GshareBits int
+	// HistBits is the global-history length in bits (<= GshareBits). A
+	// shorter history warms up faster on short simulation windows.
+	HistBits int
+	// BTBEntries is the number of BTB slots (direct-mapped).
+	BTBEntries int
+	// BTBTagBits is how many PC bits (above the index) the BTB compares.
+	// Small tags make aliasing (and hence Spectre v2 pollution) possible,
+	// mirroring real hardware.
+	BTBTagBits int
+	// RASEntries is the return-address-stack depth.
+	RASEntries int
+}
+
+// DefaultConfig returns a predictor comparable to the paper's simulated
+// Skylake front end.
+func DefaultConfig() Config {
+	return Config{GshareBits: 14, HistBits: 8, BTBEntries: 512, BTBTagBits: 8, RASEntries: 16}
+}
+
+// Stats counts prediction outcomes.
+type Stats struct {
+	// CondPredicted / CondMispredicted count conditional branches.
+	CondPredicted, CondMispredicted uint64
+	// IndPredicted / IndMispredicted count indirect jumps and calls.
+	IndPredicted, IndMispredicted uint64
+	// RetPredicted / RetMispredicted count returns.
+	RetPredicted, RetMispredicted uint64
+}
+
+// MispredictRate returns total mispredictions over total predictions.
+func (s Stats) MispredictRate() float64 {
+	mis := s.CondMispredicted + s.IndMispredicted + s.RetMispredicted
+	tot := s.CondPredicted + s.IndPredicted + s.RetPredicted
+	return stats.Rate(mis, tot)
+}
+
+type btbEntry struct {
+	valid  bool
+	tag    uint64
+	target int
+}
+
+// Predictor is the full branch prediction unit.
+type Predictor struct {
+	cfg      Config
+	pht      []uint8 // 2-bit saturating counters
+	history  uint64
+	histMask uint64 // history length mask
+	phtMask  uint64 // table index mask
+	btb      []btbEntry
+	ras      []int
+	rasTop   int
+	// Stats accumulates outcome counters.
+	Stats Stats
+}
+
+// New builds a predictor from cfg.
+func New(cfg Config) *Predictor {
+	if cfg.HistBits <= 0 || cfg.HistBits > cfg.GshareBits {
+		cfg.HistBits = cfg.GshareBits
+	}
+	return &Predictor{
+		cfg:      cfg,
+		pht:      make([]uint8, 1<<cfg.GshareBits),
+		histMask: uint64(1<<cfg.HistBits) - 1,
+		phtMask:  uint64(1<<cfg.GshareBits) - 1,
+		btb:      make([]btbEntry, cfg.BTBEntries),
+		ras:      make([]int, cfg.RASEntries),
+	}
+}
+
+// Config returns the predictor configuration.
+func (p *Predictor) Config() Config { return p.cfg }
+
+func (p *Predictor) phtIndex(pc int) uint64 {
+	return (uint64(pc) ^ p.history) & p.phtMask
+}
+
+func (p *Predictor) btbIndex(pc int) (idx int, tag uint64) {
+	n := uint64(len(p.btb))
+	idx = int(uint64(pc) % n)
+	tag = (uint64(pc) / n) & ((1 << p.cfg.BTBTagBits) - 1)
+	return idx, tag
+}
+
+// Prediction is the front end's guess for one branch-like instruction.
+type Prediction struct {
+	// Taken is the predicted direction (always true for jumps/calls/rets).
+	Taken bool
+	// Target is the predicted next instruction index.
+	Target int
+	// HasTarget reports whether a target prediction was available (BTB/RAS
+	// hit). Without a target the front end falls through and relies on
+	// execute-time redirect.
+	HasTarget bool
+}
+
+// PredictCond predicts a conditional branch at pc with the given
+// fall-through and taken targets.
+func (p *Predictor) PredictCond(pc, takenTarget int) Prediction {
+	ctr := p.pht[p.phtIndex(pc)]
+	taken := ctr >= 2
+	pred := Prediction{Taken: taken}
+	if taken {
+		pred.Target = takenTarget
+		pred.HasTarget = true
+	} else {
+		pred.Target = pc + 1
+		pred.HasTarget = true
+	}
+	return pred
+}
+
+// PredictIndirect predicts an indirect jump/call at pc from the BTB.
+func (p *Predictor) PredictIndirect(pc int) Prediction {
+	idx, tag := p.btbIndex(pc)
+	e := p.btb[idx]
+	if e.valid && e.tag == tag {
+		return Prediction{Taken: true, Target: e.target, HasTarget: true}
+	}
+	return Prediction{Taken: true}
+}
+
+// PredictReturn pops the RAS.
+func (p *Predictor) PredictReturn() Prediction {
+	if p.rasTop == 0 {
+		return Prediction{Taken: true}
+	}
+	p.rasTop--
+	return Prediction{Taken: true, Target: p.ras[p.rasTop], HasTarget: true}
+}
+
+// PushReturn records a call's return address on the RAS.
+func (p *Predictor) PushReturn(retPC int) {
+	if p.rasTop == len(p.ras) {
+		// Overflow: shift down (oldest entry lost), as in real RAS designs.
+		copy(p.ras, p.ras[1:])
+		p.rasTop--
+	}
+	p.ras[p.rasTop] = retPC
+	p.rasTop++
+}
+
+// SpeculateHistory shifts the predicted direction into the global history.
+// The pipeline calls this at prediction time and restores on squash via
+// HistorySnapshot/RestoreHistory.
+func (p *Predictor) SpeculateHistory(taken bool) {
+	p.history <<= 1
+	if taken {
+		p.history |= 1
+	}
+	p.history &= p.histMask
+}
+
+// HistorySnapshot returns the current global history register.
+func (p *Predictor) HistorySnapshot() uint64 { return p.history }
+
+// RestoreHistory rewinds the global history (used on misprediction).
+func (p *Predictor) RestoreHistory(h uint64) { p.history = h }
+
+// RASSnapshot returns a copy of the return-address stack state.
+func (p *Predictor) RASSnapshot() (top int, entries []int) {
+	cp := make([]int, len(p.ras))
+	copy(cp, p.ras)
+	return p.rasTop, cp
+}
+
+// RestoreRAS rewinds the return-address stack (used on misprediction).
+func (p *Predictor) RestoreRAS(top int, entries []int) {
+	p.rasTop = top
+	copy(p.ras, entries)
+}
+
+// UpdateCond trains the direction predictor with the resolved outcome of a
+// conditional branch and records whether the prediction was correct.
+// histAtFetch is the global-history snapshot taken when the branch was
+// predicted, so training hits the same PHT entry the prediction read
+// (real designs checkpoint this alongside the branch).
+func (p *Predictor) UpdateCond(pc int, histAtFetch uint64, taken, correct bool) {
+	idx := (uint64(pc) ^ histAtFetch) & p.phtMask
+	ctr := p.pht[idx]
+	if taken {
+		if ctr < 3 {
+			ctr++
+		}
+	} else if ctr > 0 {
+		ctr--
+	}
+	p.pht[idx] = ctr
+	p.Stats.CondPredicted++
+	if !correct {
+		p.Stats.CondMispredicted++
+	}
+}
+
+// UpdateIndirect trains the BTB with the resolved target of an indirect
+// branch. This is the pollution vector of Spectre v2: any branch whose PC
+// aliases into the same BTB slot trains the prediction for its victims.
+func (p *Predictor) UpdateIndirect(pc, target int, correct bool) {
+	idx, tag := p.btbIndex(pc)
+	p.btb[idx] = btbEntry{valid: true, tag: tag, target: target}
+	p.Stats.IndPredicted++
+	if !correct {
+		p.Stats.IndMispredicted++
+	}
+}
+
+// UpdateReturn records a return outcome.
+func (p *Predictor) UpdateReturn(correct bool) {
+	p.Stats.RetPredicted++
+	if !correct {
+		p.Stats.RetMispredicted++
+	}
+}
+
+// PoisonBTB force-installs a BTB mapping for pc (test/attack helper that
+// models the attacker's assumed full control over predictor state).
+func (p *Predictor) PoisonBTB(pc, target int) {
+	idx, tag := p.btbIndex(pc)
+	p.btb[idx] = btbEntry{valid: true, tag: tag, target: target}
+}
+
+// TrainCondTaken force-saturates the direction counter for pc toward taken
+// (attack helper mirroring mistraining loops).
+func (p *Predictor) TrainCondTaken(pc int, taken bool) {
+	idx := p.phtIndex(pc)
+	if taken {
+		p.pht[idx] = 3
+	} else {
+		p.pht[idx] = 0
+	}
+}
+
+// Reset clears all predictor state and statistics.
+func (p *Predictor) Reset() {
+	for i := range p.pht {
+		p.pht[i] = 0
+	}
+	for i := range p.btb {
+		p.btb[i] = btbEntry{}
+	}
+	p.history = 0
+	p.rasTop = 0
+	p.Stats = Stats{}
+}
+
+// ClassifyPredicted reports whether op consults this predictor.
+func ClassifyPredicted(op isa.Op) bool { return isa.IsPredicted(op) }

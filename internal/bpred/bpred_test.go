@@ -1,0 +1,206 @@
+package bpred
+
+import (
+	"testing"
+
+	"safespec/internal/isa"
+)
+
+func TestCondTraining(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 100
+	// Cold counters predict not-taken.
+	if pred := p.PredictCond(pc, 5); pred.Taken {
+		t.Error("cold prediction should be not-taken")
+	}
+	// Two taken updates at the same history saturate toward taken.
+	hist := p.HistorySnapshot()
+	p.UpdateCond(pc, hist, true, false)
+	p.UpdateCond(pc, hist, true, false)
+	if pred := p.PredictCond(pc, 5); !pred.Taken || pred.Target != 5 {
+		t.Errorf("trained prediction = %+v, want taken to 5", pred)
+	}
+	// Not-taken retraining flips it back.
+	p.UpdateCond(pc, hist, false, true)
+	p.UpdateCond(pc, hist, false, true)
+	p.UpdateCond(pc, hist, false, true)
+	if pred := p.PredictCond(pc, 5); pred.Taken {
+		t.Error("retrained prediction should be not-taken")
+	}
+}
+
+func TestTrainingUsesFetchHistory(t *testing.T) {
+	// Training must hit the same PHT entry the prediction consulted even
+	// if the global history has advanced since (the loop-branch case).
+	p := New(DefaultConfig())
+	const pc = 7
+	for i := 0; i < 20; i++ {
+		hist := p.HistorySnapshot()
+		pred := p.PredictCond(pc, 2)
+		p.SpeculateHistory(true)
+		p.UpdateCond(pc, hist, true, pred.Taken)
+	}
+	if pred := p.PredictCond(pc, 2); !pred.Taken {
+		t.Error("loop branch not learned despite 20 taken iterations")
+	}
+}
+
+func TestBTBPredictAndUpdate(t *testing.T) {
+	p := New(DefaultConfig())
+	const pc = 42
+	if pred := p.PredictIndirect(pc); pred.HasTarget {
+		t.Error("cold BTB predicted a target")
+	}
+	p.UpdateIndirect(pc, 777, false)
+	pred := p.PredictIndirect(pc)
+	if !pred.HasTarget || pred.Target != 777 {
+		t.Errorf("BTB prediction = %+v", pred)
+	}
+}
+
+// TestBTBAliasing demonstrates the Spectre v2 pollution mechanism: two
+// branches whose PCs collide in the direct-mapped BTB (same index, same
+// truncated tag) train each other's predictions.
+func TestBTBAliasing(t *testing.T) {
+	cfg := DefaultConfig() // 512 entries, 8 tag bits
+	p := New(cfg)
+	victimPC := 100
+	// Alias: same index (mod 512) and same 8-bit tag of pc/512.
+	attackerPC := victimPC + 512*(1<<cfg.BTBTagBits)
+	p.UpdateIndirect(attackerPC, 999, false) // the attacker trains its own branch
+	pred := p.PredictIndirect(victimPC)      // ...and the victim inherits it
+	if !pred.HasTarget || pred.Target != 999 {
+		t.Errorf("aliasing victim prediction = %+v, want target 999", pred)
+	}
+}
+
+func TestPoisonBTB(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PoisonBTB(10, 333)
+	if pred := p.PredictIndirect(10); !pred.HasTarget || pred.Target != 333 {
+		t.Errorf("poisoned prediction = %+v", pred)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushReturn(11)
+	p.PushReturn(22)
+	if pred := p.PredictReturn(); pred.Target != 22 {
+		t.Errorf("first return = %d, want 22", pred.Target)
+	}
+	if pred := p.PredictReturn(); pred.Target != 11 {
+		t.Errorf("second return = %d, want 11", pred.Target)
+	}
+	if pred := p.PredictReturn(); pred.HasTarget {
+		t.Error("empty RAS predicted a target")
+	}
+}
+
+func TestRASOverflowDropsOldest(t *testing.T) {
+	cfg := DefaultConfig()
+	p := New(cfg)
+	for i := 0; i <= cfg.RASEntries; i++ { // one more than capacity
+		p.PushReturn(i)
+	}
+	// The newest entries must survive; the oldest (0) was dropped.
+	for want := cfg.RASEntries; want >= 1; want-- {
+		pred := p.PredictReturn()
+		if !pred.HasTarget || pred.Target != want {
+			t.Fatalf("pop = %+v, want %d", pred, want)
+		}
+	}
+	if pred := p.PredictReturn(); pred.HasTarget {
+		t.Error("entry 0 should have been dropped on overflow")
+	}
+}
+
+func TestHistorySnapshotRestore(t *testing.T) {
+	p := New(DefaultConfig())
+	p.SpeculateHistory(true)
+	snap := p.HistorySnapshot()
+	p.SpeculateHistory(false)
+	p.SpeculateHistory(true)
+	p.RestoreHistory(snap)
+	if p.HistorySnapshot() != snap {
+		t.Error("history restore failed")
+	}
+}
+
+func TestRASSnapshotRestore(t *testing.T) {
+	p := New(DefaultConfig())
+	p.PushReturn(1)
+	p.PushReturn(2)
+	top, entries := p.RASSnapshot()
+	p.PredictReturn()
+	p.PushReturn(99)
+	p.RestoreRAS(top, entries)
+	if pred := p.PredictReturn(); pred.Target != 2 {
+		t.Errorf("after restore, pop = %d, want 2", pred.Target)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	p := New(DefaultConfig())
+	p.UpdateCond(1, 0, true, false)
+	p.UpdateIndirect(2, 3, false)
+	p.UpdateReturn(true)
+	s := p.Stats
+	if s.CondMispredicted != 1 || s.IndMispredicted != 1 || s.RetMispredicted != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := s.MispredictRate(); got != 2.0/3.0 {
+		t.Errorf("mispredict rate = %v", got)
+	}
+	p.Reset()
+	if p.Stats != (Stats{}) {
+		t.Error("reset did not clear stats")
+	}
+	if pred := p.PredictIndirect(2); pred.HasTarget {
+		t.Error("reset did not clear BTB")
+	}
+}
+
+func TestTrainCondTaken(t *testing.T) {
+	p := New(DefaultConfig())
+	p.TrainCondTaken(50, true)
+	if pred := p.PredictCond(50, 9); !pred.Taken {
+		t.Error("forced taken training ignored")
+	}
+	p.TrainCondTaken(50, false)
+	if pred := p.PredictCond(50, 9); pred.Taken {
+		t.Error("forced not-taken training ignored")
+	}
+}
+
+func TestHistBitsDefaulting(t *testing.T) {
+	p := New(Config{GshareBits: 10, HistBits: 0, BTBEntries: 16, RASEntries: 4})
+	// HistBits <= 0 defaults to GshareBits; speculating 10 bits must not
+	// panic and must stay within the mask.
+	for i := 0; i < 30; i++ {
+		p.SpeculateHistory(i%2 == 0)
+	}
+	if p.HistorySnapshot() >= 1<<10 {
+		t.Error("history exceeded its mask")
+	}
+}
+
+func TestClassifyPredicted(t *testing.T) {
+	if !ClassifyPredicted(isa.OpBeq) || !ClassifyPredicted(isa.OpRet) {
+		t.Error("predicted ops misclassified")
+	}
+	if ClassifyPredicted(isa.OpJmp) || ClassifyPredicted(isa.OpAdd) {
+		t.Error("non-predicted ops misclassified")
+	}
+}
+
+func TestNotTakenPrediction(t *testing.T) {
+	p := New(DefaultConfig())
+	pred := p.PredictCond(5, 100)
+	if pred.Taken {
+		t.Fatal("cold should be not-taken")
+	}
+	if !pred.HasTarget || pred.Target != 6 {
+		t.Errorf("fall-through target = %+v, want 6", pred)
+	}
+}

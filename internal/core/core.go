@@ -1,0 +1,124 @@
+// Package core is the public façade of the SafeSpec simulator library. It
+// wires the out-of-order pipeline, the memory system and the SafeSpec
+// shadow structures into a single Simulator with a small configuration
+// surface matching the paper's evaluation setup (Tables I and II), and
+// exposes the Results needed to regenerate every figure.
+//
+// Typical use:
+//
+//	prog := buildProgram()              // via internal/asm
+//	res := core.Run(core.WFC(), prog)   // or core.Baseline(), core.WFB()
+//	fmt.Println(res.IPC())
+package core
+
+import (
+	"fmt"
+
+	"safespec/internal/isa"
+	"safespec/internal/pipeline"
+	"safespec/internal/shadow"
+)
+
+// Mode re-exports the protection policy selector.
+type Mode = pipeline.Mode
+
+// Protection modes.
+const (
+	ModeBaseline = pipeline.ModeBaseline
+	ModeWFB      = pipeline.ModeWFB
+	ModeWFC      = pipeline.ModeWFC
+)
+
+// Config is the simulator configuration. Construct via Baseline, WFB, WFC,
+// or DefaultConfig and adjust.
+type Config struct {
+	// Pipeline carries the full core configuration (Table I defaults are
+	// applied to zero fields).
+	Pipeline pipeline.Config
+	// SampleOccupancy enables the per-cycle shadow occupancy histograms
+	// used by the Figure 6-9 sizing study.
+	SampleOccupancy bool
+}
+
+// DefaultConfig returns the paper's simulated Skylake in the given mode.
+func DefaultConfig(mode Mode) Config {
+	cfg := Config{}
+	cfg.Pipeline.Mode = mode
+	cfg.Pipeline.FaultsReturnData = true
+	cfg.Pipeline = cfg.Pipeline.Normalize()
+	return cfg
+}
+
+// Baseline returns the unprotected out-of-order configuration.
+func Baseline() Config { return DefaultConfig(ModeBaseline) }
+
+// WFB returns the SafeSpec wait-for-branch configuration with worst-case
+// (Secure) shadow sizing.
+func WFB() Config { return DefaultConfig(ModeWFB) }
+
+// WFC returns the SafeSpec wait-for-commit configuration with worst-case
+// (Secure) shadow sizing.
+func WFC() Config { return DefaultConfig(ModeWFC) }
+
+// WithShadowPolicy returns a copy of cfg with all four shadow policies
+// replaced (used by the TSA experiments to shrink the structures and select
+// Block/Drop behaviour).
+func (c Config) WithShadowPolicy(d, i, dtlb, itlb shadow.Policy) Config {
+	c.Pipeline.ShadowD = d
+	c.Pipeline.ShadowI = i
+	c.Pipeline.ShadowDTLB = dtlb
+	c.Pipeline.ShadowITLB = itlb
+	return c
+}
+
+// WithLimits returns a copy of cfg with run limits set.
+func (c Config) WithLimits(maxInstrs, maxCycles uint64) Config {
+	c.Pipeline.MaxInstrs = maxInstrs
+	c.Pipeline.MaxCycles = maxCycles
+	return c
+}
+
+// Results wraps the pipeline statistics of one run.
+type Results struct {
+	*pipeline.Stats
+	// Mode records which configuration produced the results.
+	Mode Mode
+}
+
+// Simulator is a configured core bound to a program. Use New + Run, or the
+// package-level Run convenience.
+type Simulator struct {
+	cfg Config
+	cpu *pipeline.CPU
+}
+
+// New builds a Simulator for prog under cfg.
+func New(cfg Config, prog *isa.Program) *Simulator {
+	cpu := pipeline.New(cfg.Pipeline, prog)
+	if cfg.SampleOccupancy {
+		cpu.EnableOccupancySampling()
+	}
+	return &Simulator{cfg: cfg, cpu: cpu}
+}
+
+// CPU exposes the underlying core (attack helpers need the predictor and
+// memory system).
+func (s *Simulator) CPU() *pipeline.CPU { return s.cpu }
+
+// Run executes to completion and returns the results.
+func (s *Simulator) Run() *Results {
+	st := s.cpu.Run()
+	return &Results{Stats: st, Mode: s.cfg.Pipeline.Mode}
+}
+
+// Run builds and runs a simulator in one call.
+func Run(cfg Config, prog *isa.Program) *Results {
+	return New(cfg, prog).Run()
+}
+
+// Summary renders a one-line overview of the results.
+func (r *Results) Summary() string {
+	return fmt.Sprintf("%s: IPC=%.3f cycles=%d committed=%d mispred=%.4f dMiss=%.4f iMiss=%.4f",
+		r.Mode, r.IPC(), r.Cycles, r.Committed,
+		r.Bpred.MispredictRate(), r.DReadMissRate(), r.IFetchMissRate())
+}

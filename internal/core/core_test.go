@@ -1,0 +1,103 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"safespec/internal/asm"
+	"safespec/internal/isa"
+	"safespec/internal/shadow"
+)
+
+func tiny() *isa.Program {
+	b := asm.NewBuilder()
+	b.Movi(isa.T0, 2)
+	b.Addi(isa.T0, isa.T0, 3)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestModeConstructors(t *testing.T) {
+	if Baseline().Pipeline.Mode != ModeBaseline {
+		t.Error("Baseline mode wrong")
+	}
+	if WFB().Pipeline.Mode != ModeWFB {
+		t.Error("WFB mode wrong")
+	}
+	if WFC().Pipeline.Mode != ModeWFC {
+		t.Error("WFC mode wrong")
+	}
+	// All constructors must produce Meltdown-vulnerable (Intel-like)
+	// forwarding by default, as the paper's threat model assumes.
+	for _, cfg := range []Config{Baseline(), WFB(), WFC()} {
+		if !cfg.Pipeline.FaultsReturnData {
+			t.Error("FaultsReturnData must default to true")
+		}
+	}
+}
+
+func TestWithLimits(t *testing.T) {
+	cfg := WFC().WithLimits(123, 456)
+	if cfg.Pipeline.MaxInstrs != 123 || cfg.Pipeline.MaxCycles != 456 {
+		t.Errorf("limits = %d/%d", cfg.Pipeline.MaxInstrs, cfg.Pipeline.MaxCycles)
+	}
+}
+
+func TestWithShadowPolicy(t *testing.T) {
+	d := shadow.Policy{Name: "d", Entries: 3, WhenFull: shadow.Drop}
+	i := shadow.Policy{Name: "i", Entries: 5}
+	dt := shadow.Policy{Name: "dt", Entries: 7}
+	it := shadow.Policy{Name: "it", Entries: 9}
+	cfg := WFC().WithShadowPolicy(d, i, dt, it)
+	if cfg.Pipeline.ShadowD.Entries != 3 || cfg.Pipeline.ShadowITLB.Entries != 9 {
+		t.Errorf("shadow policies not applied: %+v", cfg.Pipeline)
+	}
+	// The original must be unchanged (value semantics).
+	if WFC().Pipeline.ShadowD.Entries == 3 {
+		t.Error("WithShadowPolicy mutated a shared config")
+	}
+}
+
+func TestRunConvenience(t *testing.T) {
+	res := Run(Baseline(), tiny())
+	if res.Committed != 3 {
+		t.Errorf("committed = %d", res.Committed)
+	}
+	if res.Mode != ModeBaseline {
+		t.Errorf("mode = %v", res.Mode)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	res := Run(WFC(), tiny())
+	s := res.Summary()
+	for _, want := range []string{"safespec-wfc", "IPC", "committed=3"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSimulatorAccessors(t *testing.T) {
+	sim := New(WFC(), tiny())
+	if sim.CPU() == nil {
+		t.Fatal("nil CPU")
+	}
+	sim.Run()
+	if got := sim.CPU().Reg(isa.T0); got != 5 {
+		t.Errorf("T0 = %d", got)
+	}
+}
+
+func TestOccupancySamplingToggle(t *testing.T) {
+	cfg := WFC()
+	cfg.SampleOccupancy = true
+	res := New(cfg, tiny()).Run()
+	if res.OccD == nil {
+		t.Error("sampling enabled but no histograms")
+	}
+	res = New(WFC(), tiny()).Run()
+	if res.OccD != nil {
+		t.Error("sampling disabled but histograms present")
+	}
+}

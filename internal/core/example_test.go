@@ -1,0 +1,59 @@
+package core_test
+
+import (
+	"fmt"
+
+	"safespec/internal/asm"
+	"safespec/internal/core"
+	"safespec/internal/isa"
+)
+
+// ExampleRun shows the shortest path from a program to results: assemble a
+// loop, run it under SafeSpec wait-for-commit, read a register.
+func ExampleRun() {
+	b := asm.NewBuilder()
+	b.Movi(isa.T0, 0)
+	b.Movi(isa.T1, 10)
+	b.Label("loop")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Blt(isa.T0, isa.T1, "loop")
+	b.Halt()
+	prog := b.MustBuild()
+
+	sim := core.New(core.WFC(), prog)
+	sim.Run()
+	fmt.Println(sim.CPU().Reg(isa.T0))
+	// Output: 10
+}
+
+// ExampleConfig_WithShadowPolicy shows how experiments shrink the shadow
+// structures — the knob behind the transient-attack study.
+func ExampleConfig_WithShadowPolicy() {
+	cfg := core.WFC()
+	fmt.Println(cfg.Pipeline.ShadowD.Entries) // Secure default: LDQ-bound
+	// Output: 72
+}
+
+// ExampleRun_modes demonstrates that the protection mode never changes
+// architectural results — only microarchitectural visibility.
+func ExampleRun_modes() {
+	b := asm.NewBuilder()
+	b.Region(0x1000, 4096, false)
+	b.Movi(isa.S0, 0x1000)
+	b.Movi(isa.T0, 41)
+	b.Store(isa.T0, isa.S0, 0)
+	b.Load(isa.T1, isa.S0, 0)
+	b.Addi(isa.T1, isa.T1, 1)
+	b.Halt()
+	prog := b.MustBuild()
+
+	for _, cfg := range []core.Config{core.Baseline(), core.WFB(), core.WFC()} {
+		sim := core.New(cfg, prog)
+		sim.Run()
+		fmt.Println(sim.CPU().Reg(isa.T1))
+	}
+	// Output:
+	// 42
+	// 42
+	// 42
+}

@@ -1,0 +1,329 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (Section VI): the shadow-structure sizing study (Figures 6-9),
+// the performance comparison (Figures 11-16), the security matrices
+// (Tables III and IV) and the hardware overhead (Table V). It is shared by
+// cmd/safespec-bench and the repository's benchmark suite.
+package figures
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"safespec/internal/attacks"
+	"safespec/internal/core"
+	"safespec/internal/hwmodel"
+	"safespec/internal/stats"
+	"safespec/internal/workloads"
+)
+
+// SweepConfig bounds the per-benchmark runs.
+type SweepConfig struct {
+	// Instructions is the committed-instruction budget per run.
+	Instructions uint64
+	// MaxCycles is the safety cycle bound per run.
+	MaxCycles uint64
+	// Parallel runs benchmarks on multiple goroutines.
+	Parallel bool
+	// Benchmarks restricts the sweep (nil = all 21).
+	Benchmarks []string
+}
+
+// DefaultSweep returns the configuration used by cmd/safespec-bench.
+func DefaultSweep() SweepConfig {
+	return SweepConfig{Instructions: 120_000, MaxCycles: 30_000_000, Parallel: true}
+}
+
+// QuickSweep returns a reduced configuration for tests.
+func QuickSweep() SweepConfig {
+	return SweepConfig{Instructions: 15_000, MaxCycles: 5_000_000, Parallel: true}
+}
+
+// BenchResult holds one benchmark's results under the three modes.
+type BenchResult struct {
+	Name     string
+	Baseline *core.Results
+	WFC      *core.Results
+	WFB      *core.Results
+}
+
+// RunSweep executes every selected workload under baseline, WFC and WFB
+// with occupancy sampling enabled, returning results in figure order.
+func RunSweep(sc SweepConfig) ([]BenchResult, error) {
+	list := workloads.All()
+	if sc.Benchmarks != nil {
+		var filtered []workloads.Workload
+		for _, name := range sc.Benchmarks {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			filtered = append(filtered, w)
+		}
+		list = filtered
+	}
+	results := make([]BenchResult, len(list))
+	run := func(i int) {
+		w := list[i]
+		prog := w.Build()
+		mk := func(cfg core.Config) *core.Results {
+			cfg = cfg.WithLimits(sc.Instructions, sc.MaxCycles)
+			cfg.SampleOccupancy = true
+			return core.Run(cfg, prog)
+		}
+		results[i] = BenchResult{
+			Name:     w.Name,
+			Baseline: mk(core.Baseline()),
+			WFC:      mk(core.WFC()),
+			WFB:      mk(core.WFB()),
+		}
+	}
+	if sc.Parallel {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, 8)
+		for i := range list {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				run(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range list {
+			run(i)
+		}
+	}
+	return results, nil
+}
+
+// SizingRow is one benchmark's Figures 6-9 data point: the shadow-structure
+// occupancy covering 99.99% of sampled cycles, under WFC and WFB.
+type SizingRow struct {
+	Bench                string
+	ICacheWFC, ICacheWFB int
+	DCacheWFC, DCacheWFB int
+	ITLBWFC, ITLBWFB     int
+	DTLBWFC, DTLBWFB     int
+}
+
+// Sizing extracts the Figures 6-9 series from a sweep.
+func Sizing(results []BenchResult) []SizingRow {
+	const p = 0.9999
+	rows := make([]SizingRow, 0, len(results))
+	for _, r := range results {
+		row := SizingRow{Bench: r.Name}
+		if r.WFC.OccI != nil {
+			row.ICacheWFC = r.WFC.OccI.Percentile(p)
+			row.DCacheWFC = r.WFC.OccD.Percentile(p)
+			row.ITLBWFC = r.WFC.OccITLB.Percentile(p)
+			row.DTLBWFC = r.WFC.OccDTLB.Percentile(p)
+		}
+		if r.WFB.OccI != nil {
+			row.ICacheWFB = r.WFB.OccI.Percentile(p)
+			row.DCacheWFB = r.WFB.OccD.Percentile(p)
+			row.ITLBWFB = r.WFB.OccITLB.Percentile(p)
+			row.DTLBWFB = r.WFB.OccDTLB.Percentile(p)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PerfRow is one benchmark's Figures 11-16 data point.
+type PerfRow struct {
+	Bench string
+	// NormIPC is WFC IPC over baseline IPC (Figure 11).
+	NormIPC float64
+	// DMissWFC / DMissBase are the D-cache read miss rates (Figure 12).
+	DMissWFC, DMissBase float64
+	// DShadowHitShare is the shadow share of d-side hits (Figure 13).
+	DShadowHitShare float64
+	// IMissWFC / IMissBase are the I-cache miss rates (Figure 14).
+	IMissWFC, IMissBase float64
+	// IShadowHitShare is the shadow share of i-side hits (Figure 15).
+	IShadowHitShare float64
+	// CommitRateI / CommitRateD are the shadow commit rates (Figure 16).
+	CommitRateI, CommitRateD float64
+}
+
+// Performance extracts the Figures 11-16 series from a sweep.
+func Performance(results []BenchResult) []PerfRow {
+	rows := make([]PerfRow, 0, len(results))
+	for _, r := range results {
+		row := PerfRow{Bench: r.Name}
+		if r.Baseline.IPC() > 0 {
+			row.NormIPC = r.WFC.IPC() / r.Baseline.IPC()
+		}
+		row.DMissWFC = r.WFC.DReadMissRate()
+		row.DMissBase = r.Baseline.DReadMissRate()
+		row.DShadowHitShare = r.WFC.DShadowHitShare()
+		row.IMissWFC = r.WFC.IFetchMissRate()
+		row.IMissBase = r.Baseline.IFetchMissRate()
+		row.IShadowHitShare = r.WFC.IShadowHitShare()
+		row.CommitRateI = r.WFC.ShI.CommitRate()
+		row.CommitRateD = r.WFC.ShD.CommitRate()
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// GeoMeanNormIPC returns the Figure 11 headline number.
+func GeoMeanNormIPC(rows []PerfRow) float64 {
+	xs := make([]float64, 0, len(rows))
+	for _, r := range rows {
+		xs = append(xs, r.NormIPC)
+	}
+	return stats.GeoMean(xs)
+}
+
+// SecurityRow is one Table III/IV cell set.
+type SecurityRow struct {
+	Attack             string
+	Baseline, WFB, WFC bool // leaked?
+}
+
+// Security runs the attack matrix (Tables III and IV rows except the TSA).
+func Security() ([]SecurityRow, error) {
+	var rows []SecurityRow
+	for _, a := range attacks.All() {
+		row := SecurityRow{Attack: a.Name}
+		for _, m := range []struct {
+			cfg  core.Config
+			dest *bool
+		}{
+			{core.Baseline(), &row.Baseline},
+			{core.WFB(), &row.WFB},
+			{core.WFC(), &row.WFC},
+		} {
+			out, err := attacks.Execute(a, m.cfg)
+			if err != nil {
+				return nil, err
+			}
+			*m.dest = out.Leaked
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// TransientRow reports the TSA experiment (the Table IV "Transient" row
+// plus the Section V leak demonstration).
+type TransientRow struct {
+	// TinyLeaked is the undersized Replace-on-full shadow (leaks).
+	TinyLeaked bool
+	// SecureWFCLeaked / SecureWFBLeaked use worst-case sizing (closed).
+	SecureWFCLeaked, SecureWFBLeaked bool
+}
+
+// Transient runs the TSA under the vulnerable and Secure configurations.
+func Transient() (TransientRow, error) {
+	tsa := attacks.TSA{Secret: attacks.DefaultSecret}
+	var row TransientRow
+
+	tiny := core.WFC().WithShadowPolicy(attacks.TinyShadowPolicy())
+	out, err := tsa.Run(tiny)
+	if err != nil {
+		return row, err
+	}
+	row.TinyLeaked = out.Leaked
+
+	out, err = tsa.Run(core.WFC())
+	if err != nil {
+		return row, err
+	}
+	row.SecureWFCLeaked = out.Leaked
+
+	out, err = tsa.Run(core.WFB())
+	if err != nil {
+		return row, err
+	}
+	row.SecureWFBLeaked = out.Leaked
+	return row, nil
+}
+
+// TableVFromSizing derives the WFC row of Table V from measured 99.99%
+// sizing (the maxima across benchmarks), alongside the Secure row.
+func TableVFromSizing(rows []SizingRow) [2]hwmodel.Report {
+	wfc := hwmodel.ShadowSizes{DCache: 1, ICache: 1, DTLB: 1, ITLB: 1}
+	for _, r := range rows {
+		wfc.DCache = maxInt(wfc.DCache, r.DCacheWFC)
+		wfc.ICache = maxInt(wfc.ICache, r.ICacheWFC)
+		wfc.DTLB = maxInt(wfc.DTLB, r.DTLBWFC)
+		wfc.ITLB = maxInt(wfc.ITLB, r.ITLBWFC)
+	}
+	return hwmodel.TableV(hwmodel.Tech40nm(), hwmodel.SecureSizes(72, 224), wfc)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// --- formatting ---
+
+// FormatSizing renders the Figures 6-9 series as an aligned table.
+func FormatSizing(rows []SizingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %21s %21s %21s %21s\n", "bench",
+		"fig6 i$ (WFC/WFB)", "fig7 d$ (WFC/WFB)", "fig8 iTLB (WFC/WFB)", "fig9 dTLB (WFC/WFB)")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %10d/%-10d %10d/%-10d %10d/%-10d %10d/%-10d\n",
+			r.Bench, r.ICacheWFC, r.ICacheWFB, r.DCacheWFC, r.DCacheWFB,
+			r.ITLBWFC, r.ITLBWFB, r.DTLBWFC, r.DTLBWFB)
+	}
+	return sb.String()
+}
+
+// FormatPerformance renders the Figures 11-16 series.
+func FormatPerformance(rows []PerfRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-12s %8s %9s %9s %8s %9s %9s %8s %8s %8s\n", "bench",
+		"f11 ipc", "f12 dmiss", "(base)", "f13 dsh", "f14 imiss", "(base)", "f15 ish", "f16 ci", "f16 cd")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-12s %8.3f %9.4f %9.4f %8.3f %9.4f %9.4f %8.3f %8.3f %8.3f\n",
+			r.Bench, r.NormIPC, r.DMissWFC, r.DMissBase, r.DShadowHitShare,
+			r.IMissWFC, r.IMissBase, r.IShadowHitShare, r.CommitRateI, r.CommitRateD)
+	}
+	fmt.Fprintf(&sb, "%-12s %8.3f   (geometric mean of normalized IPC)\n", "geomean", GeoMeanNormIPC(rows))
+	return sb.String()
+}
+
+// FormatSecurity renders Tables III and IV. A check mark means the defense
+// STOPS the attack (matching the paper's notation).
+func FormatSecurity(rows []SecurityRow, tr TransientRow) string {
+	mark := func(leaked bool) string {
+		if leaked {
+			return "LEAKED"
+		}
+		return "stopped"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s %-9s %-9s %-9s\n", "attack", "baseline", "WFB", "WFC")
+	sorted := append([]SecurityRow(nil), rows...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Attack < sorted[j].Attack })
+	for _, r := range sorted {
+		fmt.Fprintf(&sb, "%-16s %-9s %-9s %-9s\n", r.Attack, mark(r.Baseline), mark(r.WFB), mark(r.WFC))
+	}
+	fmt.Fprintf(&sb, "%-16s %-9s %-9s %-9s   (tiny Replace shadow: %s)\n",
+		"transient (TSA)", "n/a", mark(tr.SecureWFBLeaked), mark(tr.SecureWFCLeaked), mark(tr.TinyLeaked))
+	return sb.String()
+}
+
+// FormatTableV renders Table V.
+func FormatTableV(rows [2]hwmodel.Report) string {
+	var sb strings.Builder
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s\n", r)
+		for _, s := range r.PerStructure {
+			fmt.Fprintf(&sb, "    %-14s entries=%-4d power=%7.2f mW  area=%6.3f mm²  access=%.2f ns\n",
+				s.Name, s.Entries, s.PowerMW, s.AreaMM2, s.AccessNS)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,154 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// sweepOnce caches one reduced sweep across the tests in this package.
+var sweepCache []BenchResult
+
+func sweep(t *testing.T) []BenchResult {
+	t.Helper()
+	if sweepCache != nil {
+		return sweepCache
+	}
+	sc := QuickSweep()
+	sc.Benchmarks = []string{"perlbench", "mcf", "lbm", "exchange2", "gcc", "pop2"}
+	res, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepCache = res
+	return res
+}
+
+func TestRunSweepUnknownBenchmark(t *testing.T) {
+	sc := QuickSweep()
+	sc.Benchmarks = []string{"not-a-benchmark"}
+	if _, err := RunSweep(sc); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+func TestSweepProducesAllModes(t *testing.T) {
+	for _, r := range sweep(t) {
+		if r.Baseline == nil || r.WFC == nil || r.WFB == nil {
+			t.Fatalf("%s: missing mode results", r.Name)
+		}
+		if r.Baseline.Committed == 0 {
+			t.Errorf("%s: baseline committed nothing", r.Name)
+		}
+	}
+}
+
+// TestSizingShapes checks the qualitative Figures 6-9 properties: WFC
+// occupancy >= WFB occupancy (state lives longer until commit than until
+// branch resolution), and all sizes within the worst-case bounds.
+func TestSizingShapes(t *testing.T) {
+	rows := Sizing(sweep(t))
+	if len(rows) == 0 {
+		t.Fatal("no sizing rows")
+	}
+	for _, r := range rows {
+		if r.DCacheWFC < r.DCacheWFB {
+			t.Errorf("%s: d-cache WFC %d < WFB %d", r.Bench, r.DCacheWFC, r.DCacheWFB)
+		}
+		if r.ICacheWFC < r.ICacheWFB {
+			t.Errorf("%s: i-cache WFC %d < WFB %d", r.Bench, r.ICacheWFC, r.ICacheWFB)
+		}
+		if r.DCacheWFC > 72 || r.DTLBWFC > 72 {
+			t.Errorf("%s: d-side occupancy exceeds the LSQ bound", r.Bench)
+		}
+		if r.ICacheWFC > 224 || r.ITLBWFC > 224 {
+			t.Errorf("%s: i-side occupancy exceeds the ROB bound", r.Bench)
+		}
+	}
+}
+
+// TestPerformanceShapes checks the qualitative Figures 11-16 properties.
+func TestPerformanceShapes(t *testing.T) {
+	rows := Performance(sweep(t))
+	gm := GeoMeanNormIPC(rows)
+	// Figure 11: SafeSpec IPC within a few percent of baseline.
+	if gm < 0.85 || gm > 1.15 {
+		t.Errorf("geomean normalized IPC = %.3f, expected near parity", gm)
+	}
+	for _, r := range rows {
+		// Figure 12: miss rates are rates.
+		for _, v := range []float64{r.DMissWFC, r.DMissBase, r.IMissWFC, r.IMissBase,
+			r.DShadowHitShare, r.IShadowHitShare, r.CommitRateI, r.CommitRateD} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: rate out of [0,1]: %+v", r.Bench, r)
+				break
+			}
+		}
+		if r.NormIPC <= 0 {
+			t.Errorf("%s: non-positive normalized IPC", r.Bench)
+		}
+	}
+}
+
+func TestTableVFromSizing(t *testing.T) {
+	rows := TableVFromSizing(Sizing(sweep(t)))
+	if rows[0].AreaMM2 <= rows[1].AreaMM2 {
+		t.Error("Secure sizing must cost more area than measured WFC sizing")
+	}
+	if rows[0].PowerMW <= rows[1].PowerMW {
+		t.Error("Secure sizing must cost more power")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	res := sweep(t)
+	siz := FormatSizing(Sizing(res))
+	if !strings.Contains(siz, "mcf") || !strings.Contains(siz, "fig6") {
+		t.Error("sizing table malformed")
+	}
+	perf := FormatPerformance(Performance(res))
+	if !strings.Contains(perf, "geomean") {
+		t.Error("performance table missing geomean")
+	}
+	tv := FormatTableV(TableVFromSizing(Sizing(res)))
+	if !strings.Contains(tv, "Secure") || !strings.Contains(tv, "shadow-dcache") {
+		t.Error("Table V output malformed")
+	}
+}
+
+// TestSecurityMatrix runs the full attack matrix through the figures API
+// and checks it against the paper's Tables III and IV.
+func TestSecurityMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("attack matrix in -short mode")
+	}
+	rows, err := Security()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !r.Baseline {
+			t.Errorf("%s: did not leak on the baseline", r.Attack)
+		}
+		if r.WFC {
+			t.Errorf("%s: leaked under WFC", r.Attack)
+		}
+		wantWFB := r.Attack == "meltdown" // only Meltdown defeats WFB
+		if r.WFB != wantWFB {
+			t.Errorf("%s: WFB leaked=%v, want %v", r.Attack, r.WFB, wantWFB)
+		}
+	}
+	tr, err := Transient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.TinyLeaked {
+		t.Error("TSA must leak through an undersized Replace shadow")
+	}
+	if tr.SecureWFCLeaked || tr.SecureWFBLeaked {
+		t.Error("TSA must be closed by Secure sizing")
+	}
+	out := FormatSecurity(rows, tr)
+	if !strings.Contains(out, "meltdown") || !strings.Contains(out, "transient") {
+		t.Error("security table malformed")
+	}
+}

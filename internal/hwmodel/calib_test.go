@@ -1,0 +1,11 @@
+package hwmodel
+
+import "testing"
+
+func TestCalib(t *testing.T) {
+	tech := Tech40nm()
+	rows := TableV(tech, SecureSizes(72, 224), PaperWFCSizes())
+	for _, r := range rows {
+		t.Logf("%s", r)
+	}
+}

@@ -1,0 +1,112 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestTableVCalibration pins the model to the paper's published Table V
+// within tolerance: Secure 290.27 mW / 26.4% / 9.79 mm² / 17%;
+// WFC 35.14 mW / 3% / 1.17 mm² / 2%.
+func TestTableVCalibration(t *testing.T) {
+	rows := TableV(Tech40nm(), SecureSizes(72, 224), PaperWFCSizes())
+	secure, wfc := rows[0], rows[1]
+
+	within := func(got, want, tol float64) bool {
+		return math.Abs(got-want) <= tol*want
+	}
+	if !within(secure.PowerMW, 290.27, 0.05) {
+		t.Errorf("Secure power = %.2f, want ≈290.27", secure.PowerMW)
+	}
+	if !within(secure.AreaMM2, 9.79, 0.05) {
+		t.Errorf("Secure area = %.2f, want ≈9.79", secure.AreaMM2)
+	}
+	if !within(secure.PowerPct, 26.4, 0.07) {
+		t.Errorf("Secure power%% = %.1f, want ≈26.4", secure.PowerPct)
+	}
+	if !within(secure.AreaPct, 17, 0.07) {
+		t.Errorf("Secure area%% = %.1f, want ≈17", secure.AreaPct)
+	}
+	if !within(wfc.PowerMW, 35.14, 0.10) {
+		t.Errorf("WFC power = %.2f, want ≈35.14", wfc.PowerMW)
+	}
+	if !within(wfc.AreaMM2, 1.17, 0.10) {
+		t.Errorf("WFC area = %.2f, want ≈1.17", wfc.AreaMM2)
+	}
+}
+
+func TestSecureMuchCostlierThanWFC(t *testing.T) {
+	rows := TableV(Tech40nm(), SecureSizes(72, 224), PaperWFCSizes())
+	if rows[0].AreaMM2 < 5*rows[1].AreaMM2 {
+		t.Errorf("Secure/WFC area ratio too small: %.2f / %.2f", rows[0].AreaMM2, rows[1].AreaMM2)
+	}
+	if rows[0].PowerMW < 5*rows[1].PowerMW {
+		t.Errorf("Secure/WFC power ratio too small: %.2f / %.2f", rows[0].PowerMW, rows[1].PowerMW)
+	}
+}
+
+func TestSecureSizes(t *testing.T) {
+	z := SecureSizes(72, 224)
+	if z.DCache != 72 || z.DTLB != 72 || z.ICache != 224 || z.ITLB != 224 {
+		t.Errorf("SecureSizes = %+v", z)
+	}
+}
+
+func TestSpecsCoverAllStructures(t *testing.T) {
+	specs := ShadowSizes{DCache: 1, ICache: 2, DTLB: 3, ITLB: 4}.Specs()
+	if len(specs) != 4 {
+		t.Fatalf("%d specs", len(specs))
+	}
+	names := map[string]int{}
+	for _, s := range specs {
+		names[s.Name] = s.Entries
+		if s.Bits() != s.Entries*(s.TagBits+s.PayloadBits) {
+			t.Errorf("%s: Bits() inconsistent", s.Name)
+		}
+	}
+	if names["shadow-dcache"] != 1 || names["shadow-itlb"] != 4 {
+		t.Errorf("spec mapping wrong: %v", names)
+	}
+}
+
+func TestEvaluateBreakdownSums(t *testing.T) {
+	r := Evaluate(Tech40nm(), "x", SecureSizes(72, 224))
+	var power, area float64
+	for _, s := range r.PerStructure {
+		power += s.PowerMW
+		area += s.AreaMM2
+	}
+	if math.Abs(power-r.PowerMW) > 1e-9 || math.Abs(area-r.AreaMM2) > 1e-9 {
+		t.Error("per-structure breakdown does not sum to totals")
+	}
+	if r.String() == "" {
+		t.Error("empty report string")
+	}
+}
+
+// Property: area, power and access time are monotonically non-decreasing
+// in entry count.
+func TestMonotoneInEntriesProperty(t *testing.T) {
+	tech := Tech40nm()
+	f := func(a, b uint8) bool {
+		ea, eb := int(a)+1, int(b)+1
+		if ea > eb {
+			ea, eb = eb, ea
+		}
+		sa := StructureSpec{Name: "x", Entries: ea, TagBits: 40, PayloadBits: 512}
+		sb := StructureSpec{Name: "x", Entries: eb, TagBits: 40, PayloadBits: 512}
+		return tech.AreaMM2(sa) <= tech.AreaMM2(sb) &&
+			tech.PowerMW(sa) <= tech.PowerMW(sb) &&
+			tech.AccessNS(sa) <= tech.AccessNS(sb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccessTimeZeroEntries(t *testing.T) {
+	if Tech40nm().AccessNS(StructureSpec{Entries: 0}) != 0 {
+		t.Error("zero-entry access time should be 0")
+	}
+}

@@ -1,0 +1,180 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{
+		Zero: "zero", RA: "ra", SP: "sp", T0: "t0", T6: "t6",
+		A0: "a0", A7: "a7", S0: "s0", S11: "s11", Reg(3): "x3",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpClflush.String() != "clflush" {
+		t.Errorf("unexpected op names: %s %s", OpAdd, OpClflush)
+	}
+	if got := Op(250).String(); got != "op(250)" {
+		t.Errorf("out-of-range op name = %q", got)
+	}
+}
+
+func TestEveryOpHasNameAndClass(t *testing.T) {
+	for op := Op(0); int(op) < NumOps; op++ {
+		if op.String() == "" {
+			t.Errorf("op %d has no name", op)
+		}
+		// Classification must be stable and within the declared set.
+		c := ClassOf(op)
+		if c > ClassHalt {
+			t.Errorf("op %s has out-of-range class %d", op, c)
+		}
+		if Latency(op) < 1 {
+			t.Errorf("op %s has non-positive latency", op)
+		}
+	}
+}
+
+func TestBranchClassification(t *testing.T) {
+	branchLike := []Op{OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJmp, OpJmpi, OpCall, OpCalli, OpRet}
+	for _, op := range branchLike {
+		if !IsBranchLike(op) {
+			t.Errorf("%s should be branch-like", op)
+		}
+	}
+	predicted := []Op{OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJmpi, OpCalli, OpRet}
+	for _, op := range predicted {
+		if !IsPredicted(op) {
+			t.Errorf("%s should be predicted", op)
+		}
+	}
+	// Direct jumps and calls have static targets: never predicted.
+	for _, op := range []Op{OpJmp, OpCall} {
+		if IsPredicted(op) {
+			t.Errorf("%s must not be predicted", op)
+		}
+	}
+	for _, op := range []Op{OpAdd, OpLoad, OpStore, OpNop, OpHalt} {
+		if IsBranchLike(op) || IsPredicted(op) {
+			t.Errorf("%s must not be branch-like", op)
+		}
+	}
+}
+
+func TestHasDest(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want bool
+	}{
+		{Instr{Op: OpAdd, Rd: T0}, true},
+		{Instr{Op: OpAdd, Rd: Zero}, false}, // writes to x0 are discarded
+		{Instr{Op: OpLoad, Rd: T1}, true},
+		{Instr{Op: OpStore, Rs2: T1}, false},
+		{Instr{Op: OpBeq}, false},
+		{Instr{Op: OpCall, Rd: RA}, true},
+		{Instr{Op: OpCalli, Rd: RA}, true},
+		{Instr{Op: OpJmp}, false},
+		{Instr{Op: OpRdCycle, Rd: T2}, true},
+		{Instr{Op: OpClflush}, false},
+		{Instr{Op: OpMovi, Rd: S0}, true},
+	}
+	for _, c := range cases {
+		if got := c.in.HasDest(); got != c.want {
+			t.Errorf("HasDest(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSrcRegs(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want []Reg
+	}{
+		{Instr{Op: OpAdd, Rs1: T0, Rs2: T1}, []Reg{T0, T1}},
+		{Instr{Op: OpAddi, Rs1: T0}, []Reg{T0}},
+		{Instr{Op: OpMovi}, nil},
+		{Instr{Op: OpLoad, Rs1: S0}, []Reg{S0}},
+		{Instr{Op: OpStore, Rs1: S0, Rs2: S1}, []Reg{S0, S1}},
+		{Instr{Op: OpBeq, Rs1: T0, Rs2: T1}, []Reg{T0, T1}},
+		{Instr{Op: OpRet}, []Reg{RA}},
+		{Instr{Op: OpJmpi, Rs1: T3}, []Reg{T3}},
+		{Instr{Op: OpClflush, Rs1: T4}, []Reg{T4}},
+		{Instr{Op: OpAdd, Rs1: Zero, Rs2: Zero}, nil}, // zero never reported
+	}
+	for _, c := range cases {
+		got := c.in.SrcRegs(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("SrcRegs(%v) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SrcRegs(%v) = %v, want %v", c.in, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+func TestPCByteRoundTrip(t *testing.T) {
+	f := func(pc uint16) bool {
+		return ByteToPC(PCByte(int(pc))) == int(pc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPCByteAboveCodeBase(t *testing.T) {
+	if PCByte(0) != CodeBase {
+		t.Errorf("PCByte(0) = %#x, want CodeBase %#x", PCByte(0), CodeBase)
+	}
+	if PCByte(100) != CodeBase+400 {
+		t.Errorf("PCByte(100) = %#x", PCByte(100))
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpAdd, Rd: T0, Rs1: T1, Rs2: T2}, "add t0, t1, t2"},
+		{Instr{Op: OpMovi, Rd: S0, Imm: 42}, "movi s0, 42"},
+		{Instr{Op: OpAddi, Rd: T0, Rs1: T0, Imm: -1}, "addi t0, t0, -1"},
+		{Instr{Op: OpLoad, Rd: T1, Rs1: S0, Imm: 8}, "load t1, 8(s0)"},
+		{Instr{Op: OpStore, Rs1: S0, Rs2: T1, Imm: 16}, "store t1, 16(s0)"},
+		{Instr{Op: OpBeq, Rs1: T0, Rs2: T1, Target: 7}, "beq t0, t1, @7"},
+		{Instr{Op: OpJmp, Target: 3}, "jmp @3"},
+		{Instr{Op: OpRet}, "ret"},
+		{Instr{Op: OpRdCycle, Rd: T4}, "rdcycle t4"},
+		{Instr{Op: OpHalt}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(OpAdd) != 1 {
+		t.Errorf("add latency = %d", Latency(OpAdd))
+	}
+	if Latency(OpMul) <= Latency(OpAdd) {
+		t.Error("mul should be slower than add")
+	}
+	if Latency(OpDiv) <= Latency(OpMul) {
+		t.Error("div should be slower than mul")
+	}
+	if Latency(OpFDiv) <= Latency(OpFMul) {
+		t.Error("fdiv should be slower than fmul")
+	}
+}

@@ -1,0 +1,150 @@
+package pipeline
+
+import (
+	"safespec/internal/isa"
+	"safespec/internal/mem"
+	"safespec/internal/shadow"
+)
+
+// shadowZero is the invalid shadow handle.
+var shadowZero shadow.Handle
+
+// commit retires up to CommitWidth finished instructions from the ROB head,
+// in order. Faults are raised here (precise exceptions): the faulting
+// instruction's effects — including its shadow state, under WFC — are
+// annulled, everything younger is squashed, and the front end vectors to
+// the trap handler.
+func (c *CPU) commit() {
+	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
+		idx := c.head
+		e := &c.rob[idx]
+		if e.state != stDone {
+			return
+		}
+		c.active = true
+
+		if e.fault != mem.FaultNone {
+			c.tracef("TRAP    %s fault=%v", traceEntry(e), e.fault)
+			c.trap(e)
+			return
+		}
+		c.tracef("commit  %s val=%d", traceEntry(e), e.val)
+
+		// Apply architectural effects.
+		if e.in.HasDest() {
+			c.regs[e.in.Rd] = e.val
+			if ref := c.renm[e.in.Rd]; ref.has && ref.idx == idx && ref.seq == e.seq {
+				c.renm[e.in.Rd] = renameRef{}
+			}
+		}
+		switch isa.ClassOf(e.in.Op) {
+		case isa.ClassStore:
+			// TSO: the memory write and the cache update happen here, at
+			// commit, so stores never expose speculative state (paper
+			// Section IV-B).
+			if err := c.ms.Mem.WritePhys(e.pa, e.sdata); err != nil {
+				// Unmapped stores fault instead (checked at execute), so a
+				// physical write failure is a simulator bug.
+				panic("pipeline: committed store to unmapped frame")
+			}
+			c.ms.Hier.FillData(e.pa)
+			c.St.CommittedStores++
+		case isa.ClassLoad:
+			c.St.CommittedLoads++
+		case isa.ClassFlush:
+			// clflush takes effect at commit so that squashed flushes leave
+			// no trace. It also purges the shadow caches: a flushed line
+			// must not be observable anywhere.
+			c.ms.FlushLine(e.va)
+		case isa.ClassFence:
+			c.fenceActive--
+		case isa.ClassHalt:
+			c.halted = true
+		}
+
+		// SafeSpec state motion: WFC moves at commit; under WFB anything
+		// already moved at issue/resolution leaves nothing behind and this
+		// call is a no-op (moveShadow is idempotent).
+		if c.cfg.Mode.SafeSpec() {
+			c.moveShadow(e)
+		}
+
+		if e.isLoad {
+			c.ldqCount--
+		}
+		if e.isStore {
+			c.stqCount--
+		}
+		if e.tagBit != 0 {
+			// A correctly-resolved branch already released its tag in
+			// clearTag; reaching commit with a live tag means the branch
+			// resolved this cycle — clear defensively.
+			c.activeTags &^= e.tagBit
+			e.tagBit = 0
+		}
+
+		c.head = (c.head + 1) % len(c.rob)
+		c.count--
+		c.St.Committed++
+
+		if c.halted {
+			return
+		}
+	}
+}
+
+// trap raises the fault carried by e: e and everything younger are
+// squashed (annulling their shadow state — this is what stops Meltdown
+// under WFC), and the front end vectors to the program's trap handler.
+func (c *CPU) trap(e *entry) {
+	c.St.Faults++
+	handler := c.prog.TrapHandler
+
+	// Squash the whole window including the faulting instruction itself.
+	c.squashAll()
+	c.St.Squashed-- // the faulting instruction counts as a fault, not a squash
+
+	if handler < 0 {
+		c.halted = true
+		return
+	}
+	c.St.Traps++
+	c.fenceActive = 0
+	c.flushFetch(handler)
+}
+
+// moveShadow transfers e's shadow state to the committed structures: cache
+// lines to the cache hierarchy, translations to the TLBs (the "update
+// committed state" arrow of Figure 3). Shared entries are force-freed: once
+// the state is committed, remaining speculative references would hit the
+// committed structures anyway.
+func (c *CPU) moveShadow(e *entry) {
+	ms := c.ms
+	if !c.cfg.Mode.SafeSpec() {
+		return
+	}
+	for _, h := range e.dHandles {
+		if ms.ShD.StillValid(h) {
+			line := ms.ShD.ForceFree(h, true)
+			ms.Hier.FillData(line)
+		}
+	}
+	e.dHandles = nil
+	if e.dtlbHandle.Valid() && ms.ShDTLB.StillValid(e.dtlbHandle) {
+		pl := ms.ShDTLB.PayloadOf(e.dtlbHandle)
+		vpage := ms.ShDTLB.ForceFree(e.dtlbHandle, true)
+		ms.DTLB.Fill(vpage, pl.Frame, mem.Perm(pl.Perm))
+	}
+	e.dtlbHandle = shadowZero
+	if e.iHandle.Valid() && ms.ShI.StillValid(e.iHandle) {
+		line := ms.ShI.ForceFree(e.iHandle, true)
+		ms.Hier.FillInstr(line)
+	}
+	e.iHandle = shadowZero
+	if e.itlbHandle.Valid() && ms.ShITLB.StillValid(e.itlbHandle) {
+		pl := ms.ShITLB.PayloadOf(e.itlbHandle)
+		vpage := ms.ShITLB.ForceFree(e.itlbHandle, true)
+		ms.ITLB.Fill(vpage, pl.Frame, mem.Perm(pl.Perm))
+	}
+	e.itlbHandle = shadowZero
+}

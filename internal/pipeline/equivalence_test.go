@@ -1,0 +1,177 @@
+package pipeline_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"safespec/internal/asm"
+	"safespec/internal/core"
+	"safespec/internal/isa"
+	"safespec/internal/shadow"
+)
+
+// TestModeEquivalenceProperty is the central correctness property of
+// SafeSpec: the protection mode must never change architectural results.
+// Random (but terminating) programs are generated and executed under
+// baseline, WFB and WFC; final register files and memory must agree.
+func TestModeEquivalenceProperty(t *testing.T) {
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		seed := int64(trial)*7919 + 1
+		prog := randomProgram(seed)
+		var regs [3][isa.RegCount]int64
+		var mems [3][]int64
+		for mi, mode := range []core.Mode{core.ModeBaseline, core.ModeWFB, core.ModeWFC} {
+			sim := core.New(core.DefaultConfig(mode), prog)
+			sim.Run()
+			if !sim.CPU().Halted() {
+				t.Fatalf("seed %d %v: did not halt", seed, mode)
+			}
+			for r := 0; r < isa.RegCount; r++ {
+				regs[mi][r] = sim.CPU().Reg(isa.Reg(r))
+			}
+			for a := uint64(0); a < 64; a++ {
+				v, _ := sim.CPU().Mem().Read(randDataBase+a*8, true)
+				mems[mi] = append(mems[mi], v)
+			}
+		}
+		for mi := 1; mi < 3; mi++ {
+			if regs[mi] != regs[0] {
+				t.Errorf("seed %d: register state diverges between baseline and mode %d\n base=%v\n mode=%v",
+					seed, mi, regs[0], regs[mi])
+			}
+			for a := range mems[0] {
+				if mems[mi][a] != mems[0][a] {
+					t.Errorf("seed %d: memory[%d] diverges: %d vs %d", seed, a, mems[0][a], mems[mi][a])
+				}
+			}
+		}
+	}
+}
+
+// TestModeEquivalenceUnderTinyConfig repeats the equivalence property on a
+// cramped core (tiny ROB/IQ/LSQ, few branch tags, tiny Drop-policy shadow
+// structures): every structural stall path must preserve architectural
+// results across modes.
+func TestModeEquivalenceUnderTinyConfig(t *testing.T) {
+	mk := func(mode core.Mode) core.Config {
+		cfg := core.DefaultConfig(mode)
+		cfg.Pipeline.ROBSize = 12
+		cfg.Pipeline.IQSize = 6
+		cfg.Pipeline.LDQSize = 3
+		cfg.Pipeline.STQSize = 3
+		cfg.Pipeline.MaxBranchTags = 3
+		cfg.Pipeline.ShadowD = shadow.Policy{Name: "shadow-dcache", Entries: 2, WhenFull: shadow.Drop}
+		cfg.Pipeline.ShadowI = shadow.Policy{Name: "shadow-icache", Entries: 4, WhenFull: shadow.Drop}
+		cfg.Pipeline.ShadowDTLB = shadow.Policy{Name: "shadow-dtlb", Entries: 2, WhenFull: shadow.Drop}
+		cfg.Pipeline.ShadowITLB = shadow.Policy{Name: "shadow-itlb", Entries: 2, WhenFull: shadow.Drop}
+		cfg.Pipeline = cfg.Pipeline.Normalize()
+		return cfg
+	}
+	for trial := 0; trial < 15; trial++ {
+		seed := int64(trial)*104729 + 17
+		prog := randomProgram(seed)
+		var regs [3][isa.RegCount]int64
+		for mi, mode := range []core.Mode{core.ModeBaseline, core.ModeWFB, core.ModeWFC} {
+			sim := core.New(mk(mode), prog)
+			sim.Run()
+			if !sim.CPU().Halted() {
+				t.Fatalf("seed %d %v: did not halt under tiny config", seed, mode)
+			}
+			for r := 0; r < isa.RegCount; r++ {
+				regs[mi][r] = sim.CPU().Reg(isa.Reg(r))
+			}
+		}
+		for mi := 1; mi < 3; mi++ {
+			if regs[mi] != regs[0] {
+				t.Errorf("seed %d: tiny-config register state diverges for mode %d", seed, mi)
+			}
+		}
+	}
+}
+
+const randDataBase = 0x1_0000
+
+// randomProgram generates a terminating program mixing ALU work, loads and
+// stores over a small region, data-dependent branches, bounded loops,
+// calls, flushes and fences.
+func randomProgram(seed int64) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := asm.NewBuilder()
+	b.Region(randDataBase, 64*8+4096, false)
+	for i := 0; i < 16; i++ {
+		b.Data(randDataBase+uint64(i)*8, rng.Int63n(1000))
+	}
+
+	regs := []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.S0, isa.S1, isa.S2, isa.S3}
+	pick := func() isa.Reg { return regs[rng.Intn(len(regs))] }
+
+	// Seed registers.
+	for _, r := range regs {
+		b.Movi(r, rng.Int63n(512))
+	}
+	b.Movi(isa.S10, randDataBase) // base pointer, untouched
+	b.Movi(isa.S11, 0)            // loop counter register
+
+	loops := 1 + rng.Intn(3)
+	for l := 0; l < loops; l++ {
+		label := "loop" + string(rune('A'+l))
+		iters := int64(4 + rng.Intn(30))
+		b.Movi(isa.S11, 0)
+		b.Label(label)
+		// Loop body: random straight-line ops.
+		nOps := 3 + rng.Intn(10)
+		for i := 0; i < nOps; i++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				ops := []func(rd, r1, r2 isa.Reg){b.Add, b.Sub, b.Mul, b.And, b.Or, b.Xor}
+				ops[rng.Intn(len(ops))](pick(), pick(), pick())
+			case 3:
+				b.Addi(pick(), pick(), rng.Int63n(64))
+			case 4:
+				b.Div(pick(), pick(), pick())
+			case 5:
+				// Bounded random load: index masked into the region.
+				r := pick()
+				b.Andi(r, r, 0x1f8)
+				b.Add(isa.T6, isa.S10, r)
+				b.Load(pick(), isa.T6, 0)
+			case 6:
+				// Bounded random store.
+				r := pick()
+				b.Andi(r, r, 0x1f8)
+				b.Add(isa.T6, isa.S10, r)
+				b.Store(pick(), isa.T6, 0)
+			case 7:
+				// Data-dependent short diamond.
+				r := pick()
+				skip := label + "s" + string(rune('0'+i))
+				b.Andi(isa.T5, r, 3)
+				b.Beq(isa.T5, isa.Zero, skip)
+				b.Addi(pick(), pick(), 1)
+				b.Label(skip)
+			case 8:
+				b.Clflush(isa.S10, int64(rng.Intn(8))*64)
+			case 9:
+				if rng.Intn(3) == 0 {
+					b.Fence()
+				} else {
+					b.FMul(pick(), pick(), pick())
+				}
+			}
+		}
+		b.Addi(isa.S11, isa.S11, 1)
+		b.Slti(isa.T6, isa.S11, iters)
+		b.Bne(isa.T6, isa.Zero, label)
+	}
+
+	// A call/ret pair.
+	b.Call("leaf")
+	b.Jmp("end")
+	b.Label("leaf")
+	b.Addi(isa.S4, isa.S4, 9)
+	b.Ret()
+	b.Label("end")
+	b.Halt()
+	return b.MustBuild()
+}

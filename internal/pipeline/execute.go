@@ -1,0 +1,445 @@
+package pipeline
+
+import (
+	"safespec/internal/isa"
+	"safespec/internal/mem"
+)
+
+// execute runs the issue and writeback logic for one cycle: finished
+// instructions write back (resolving branches, possibly squashing), and
+// waiting instructions with ready operands issue subject to the issue width
+// and port limits.
+func (c *CPU) execute() {
+	issued, loads, stores := 0, 0, 0
+	for i := 0; i < c.count; i++ {
+		idx := c.slot(i)
+		e := &c.rob[idx]
+		switch e.state {
+		case stExec:
+			if e.completeAt <= c.cycle {
+				c.active = true
+				if squashed := c.writeback(idx, e); squashed {
+					return // younger entries are gone; resume next cycle
+				}
+			}
+		case stWait:
+			if issued >= c.cfg.IssueWidth {
+				continue
+			}
+			if e.isLoad && loads >= 2 {
+				continue
+			}
+			if e.isStore && stores >= 1 {
+				continue
+			}
+			if !c.tryIssue(idx, e) {
+				continue
+			}
+			c.active = true
+			issued++
+			if e.isLoad {
+				loads++
+			}
+			if e.isStore {
+				stores++
+			}
+		}
+	}
+}
+
+// tryIssue attempts to begin execution of e. It returns false if operands
+// are not ready, a structural condition blocks, or the memory system asked
+// for a retry (shadow Block policy, unresolved older store address).
+func (c *CPU) tryIssue(idx int, e *entry) bool {
+	v1, ok1 := c.resolveSrc(e.reg1, e.src1)
+	v2, ok2 := c.resolveSrc(e.reg2, e.src2)
+	if !ok1 || !ok2 {
+		return false
+	}
+	op := e.in.Op
+	lat := uint64(isa.Latency(op))
+
+	switch isa.ClassOf(op) {
+	case isa.ClassNop, isa.ClassFence, isa.ClassHalt:
+		// Nothing to compute.
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv, isa.ClassFP:
+		e.val = evalALU(op, v1, v2, e.in.Imm)
+	case isa.ClassCSR:
+		// rdcycle is serializing: it issues only from the ROB head, after
+		// everything older has committed, so it observes a stable time.
+		if idx != c.head {
+			return false
+		}
+		e.val = int64(c.cycle)
+	case isa.ClassLoad:
+		return c.issueLoad(idx, e, v1)
+	case isa.ClassStore:
+		return c.issueStore(idx, e, v1, v2)
+	case isa.ClassBranch:
+		e.actualTaken = evalBranch(op, v1, v2)
+		if e.actualTaken {
+			e.actualTarget = e.in.Target
+		} else {
+			e.actualTarget = e.pc + 1
+		}
+	case isa.ClassJump:
+		e.actualTaken = true
+		e.actualTarget = e.in.Target
+		if op == isa.OpCall {
+			e.val = int64(e.pc + 1)
+		}
+	case isa.ClassJumpInd:
+		e.actualTaken = true
+		e.actualTarget = int(v1 + e.in.Imm)
+		if op == isa.OpCalli {
+			e.val = int64(e.pc + 1)
+		}
+	case isa.ClassRet:
+		e.actualTaken = true
+		e.actualTarget = int(v1)
+	case isa.ClassFlush:
+		// Effective address computed now; the flush itself is performed at
+		// commit so that squashed flushes leave no trace.
+		e.va = uint64(v1 + e.in.Imm)
+	}
+
+	e.state = stExec
+	e.completeAt = c.cycle + lat
+	c.iqCount--
+	c.tracef("issue   %s", traceEntry(e))
+	c.wfbMoveIfSafe(e)
+	return true
+}
+
+// issueLoad performs the memory access for a load: store-to-load forwarding
+// against older stores, else a full dTLB + D-cache access.
+func (c *CPU) issueLoad(idx int, e *entry, v1 int64) bool {
+	va := uint64(v1 + e.in.Imm)
+	e.va = va
+
+	// Scan older stores, youngest-first. An older store with an unresolved
+	// address blocks the load (no memory-dependence speculation).
+	myOrd := c.ordinal(idx)
+	for i := myOrd - 1; i >= 0; i-- {
+		s := &c.rob[c.slot(i)]
+		if !s.isStore {
+			continue
+		}
+		if !s.addrReady {
+			return false
+		}
+		if s.va>>3 == va>>3 {
+			if s.fault != mem.FaultNone {
+				// Forwarding from a faulting store: the load will be
+				// squashed by the store's trap anyway; treat as stall.
+				return false
+			}
+			e.val = s.sdata
+			e.state = stExec
+			e.completeAt = c.cycle + uint64(c.cfg.StoreForwardLatency)
+			c.iqCount--
+			c.St.StoreForwards++
+			return true
+		}
+	}
+
+	res := c.ms.LoadAccess(va, e.seq, e.mask)
+	if res.blocked {
+		return false
+	}
+	c.St.DReads++
+	switch {
+	case res.shadowHit:
+		c.St.DReadShadowHits++
+	case res.l1Hit:
+		c.St.DReadL1Hits++
+	default:
+		c.St.DReadMisses++
+	}
+	e.val = res.value
+	e.pa = res.pa
+	e.fault = res.fault
+	e.dHandles = append(e.dHandles, res.dHandles...) // keep fetch-attributed PTE handles
+	e.dtlbHandle = res.dtlbHandle
+	e.state = stExec
+	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op)) + uint64(res.latency)
+	c.iqCount--
+	c.tracef("issue   %s va=%#x lat=%d fault=%v", traceEntry(e), va, res.latency, res.fault)
+	c.wfbMoveIfSafe(e)
+	return true
+}
+
+// issueStore resolves a store's address and captures its data. The write
+// itself happens at commit (TSO).
+func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) bool {
+	va := uint64(v1 + e.in.Imm)
+	res := c.ms.StoreAccess(va, e.seq, e.mask)
+	if res.blocked {
+		return false
+	}
+	e.va = va
+	e.pa = res.pa
+	e.fault = res.fault
+	e.sdata = v2
+	e.addrReady = true
+	e.dHandles = append(e.dHandles, res.dHandles...)
+	e.dtlbHandle = res.dtlbHandle
+	e.state = stExec
+	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op))
+	c.iqCount--
+	c.wfbMoveIfSafe(e)
+	return true
+}
+
+// writeback finishes e: marks it done and resolves control flow. It
+// reports whether a squash occurred.
+func (c *CPU) writeback(idx int, e *entry) bool {
+	e.state = stDone
+	if isa.IsBranchLike(e.in.Op) {
+		if squashed := c.resolveBranch(idx, e); squashed {
+			return true
+		}
+	}
+	return false
+}
+
+// wfbMoveIfSafe applies the wait-for-branch rule: an instruction whose
+// older control-flow predictions have all resolved is no longer considered
+// speculative, so its shadow state moves to the committed structures
+// immediately — even if the instruction itself may later fault. This is
+// exactly why WFB does not stop Meltdown (paper Table III): the faulting
+// load's side effects have no branch to wait for.
+func (c *CPU) wfbMoveIfSafe(e *entry) {
+	if c.cfg.Mode == ModeWFB && e.mask == 0 {
+		c.moveShadow(e)
+	}
+}
+
+// resolveBranch checks the prediction for a resolved control transfer,
+// trains the predictor, clears the branch tag, and squashes on mispredict.
+// It reports whether a squash occurred.
+func (c *CPU) resolveBranch(idx int, e *entry) bool {
+	op := e.in.Op
+	correct := true
+	if isa.IsPredicted(op) {
+		correct = e.predTaken == e.actualTaken && (!e.actualTaken || e.predTarget == e.actualTarget)
+		// For not-taken conditional branches the fall-through target always
+		// matches; for taken paths compare targets.
+		if isa.ClassOf(op) == isa.ClassBranch && e.predTaken == e.actualTaken && !e.actualTaken {
+			correct = true
+		}
+		switch isa.ClassOf(op) {
+		case isa.ClassBranch:
+			c.bp.UpdateCond(e.pc, e.histSnap, e.actualTaken, correct)
+		case isa.ClassJumpInd:
+			c.bp.UpdateIndirect(e.pc, e.actualTarget, correct)
+		case isa.ClassRet:
+			c.bp.UpdateReturn(correct)
+		}
+	}
+
+	if correct {
+		c.clearTag(e)
+		return false
+	}
+
+	// Mispredict: squash everything younger, restore predictor state, and
+	// redirect the front end to the actual target.
+	c.tracef("MISPRED %s predicted=%d actual=%d", traceEntry(e), e.predTarget, e.actualTarget)
+	c.St.Mispredicts++
+	c.squashYounger(idx)
+	c.bp.RestoreHistory(e.histSnap)
+	c.bp.RestoreRAS(e.rasTop, e.rasSnap)
+	switch isa.ClassOf(op) {
+	case isa.ClassBranch:
+		c.bp.SpeculateHistory(e.actualTaken)
+	case isa.ClassJumpInd:
+		if op == isa.OpCalli {
+			c.bp.PushReturn(e.pc + 1)
+		}
+	case isa.ClassRet:
+		// Re-pop the (restored) RAS to consume the return.
+		c.bp.PredictReturn()
+	}
+	c.clearTag(e)
+	c.flushFetch(e.actualTarget)
+	return true
+}
+
+// clearTag releases e's branch tag and clears the bit from all younger
+// entries' masks, applying the WFB motion rule to entries that become safe.
+func (c *CPU) clearTag(e *entry) {
+	bit := e.tagBit
+	if bit == 0 {
+		return
+	}
+	e.tagBit = 0
+	c.activeTags &^= bit
+	for i := 0; i < c.count; i++ {
+		ent := &c.rob[c.slot(i)]
+		if ent.mask&bit == 0 {
+			continue
+		}
+		ent.mask &^= bit
+		// WFB: entries freed of their last branch dependency become safe;
+		// whatever shadow state they have accumulated moves now (entries
+		// still waiting to issue will move their future fills at issue).
+		c.wfbMoveIfSafe(ent)
+	}
+}
+
+// squashYounger removes every ROB entry younger than the one at idx,
+// releasing shadow state as squashed and returning queue capacity.
+func (c *CPU) squashYounger(idx int) {
+	keep := c.ordinal(idx) + 1
+	for i := c.count - 1; i >= keep; i-- {
+		c.squashEntry(&c.rob[c.slot(i)])
+	}
+	c.count = keep
+	c.rebuildRename()
+}
+
+// squashAll removes every ROB entry (trap flush).
+func (c *CPU) squashAll() {
+	for i := c.count - 1; i >= 0; i-- {
+		c.squashEntry(&c.rob[c.slot(i)])
+	}
+	c.count = 0
+	c.rebuildRename()
+}
+
+// squashEntry annuls one entry: shadow state is released in place (the
+// SafeSpec "annul update to the shadow state" arrow in Figure 3).
+func (c *CPU) squashEntry(e *entry) {
+	c.St.Squashed++
+	if e.state == stWait {
+		c.iqCount--
+	}
+	if e.isLoad {
+		c.ldqCount--
+	}
+	if e.isStore {
+		c.stqCount--
+	}
+	if e.tagBit != 0 {
+		c.activeTags &^= e.tagBit
+	}
+	if e.in.Op == isa.OpFence {
+		c.fenceActive--
+	}
+	c.releaseShadow(e, false)
+}
+
+// releaseShadow drops all shadow handles of e with the given disposition.
+func (c *CPU) releaseShadow(e *entry, committed bool) {
+	ms := c.ms
+	if ms.ShD != nil {
+		for _, h := range e.dHandles {
+			if ms.ShD.StillValid(h) {
+				ms.ShD.Release(h, committed)
+			}
+		}
+	}
+	e.dHandles = nil
+	if ms.ShDTLB != nil && e.dtlbHandle.Valid() && ms.ShDTLB.StillValid(e.dtlbHandle) {
+		ms.ShDTLB.Release(e.dtlbHandle, committed)
+	}
+	e.dtlbHandle = shadowZero
+	if ms.ShI != nil && e.iHandle.Valid() && ms.ShI.StillValid(e.iHandle) {
+		ms.ShI.Release(e.iHandle, committed)
+	}
+	e.iHandle = shadowZero
+	if ms.ShITLB != nil && e.itlbHandle.Valid() && ms.ShITLB.StillValid(e.itlbHandle) {
+		ms.ShITLB.Release(e.itlbHandle, committed)
+	}
+	e.itlbHandle = shadowZero
+}
+
+// evalALU computes the result of an ALU-class operation.
+func evalALU(op isa.Op, v1, v2, imm int64) int64 {
+	switch op {
+	case isa.OpAdd:
+		return v1 + v2
+	case isa.OpSub:
+		return v1 - v2
+	case isa.OpMul:
+		return v1 * v2
+	case isa.OpDiv:
+		if v2 == 0 {
+			return 0
+		}
+		return v1 / v2
+	case isa.OpRem:
+		if v2 == 0 {
+			return v1
+		}
+		return v1 % v2
+	case isa.OpAnd:
+		return v1 & v2
+	case isa.OpOr:
+		return v1 | v2
+	case isa.OpXor:
+		return v1 ^ v2
+	case isa.OpShl:
+		return v1 << uint(v2&63)
+	case isa.OpShr:
+		return int64(uint64(v1) >> uint(v2&63))
+	case isa.OpSra:
+		return v1 >> uint(v2&63)
+	case isa.OpSlt:
+		if v1 < v2 {
+			return 1
+		}
+		return 0
+	case isa.OpAddi:
+		return v1 + imm
+	case isa.OpAndi:
+		return v1 & imm
+	case isa.OpOri:
+		return v1 | imm
+	case isa.OpXori:
+		return v1 ^ imm
+	case isa.OpShli:
+		return v1 << uint(imm&63)
+	case isa.OpShri:
+		return int64(uint64(v1) >> uint(imm&63))
+	case isa.OpSlti:
+		if v1 < imm {
+			return 1
+		}
+		return 0
+	case isa.OpMovi:
+		return imm
+	case isa.OpFAdd:
+		return v1 + v2
+	case isa.OpFMul:
+		return v1 * v2
+	case isa.OpFDiv:
+		if v2 == 0 {
+			return 0
+		}
+		return v1 / v2
+	default:
+		return 0
+	}
+}
+
+// evalBranch computes the direction of a conditional branch.
+func evalBranch(op isa.Op, v1, v2 int64) bool {
+	switch op {
+	case isa.OpBeq:
+		return v1 == v2
+	case isa.OpBne:
+		return v1 != v2
+	case isa.OpBlt:
+		return v1 < v2
+	case isa.OpBge:
+		return v1 >= v2
+	case isa.OpBltu:
+		return uint64(v1) < uint64(v2)
+	case isa.OpBgeu:
+		return uint64(v1) >= uint64(v2)
+	default:
+		return false
+	}
+}

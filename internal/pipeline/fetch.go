@@ -1,0 +1,344 @@
+package pipeline
+
+import (
+	"safespec/internal/cache"
+	"safespec/internal/isa"
+	"safespec/internal/shadow"
+)
+
+// fetch runs the front end for one cycle: up to FetchWidth instructions are
+// pulled from the instruction stream along the predicted path, charging
+// I-cache/iTLB time per line crossed. A taken (predicted or static) control
+// transfer ends the fetch group.
+func (c *CPU) fetch() {
+	if !c.fetchValid || c.cycle < c.fetchStallUntil {
+		return
+	}
+	// Bounded fetch buffer (two dispatch groups).
+	if len(c.fetchBuf) >= 2*c.cfg.DispatchWidth {
+		return
+	}
+	for fetched := 0; fetched < c.cfg.FetchWidth; fetched++ {
+		if c.fetchPC < 0 || c.fetchPC >= len(c.prog.Code) {
+			// Ran off the code (wrong-path or program end): wait for a
+			// redirect; if none ever comes the pipeline drains and halts.
+			c.fetchValid = false
+			return
+		}
+		lineVA := isa.PCByte(c.fetchPC) &^ uint64(cache.LineSize-1)
+		if lineVA == c.lastFetchLine {
+			// Same-line sequential fetch: no cache port needed, but for
+			// the Figure 15 accounting attribute the reuse to wherever the
+			// line currently resides — the shadow structure while the line
+			// is still speculative, the committed L1I after it moves.
+			c.St.IFetches++
+			inShadow, inL1 := c.ms.ClassifyILine(c.lastFetchPALine)
+			switch {
+			case inShadow:
+				c.St.IFetchShadowHits++
+			case inL1:
+				c.St.IFetchL1Hits++
+			default:
+				// Line was flushed or displaced mid-group; treat as a hit
+				// on the committed side (no re-fetch is modeled).
+				c.St.IFetchL1Hits++
+			}
+		}
+		if lineVA != c.lastFetchLine {
+			c.active = true
+			c.tracef("ifetch  pc=%d line=%#x", c.fetchPC, lineVA)
+			res := c.ms.FetchAccess(lineVA, c.seqCtr, c.activeTags)
+			if res.blocked {
+				// Shadow structure full under the Block policy: retry.
+				c.fetchStallUntil = c.cycle + 1
+				return
+			}
+			c.St.IFetches++
+			switch {
+			case res.shadowHit:
+				c.St.IFetchShadowHits++
+			case res.l1Hit:
+				c.St.IFetchL1Hits++
+			default:
+				c.St.IFetchMisses++
+			}
+			c.lastFetchLine = lineVA
+			c.lastFetchPALine = res.paLine
+			if res.iHandle.Valid() {
+				c.releasePendingIH()
+				c.pendingIH = res.iHandle
+			}
+			if res.itlbHandle.Valid() {
+				c.releasePendingITLBH()
+				c.pendingITLBH = res.itlbHandle
+			}
+			if len(res.dHandles) > 0 {
+				c.releasePendingDH()
+				c.pendingDH = res.dHandles
+			}
+			if res.stall > 0 {
+				c.fetchStallUntil = c.cycle + uint64(res.stall)
+				return
+			}
+		}
+		in := c.prog.Code[c.fetchPC]
+		rec := fetchRec{pc: c.fetchPC, in: in}
+		// The first instruction fetched after a line fill owns that line's
+		// shadow entries.
+		if c.pendingIH.Valid() {
+			rec.iHandle, c.pendingIH = c.pendingIH, shadow.Handle{}
+		}
+		if c.pendingITLBH.Valid() {
+			rec.itlbHandle, c.pendingITLBH = c.pendingITLBH, shadow.Handle{}
+		}
+		if len(c.pendingDH) > 0 {
+			rec.dHandles, c.pendingDH = c.pendingDH, nil
+		}
+
+		redirected := false
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassBranch:
+			rec.predicted = true
+			rec.histSnap = c.bp.HistorySnapshot()
+			rec.rasTop, rec.rasSnap = c.bp.RASSnapshot()
+			pred := c.bp.PredictCond(rec.pc, in.Target)
+			rec.predTaken = pred.Taken
+			rec.predTarget = pred.Target
+			c.bp.SpeculateHistory(pred.Taken)
+			if pred.Taken {
+				c.fetchPC = pred.Target
+				redirected = true
+			} else {
+				c.fetchPC++
+			}
+		case isa.ClassJump:
+			// Direct jump/call: target statically known, never mispredicts.
+			if in.Op == isa.OpCall {
+				c.bp.PushReturn(rec.pc + 1)
+			}
+			rec.predTaken = true
+			rec.predTarget = in.Target
+			c.fetchPC = in.Target
+			redirected = true
+		case isa.ClassJumpInd:
+			rec.predicted = true
+			rec.histSnap = c.bp.HistorySnapshot()
+			rec.rasTop, rec.rasSnap = c.bp.RASSnapshot()
+			pred := c.bp.PredictIndirect(rec.pc)
+			rec.predTaken = true
+			if pred.HasTarget {
+				rec.predTarget = pred.Target
+			} else {
+				// No BTB entry: fall through and rely on the execute-time
+				// redirect (a guaranteed "mispredict").
+				rec.predTarget = rec.pc + 1
+			}
+			if in.Op == isa.OpCalli {
+				c.bp.PushReturn(rec.pc + 1)
+			}
+			c.fetchPC = rec.predTarget
+			redirected = true
+		case isa.ClassRet:
+			rec.predicted = true
+			rec.histSnap = c.bp.HistorySnapshot()
+			rec.rasTop, rec.rasSnap = c.bp.RASSnapshot()
+			pred := c.bp.PredictReturn()
+			rec.predTaken = true
+			if pred.HasTarget {
+				rec.predTarget = pred.Target
+			} else {
+				rec.predTarget = rec.pc + 1
+			}
+			c.fetchPC = rec.predTarget
+			redirected = true
+		case isa.ClassHalt:
+			c.fetchValid = false
+			c.fetchBuf = append(c.fetchBuf, rec)
+			c.active = true
+			return
+		default:
+			c.fetchPC++
+		}
+
+		c.fetchBuf = append(c.fetchBuf, rec)
+		c.active = true
+		if redirected {
+			// A taken transfer ends the fetch group and invalidates the
+			// straight-line same-line optimization.
+			c.lastFetchLine = ^uint64(0)
+			return
+		}
+	}
+}
+
+// dispatch moves instructions from the fetch buffer into the ROB, renaming
+// their operands and allocating IQ/LDQ/STQ capacity and branch tags.
+func (c *CPU) dispatch() {
+	for n := 0; n < c.cfg.DispatchWidth && len(c.fetchBuf) > 0; n++ {
+		if c.fenceActive > 0 {
+			return
+		}
+		if c.count == len(c.rob) || c.iqCount == c.cfg.IQSize {
+			return
+		}
+		rec := &c.fetchBuf[0]
+		class := isa.ClassOf(rec.in.Op)
+		isLoad := class == isa.ClassLoad
+		isStore := class == isa.ClassStore
+		if isLoad && c.ldqCount == c.cfg.LDQSize {
+			return
+		}
+		if isStore && c.stqCount == c.cfg.STQSize {
+			return
+		}
+		var tagBit uint64
+		if rec.predicted {
+			tagBit = c.freeTag()
+			if tagBit == 0 {
+				return // out of branch checkpoints
+			}
+		}
+
+		idx := c.tail()
+		c.count++
+		c.seqCtr++
+		e := &c.rob[idx]
+		*e = entry{
+			seq:        c.seqCtr,
+			pc:         rec.pc,
+			in:         rec.in,
+			state:      stWait,
+			mask:       c.activeTags,
+			tagBit:     tagBit,
+			predTaken:  rec.predTaken,
+			predTarget: rec.predTarget,
+			histSnap:   rec.histSnap,
+			rasTop:     rec.rasTop,
+			rasSnap:    rec.rasSnap,
+			isLoad:     isLoad,
+			isStore:    isStore,
+			iHandle:    rec.iHandle,
+			itlbHandle: rec.itlbHandle,
+			dHandles:   rec.dHandles,
+		}
+		if tagBit != 0 {
+			c.activeTags |= tagBit
+		}
+
+		// Operand renaming.
+		e.reg1, e.reg2 = srcRegsOf(rec.in)
+		e.src1 = c.renameLookup(e.reg1)
+		e.src2 = c.renameLookup(e.reg2)
+		if rec.in.HasDest() {
+			c.renm[rec.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
+		}
+
+		c.iqCount++
+		if isLoad {
+			c.ldqCount++
+		}
+		if isStore {
+			c.stqCount++
+		}
+		if rec.in.Op == isa.OpFence {
+			c.fenceActive++
+		}
+		c.St.Dispatched++
+		c.active = true
+		c.fetchBuf = c.fetchBuf[1:]
+	}
+}
+
+// srcRegsOf returns the (up to two) source registers of in, Zero if unused.
+func srcRegsOf(in isa.Instr) (r1, r2 isa.Reg) {
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassALU:
+		switch in.Op {
+		case isa.OpMovi:
+			return isa.Zero, isa.Zero
+		case isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpShli, isa.OpShri, isa.OpSlti:
+			return in.Rs1, isa.Zero
+		default:
+			return in.Rs1, in.Rs2
+		}
+	case isa.ClassMul, isa.ClassDiv, isa.ClassFP:
+		return in.Rs1, in.Rs2
+	case isa.ClassLoad:
+		return in.Rs1, isa.Zero
+	case isa.ClassStore:
+		return in.Rs1, in.Rs2
+	case isa.ClassBranch:
+		return in.Rs1, in.Rs2
+	case isa.ClassJumpInd:
+		return in.Rs1, isa.Zero
+	case isa.ClassRet:
+		return isa.RA, isa.Zero
+	case isa.ClassFlush:
+		return in.Rs1, isa.Zero
+	}
+	return isa.Zero, isa.Zero
+}
+
+// freeTag allocates an unused branch-tag bit, or 0 if none remain.
+func (c *CPU) freeTag() uint64 {
+	limit := c.cfg.MaxBranchTags
+	for b := 0; b < limit && b < 64; b++ {
+		bit := uint64(1) << uint(b)
+		if c.activeTags&bit == 0 {
+			return bit
+		}
+	}
+	return 0
+}
+
+// releasePendingIH frees an unattached fetch-line shadow handle.
+func (c *CPU) releasePendingIH() {
+	if c.pendingIH.Valid() && c.ms.ShI != nil && c.ms.ShI.StillValid(c.pendingIH) {
+		c.ms.ShI.Release(c.pendingIH, false)
+	}
+	c.pendingIH = shadow.Handle{}
+}
+
+func (c *CPU) releasePendingITLBH() {
+	if c.pendingITLBH.Valid() && c.ms.ShITLB != nil && c.ms.ShITLB.StillValid(c.pendingITLBH) {
+		c.ms.ShITLB.Release(c.pendingITLBH, false)
+	}
+	c.pendingITLBH = shadow.Handle{}
+}
+
+func (c *CPU) releasePendingDH() {
+	for _, h := range c.pendingDH {
+		if c.ms.ShD != nil && c.ms.ShD.StillValid(h) {
+			c.ms.ShD.Release(h, false)
+		}
+	}
+	c.pendingDH = nil
+}
+
+// flushFetch clears the fetch buffer and any pending shadow handles, then
+// redirects the front end to pc.
+func (c *CPU) flushFetch(pc int) {
+	for i := range c.fetchBuf {
+		rec := &c.fetchBuf[i]
+		if rec.iHandle.Valid() && c.ms.ShI != nil && c.ms.ShI.StillValid(rec.iHandle) {
+			c.ms.ShI.Release(rec.iHandle, false)
+		}
+		if rec.itlbHandle.Valid() && c.ms.ShITLB != nil && c.ms.ShITLB.StillValid(rec.itlbHandle) {
+			c.ms.ShITLB.Release(rec.itlbHandle, false)
+		}
+		for _, h := range rec.dHandles {
+			if c.ms.ShD != nil && c.ms.ShD.StillValid(h) {
+				c.ms.ShD.Release(h, false)
+			}
+		}
+	}
+	c.fetchBuf = c.fetchBuf[:0]
+	c.releasePendingIH()
+	c.releasePendingITLBH()
+	c.releasePendingDH()
+	c.fetchPC = pc
+	c.fetchValid = pc >= 0 && pc < len(c.prog.Code)
+	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
+	c.lastFetchLine = ^uint64(0)
+	c.tracef("redirect fetch -> pc=%d valid=%v", pc, c.fetchValid)
+}

@@ -1,0 +1,418 @@
+package pipeline
+
+import (
+	"safespec/internal/cache"
+	"safespec/internal/mem"
+	"safespec/internal/shadow"
+	"safespec/internal/tlb"
+)
+
+// Mode selects the speculation-protection policy of the core.
+type Mode uint8
+
+const (
+	// ModeBaseline is an unprotected out-of-order core: speculative fills
+	// go straight into the committed caches and TLBs (leaky).
+	ModeBaseline Mode = iota
+	// ModeWFB is SafeSpec wait-for-branch: shadow state moves to the
+	// committed structures once every older control-flow prediction has
+	// resolved. Stops Spectre, not Meltdown.
+	ModeWFB
+	// ModeWFC is SafeSpec wait-for-commit: shadow state moves only when the
+	// owning instruction commits. Also stops Meltdown.
+	ModeWFC
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeBaseline:
+		return "baseline"
+	case ModeWFB:
+		return "safespec-wfb"
+	case ModeWFC:
+		return "safespec-wfc"
+	default:
+		return "mode(?)"
+	}
+}
+
+// SafeSpec reports whether shadow structures are in use.
+func (m Mode) SafeSpec() bool { return m != ModeBaseline }
+
+// MemSystem bundles the memory-side state of the core: architectural
+// memory, the cache hierarchy, TLBs, the page walker, and — under SafeSpec —
+// the four shadow structures.
+type MemSystem struct {
+	Mode Mode
+	Mem  *mem.Memory
+	Hier *cache.Hierarchy
+	ITLB *tlb.TLB
+	DTLB *tlb.TLB
+	Walk *tlb.Walker
+
+	// Shadow structures; nil in baseline mode.
+	ShD    *shadow.Structure
+	ShI    *shadow.Structure
+	ShDTLB *shadow.Structure
+	ShITLB *shadow.Structure
+
+	// FaultsReturnData models Meltdown-vulnerable hardware: a
+	// permission-faulting load still forwards the loaded value to
+	// speculative dependents.
+	FaultsReturnData bool
+	// WalkerLatency is the fixed page-walker overhead per walk.
+	WalkerLatency int
+}
+
+// loadResult is the outcome of a data-side access.
+type loadResult struct {
+	latency int
+	fault   mem.Fault
+	value   int64
+	pa      uint64
+	blocked bool
+	// l1Hit / shadowHit classify where the *data line* lookup hit
+	// (for the Figure 12/13 statistics).
+	l1Hit, shadowHit, anyMiss bool
+	// dHandles are shadow D-cache handles acquired (data line + PTE lines).
+	dHandles []shadow.Handle
+	// dtlbHandle is the shadow dTLB handle acquired, if any.
+	dtlbHandle shadow.Handle
+}
+
+// translateData translates va on the data side, charging PTE reads to the
+// D-cache path. owner tags shadow allocations with the requesting
+// instruction's sequence number.
+func (ms *MemSystem) translateData(va uint64, owner, part uint64, res *loadResult) (frame uint64, perm mem.Perm, ok bool) {
+	vpage := va &^ uint64(mem.PageMask)
+	if f, p, hit := ms.DTLB.Lookup(va); hit {
+		return f, p, true
+	}
+	if ms.Mode.SafeSpec() {
+		if h, hit := ms.ShDTLB.Lookup(vpage); hit {
+			pl := ms.ShDTLB.PayloadOf(h)
+			return pl.Frame, mem.Perm(pl.Perm), true
+		}
+	}
+	// Page walk.
+	res.latency += ms.WalkerLatency
+	tr := ms.Walk.Walk(va)
+	for _, step := range tr.Steps {
+		if step.PA == 0 {
+			continue
+		}
+		lat, blocked := ms.pteRead(step.PA, owner, part, res)
+		if blocked {
+			res.blocked = true
+			return 0, 0, false
+		}
+		res.latency += lat
+	}
+	if tr.Fault != mem.FaultNone {
+		res.fault = tr.Fault
+		return 0, 0, false
+	}
+	// Install the translation: committed dTLB in baseline, shadow otherwise.
+	if ms.Mode.SafeSpec() {
+		h, ok, blocked := ms.ShDTLB.Alloc(vpage, owner, part, shadow.Payload{Frame: tr.Frame, Perm: uint8(tr.Perm)})
+		if blocked {
+			res.blocked = true
+			return 0, 0, false
+		}
+		if ok {
+			res.dtlbHandle = h
+		}
+	} else {
+		ms.DTLB.Fill(va, tr.Frame, tr.Perm)
+	}
+	return tr.Frame, tr.Perm, true
+}
+
+// pteRead charges one page-table-entry read to the D-cache path, filling the
+// shadow D-cache (SafeSpec) or the committed hierarchy (baseline) on a miss.
+func (ms *MemSystem) pteRead(pa uint64, owner, part uint64, res *loadResult) (latency int, blocked bool) {
+	line := cache.LineAddr(pa)
+	if ms.Mode.SafeSpec() {
+		if h, hit := ms.ShD.Lookup(line); hit {
+			// Shadow access time is conservatively the L1 hit time.
+			_ = h
+			if hh, ok, _ := ms.ShD.Alloc(line, owner, part, shadow.Payload{}); ok {
+				res.dHandles = append(res.dHandles, hh)
+			}
+			return ms.Hier.L1D.Config().HitLatency, false
+		}
+	}
+	lat, level := ms.Hier.AccessData(pa)
+	if level == cache.LevelL1 {
+		return lat, false
+	}
+	if ms.Mode.SafeSpec() {
+		h, ok, blk := ms.ShD.Alloc(line, owner, part, shadow.Payload{})
+		if blk {
+			return 0, true
+		}
+		if ok {
+			res.dHandles = append(res.dHandles, h)
+		}
+	} else {
+		ms.Hier.FillData(pa)
+	}
+	return lat, false
+}
+
+// LoadAccess performs the full data-side access for a load to va: dTLB
+// (with page walk on miss), permission check, semantic read, and the data
+// cache lookup/fill. It never mutates architectural memory.
+func (ms *MemSystem) LoadAccess(va uint64, owner, part uint64) loadResult {
+	var res loadResult
+	frame, perm, ok := ms.translateData(va, owner, part, &res)
+	if res.blocked {
+		ms.releaseAll(&res)
+		return res
+	}
+	if !ok {
+		// Unmapped (or walk fault): charge the wasted lookup time.
+		res.latency += ms.Hier.L1D.Config().HitLatency
+		res.anyMiss = true
+		return res
+	}
+	// Permission check: user-mode access.
+	tr := mem.Translation{Frame: frame, Perm: perm}
+	res.fault = mem.CheckAccess(tr, false)
+	res.pa = frame + (va & uint64(mem.PageMask))
+	if res.fault == mem.FaultNone || ms.FaultsReturnData {
+		if v, err := ms.Mem.ReadPhys(res.pa); err == nil {
+			res.value = v
+		}
+	}
+	// Data-line timing.
+	line := cache.LineAddr(res.pa)
+	if ms.Mode.SafeSpec() {
+		if _, hit := ms.ShD.Lookup(line); hit {
+			res.latency += ms.Hier.L1D.Config().HitLatency
+			res.shadowHit = true
+			if h, ok, _ := ms.ShD.Alloc(line, owner, part, shadow.Payload{}); ok {
+				res.dHandles = append(res.dHandles, h)
+			}
+			return res
+		}
+		lat, level := ms.Hier.AccessData(res.pa)
+		res.latency += lat
+		if level == cache.LevelL1 {
+			res.l1Hit = true
+			return res
+		}
+		res.anyMiss = true
+		h, ok, blk := ms.ShD.Alloc(line, owner, part, shadow.Payload{})
+		if blk {
+			res.blocked = true
+			ms.releaseAll(&res)
+			return res
+		}
+		if ok {
+			res.dHandles = append(res.dHandles, h)
+		}
+		return res
+	}
+	lat, level := ms.Hier.AccessData(res.pa)
+	res.latency += lat
+	if level == cache.LevelL1 {
+		res.l1Hit = true
+	} else {
+		res.anyMiss = true
+		ms.Hier.FillData(res.pa)
+	}
+	return res
+}
+
+// StoreAccess resolves a store's address: dTLB/walk and permission check.
+// The data write and the cache fill happen later, at commit (TSO).
+func (ms *MemSystem) StoreAccess(va uint64, owner, part uint64) loadResult {
+	var res loadResult
+	frame, perm, ok := ms.translateData(va, owner, part, &res)
+	if res.blocked {
+		ms.releaseAll(&res)
+		return res
+	}
+	if !ok {
+		return res
+	}
+	tr := mem.Translation{Frame: frame, Perm: perm}
+	res.fault = mem.CheckAccess(tr, false)
+	res.pa = frame + (va & uint64(mem.PageMask))
+	return res
+}
+
+// releaseAll frees handles acquired by a blocked access so the retry starts
+// clean.
+func (ms *MemSystem) releaseAll(res *loadResult) {
+	for _, h := range res.dHandles {
+		if ms.ShD.StillValid(h) {
+			ms.ShD.Release(h, false)
+		}
+	}
+	res.dHandles = res.dHandles[:0]
+	if res.dtlbHandle.Valid() && ms.ShDTLB.StillValid(res.dtlbHandle) {
+		ms.ShDTLB.Release(res.dtlbHandle, false)
+		res.dtlbHandle = shadow.Handle{}
+	}
+}
+
+// fetchResult is the outcome of an instruction-side line access.
+type fetchResult struct {
+	// stall is how many cycles fetch must wait (0 on L1/shadow hits).
+	stall                  int
+	blocked                bool
+	l1Hit, shadowHit, miss bool
+	iHandle                shadow.Handle
+	itlbHandle             shadow.Handle
+	// dHandles are shadow D-cache entries allocated by the iTLB walk's PTE
+	// reads; they follow the same ownership path as the I-side handles.
+	dHandles []shadow.Handle
+	// paLine is the physical line address fetched (0 on fault), used by
+	// the front end to classify same-line reuse fetches.
+	paLine uint64
+}
+
+// FetchAccess performs the instruction-side access for the line at lineVA:
+// iTLB (with walk on miss; PTE reads through the D-cache path) and the
+// I-cache lookup/fill.
+func (ms *MemSystem) FetchAccess(lineVA uint64, owner, part uint64) fetchResult {
+	var fres fetchResult
+	var dres loadResult
+
+	frame, _, ok := ms.translateInstr(lineVA, owner, part, &dres, &fres)
+	fres.stall += dres.latency
+	fres.dHandles = dres.dHandles
+	if fres.blocked || dres.blocked {
+		fres.blocked = true
+		ms.releaseAll(&dres)
+		fres.dHandles = nil
+		return fres
+	}
+	if !ok {
+		// Unmapped code page: treat as a long stall; the front end will be
+		// redirected before this matters in practice.
+		fres.stall += ms.Hier.Config().MemLatency
+		fres.miss = true
+		return fres
+	}
+	pa := frame + (lineVA & uint64(mem.PageMask))
+	line := cache.LineAddr(pa)
+	fres.paLine = line
+	if ms.Mode.SafeSpec() {
+		if _, hit := ms.ShI.Lookup(line); hit {
+			fres.shadowHit = true
+			return fres
+		}
+		lat, level := ms.Hier.AccessInstr(pa)
+		if level == cache.LevelL1 {
+			fres.l1Hit = true
+			return fres
+		}
+		fres.miss = true
+		fres.stall += lat
+		h, okAlloc, blk := ms.ShI.Alloc(line, owner, part, shadow.Payload{})
+		if blk {
+			fres.blocked = true
+			return fres
+		}
+		if okAlloc {
+			fres.iHandle = h
+		}
+		return fres
+	}
+	lat, level := ms.Hier.AccessInstr(pa)
+	if level == cache.LevelL1 {
+		fres.l1Hit = true
+		return fres
+	}
+	fres.miss = true
+	fres.stall += lat
+	ms.Hier.FillInstr(pa)
+	return fres
+}
+
+// translateInstr translates an instruction address through the iTLB,
+// walking on a miss. PTE reads are charged to the D-cache path (dres).
+func (ms *MemSystem) translateInstr(va uint64, owner, part uint64, dres *loadResult, fres *fetchResult) (frame uint64, perm mem.Perm, ok bool) {
+	vpage := va &^ uint64(mem.PageMask)
+	if f, p, hit := ms.ITLB.Lookup(va); hit {
+		return f, p, true
+	}
+	if ms.Mode.SafeSpec() {
+		if h, hit := ms.ShITLB.Lookup(vpage); hit {
+			pl := ms.ShITLB.PayloadOf(h)
+			return pl.Frame, mem.Perm(pl.Perm), true
+		}
+	}
+	dres.latency += ms.WalkerLatency
+	tr := ms.Walk.Walk(va)
+	for _, step := range tr.Steps {
+		if step.PA == 0 {
+			continue
+		}
+		lat, blocked := ms.pteRead(step.PA, owner, part, dres)
+		if blocked {
+			dres.blocked = true
+			return 0, 0, false
+		}
+		dres.latency += lat
+	}
+	if tr.Fault != mem.FaultNone {
+		return 0, 0, false
+	}
+	if ms.Mode.SafeSpec() {
+		h, okAlloc, blocked := ms.ShITLB.Alloc(vpage, owner, part, shadow.Payload{Frame: tr.Frame, Perm: uint8(tr.Perm)})
+		if blocked {
+			fres.blocked = true
+			return 0, 0, false
+		}
+		if okAlloc {
+			fres.itlbHandle = h
+		}
+	} else {
+		ms.ITLB.Fill(va, tr.Frame, tr.Perm)
+	}
+	return tr.Frame, tr.Perm, true
+}
+
+// ClassifyILine reports where the given physical instruction line currently
+// resides (shadow I-cache or committed L1I), without perturbing statistics
+// or replacement state. The front end uses it to attribute same-line reuse
+// fetches — the spatial-locality effect behind the paper's Figure 15.
+func (ms *MemSystem) ClassifyILine(paLine uint64) (inShadow, inL1 bool) {
+	if ms.Mode.SafeSpec() && ms.ShI.Contains(paLine) {
+		return true, false
+	}
+	return false, ms.Hier.L1I.Contains(paLine)
+}
+
+// FlushLine removes the line containing va from every committed cache level
+// and from the shadow caches (clflush semantics, executed at commit).
+func (ms *MemSystem) FlushLine(va uint64) {
+	tr := ms.Mem.Walk(va)
+	if tr.Fault != mem.FaultNone {
+		return
+	}
+	pa := tr.Frame + (va & uint64(mem.PageMask))
+	line := cache.LineAddr(pa)
+	ms.Hier.Flush(pa)
+	if ms.Mode.SafeSpec() {
+		ms.ShD.InvalidateKey(line)
+		ms.ShI.InvalidateKey(line)
+	}
+}
+
+// SampleOccupancy records the current shadow occupancies into their
+// attached histograms (no-op in baseline mode or without histograms).
+func (ms *MemSystem) SampleOccupancy() {
+	if !ms.Mode.SafeSpec() {
+		return
+	}
+	ms.ShD.Sample()
+	ms.ShI.Sample()
+	ms.ShDTLB.Sample()
+	ms.ShITLB.Sample()
+}

@@ -1,0 +1,504 @@
+// Package pipeline implements the out-of-order core of the SafeSpec
+// simulator: a 6-wide fetch/dispatch/issue/commit machine with a 224-entry
+// reorder buffer, 96-entry issue window, 72/56-entry load/store queues,
+// branch-mask based selective squash, precise faults at commit, and —
+// under SafeSpec modes — shadow-state allocation, motion and annulment
+// exactly as Section III/IV of the paper describes.
+//
+// The simulator is cycle-level: every cycle runs commit, writeback/issue,
+// dispatch and fetch stages over the reorder buffer. Architectural values
+// flow through ROB tags (implicit register renaming); timing flows through
+// the cache/TLB/shadow models in MemSystem.
+package pipeline
+
+import (
+	"fmt"
+	"io"
+
+	"safespec/internal/bpred"
+	"safespec/internal/cache"
+	"safespec/internal/isa"
+	"safespec/internal/mem"
+	"safespec/internal/shadow"
+	"safespec/internal/tlb"
+)
+
+// Config parameterizes the core. Zero values are replaced by the paper's
+// Skylake-like defaults (Table I) via Normalize.
+type Config struct {
+	// Widths (Table I: 6-way issue, up to 6 micro-ops commit per cycle).
+	FetchWidth    int
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+
+	// Structure sizes (Table I).
+	ROBSize int // 224
+	IQSize  int // 96
+	LDQSize int // 72
+	STQSize int // 56
+
+	// MaxBranchTags bounds the number of unresolved predicted branches in
+	// flight (checkpoint count).
+	MaxBranchTags int
+
+	// RedirectPenalty is the front-end refill delay after a squash.
+	RedirectPenalty int
+	// WalkerLatency is the fixed page-walk overhead.
+	WalkerLatency int
+	// StoreForwardLatency is the store-to-load forwarding time.
+	StoreForwardLatency int
+
+	// Mode selects baseline / SafeSpec-WFB / SafeSpec-WFC.
+	Mode Mode
+	// FaultsReturnData models Meltdown-vulnerable data forwarding on
+	// permission faults (Intel-like; default true).
+	FaultsReturnData bool
+
+	// Bpred, Hier, ITLB, DTLB configure the predictor and memory system.
+	Bpred bpred.Config
+	Hier  cache.HierarchyConfig
+	ITLB  tlb.Config
+	DTLB  tlb.Config
+
+	// Shadow policies (used when Mode.SafeSpec()).
+	ShadowD    shadow.Policy
+	ShadowI    shadow.Policy
+	ShadowDTLB shadow.Policy
+	ShadowITLB shadow.Policy
+
+	// Run limits.
+	MaxCycles uint64
+	MaxInstrs uint64
+
+	// DetectAnomalies enables the Section VII attack detector: per-cycle
+	// watchdogs on the data-side shadow structures that flag abnormal
+	// occupancy growth (the signature of a transient speculation attack
+	// trying to create contention).
+	DetectAnomalies bool
+}
+
+// Normalize fills unset fields with the paper's defaults and returns the
+// completed config.
+func (c Config) Normalize() Config {
+	def := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	def(&c.FetchWidth, 6)
+	def(&c.DispatchWidth, 6)
+	def(&c.IssueWidth, 6)
+	def(&c.CommitWidth, 6)
+	def(&c.ROBSize, 224)
+	def(&c.IQSize, 96)
+	def(&c.LDQSize, 72)
+	def(&c.STQSize, 56)
+	def(&c.MaxBranchTags, 64)
+	def(&c.RedirectPenalty, 3)
+	def(&c.WalkerLatency, 5)
+	def(&c.StoreForwardLatency, 5)
+	if c.Bpred == (bpred.Config{}) {
+		c.Bpred = bpred.DefaultConfig()
+	}
+	if c.Hier.MemLatency == 0 {
+		c.Hier = cache.SkylakeHierarchy()
+	}
+	if c.ITLB.Entries == 0 {
+		c.ITLB = tlb.SkylakeITLB()
+	}
+	if c.DTLB.Entries == 0 {
+		c.DTLB = tlb.SkylakeDTLB()
+	}
+	if c.ShadowD.Entries == 0 {
+		c.ShadowD = shadow.Policy{Name: "shadow-dcache", Entries: c.LDQSize}
+	}
+	if c.ShadowI.Entries == 0 {
+		c.ShadowI = shadow.Policy{Name: "shadow-icache", Entries: c.ROBSize}
+	}
+	if c.ShadowDTLB.Entries == 0 {
+		c.ShadowDTLB = shadow.Policy{Name: "shadow-dtlb", Entries: c.LDQSize}
+	}
+	if c.ShadowITLB.Entries == 0 {
+		c.ShadowITLB = shadow.Policy{Name: "shadow-itlb", Entries: c.ROBSize}
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 50_000_000
+	}
+	if c.MaxInstrs == 0 {
+		c.MaxInstrs = 5_000_000
+	}
+	return c
+}
+
+type entryState uint8
+
+const (
+	stWait entryState = iota // dispatched, waiting for operands / retry
+	stExec                   // executing, completes at completeAt
+	stDone                   // result available, ready to commit
+)
+
+// renameRef points at an in-flight producer.
+type renameRef struct {
+	has bool
+	idx int
+	seq uint64
+}
+
+// entry is one reorder-buffer slot.
+type entry struct {
+	seq uint64
+	pc  int
+	in  isa.Instr
+
+	state      entryState
+	completeAt uint64
+	val        int64
+
+	// Operand renaming captured at dispatch.
+	reg1, reg2 isa.Reg
+	src1, src2 renameRef
+
+	// Branch state.
+	mask         uint64 // unresolved older branch tags
+	tagBit       uint64 // this entry's own tag (predicted branches)
+	predTaken    bool
+	predTarget   int
+	actualTaken  bool
+	actualTarget int
+	histSnap     uint64
+	rasTop       int
+	rasSnap      []int
+
+	// Memory state.
+	isLoad, isStore bool
+	addrReady       bool
+	va, pa          uint64
+	sdata           int64
+
+	// Fault raised at commit.
+	fault mem.Fault
+
+	// Shadow handles owned by this instruction.
+	dHandles   []shadow.Handle
+	dtlbHandle shadow.Handle
+	iHandle    shadow.Handle
+	itlbHandle shadow.Handle
+}
+
+// fetchRec is one fetched-but-not-dispatched instruction.
+type fetchRec struct {
+	pc         int
+	in         isa.Instr
+	predicted  bool // consults the predictor (can mispredict)
+	predTaken  bool
+	predTarget int
+	histSnap   uint64
+	rasTop     int
+	rasSnap    []int
+	iHandle    shadow.Handle
+	itlbHandle shadow.Handle
+	// dHandles holds shadow D-cache entries from the line's iTLB-walk PTE
+	// reads; they transfer to the first dispatched instruction.
+	dHandles []shadow.Handle
+}
+
+// CPU is the simulated core bound to one program.
+type CPU struct {
+	cfg  Config
+	prog *isa.Program
+	ms   *MemSystem
+	bp   *bpred.Predictor
+
+	regs [isa.RegCount]int64
+	renm [isa.RegCount]renameRef
+
+	rob   []entry
+	head  int
+	count int
+
+	seqCtr      uint64
+	iqCount     int
+	ldqCount    int
+	stqCount    int
+	activeTags  uint64
+	fenceActive int
+
+	fetchPC         int
+	fetchValid      bool
+	fetchStallUntil uint64
+	fetchBuf        []fetchRec
+	lastFetchLine   uint64
+	lastFetchPALine uint64
+	pendingIH       shadow.Handle
+	pendingITLBH    shadow.Handle
+	pendingDH       []shadow.Handle
+
+	cycle  uint64
+	halted bool
+	// active records whether any stage changed state this cycle; when
+	// false the core can fast-forward to the next scheduled event.
+	active bool
+	// trace, when non-nil, receives per-event debug lines.
+	trace io.Writer
+
+	// detD / detDTLB are the Section VII anomaly detectors (nil unless
+	// Config.DetectAnomalies is set in a SafeSpec mode).
+	detD, detDTLB *shadow.Detector
+
+	// St accumulates run statistics.
+	St Stats
+
+	// sampleOcc enables per-cycle shadow occupancy sampling.
+	sampleOcc bool
+}
+
+// New builds a CPU for prog with the given configuration, loading the
+// program image (code pages, data segments, declared regions) into a fresh
+// memory.
+func New(cfg Config, prog *isa.Program) *CPU {
+	cfg = cfg.Normalize()
+	m := mem.New()
+
+	// Map the code region (user-readable: fetch is a user access).
+	codeBytes := uint64(len(prog.Code)) * isa.BytesPerInstr
+	for va := isa.CodeBase; va < isa.CodeBase+codeBytes+mem.PageSize; va += mem.PageSize {
+		m.EnsureMapped(va, mem.PermUser|mem.PermKernel)
+	}
+	for _, r := range prog.Regions {
+		perm := mem.Perm(mem.PermUser | mem.PermKernel)
+		if r.Kernel {
+			perm = mem.PermKernel
+		}
+		for va := r.Base; va < r.Base+r.Size+mem.PageSize-1; va += mem.PageSize {
+			m.EnsureMapped(va, perm)
+		}
+	}
+	m.LoadImage(prog.Data, prog.KernelData)
+
+	ms := &MemSystem{
+		Mode:             cfg.Mode,
+		Mem:              m,
+		Hier:             cache.NewHierarchy(cfg.Hier),
+		ITLB:             tlb.New(cfg.ITLB),
+		DTLB:             tlb.New(cfg.DTLB),
+		Walk:             &tlb.Walker{Mem: m, BaseLatency: cfg.WalkerLatency},
+		FaultsReturnData: cfg.FaultsReturnData,
+		WalkerLatency:    cfg.WalkerLatency,
+	}
+	if cfg.Mode.SafeSpec() {
+		ms.ShD = shadow.New(cfg.ShadowD)
+		ms.ShI = shadow.New(cfg.ShadowI)
+		ms.ShDTLB = shadow.New(cfg.ShadowDTLB)
+		ms.ShITLB = shadow.New(cfg.ShadowITLB)
+	}
+
+	c := &CPU{
+		cfg:           cfg,
+		prog:          prog,
+		ms:            ms,
+		bp:            bpred.New(cfg.Bpred),
+		rob:           make([]entry, cfg.ROBSize),
+		fetchPC:       prog.Entry,
+		fetchValid:    true,
+		lastFetchLine: ^uint64(0),
+	}
+	if cfg.DetectAnomalies && cfg.Mode.SafeSpec() {
+		// Floors at 1/4 of capacity: benign 99.99th-percentile occupancy
+		// sits well below that (Figures 6-9), a contention attack must
+		// exceed it.
+		c.detD = shadow.NewDetector(cfg.ShadowD.Entries/4, 4, 1024)
+		c.detDTLB = shadow.NewDetector(cfg.ShadowDTLB.Entries/4, 4, 1024)
+	}
+	return c
+}
+
+// Detectors returns the anomaly detectors (nil when disabled).
+func (c *CPU) Detectors() (d, dtlb *shadow.Detector) { return c.detD, c.detDTLB }
+
+// Mem exposes the architectural memory (examples and attacks read results
+// out of it after a run).
+func (c *CPU) Mem() *mem.Memory { return c.ms.Mem }
+
+// MemSys exposes the memory system (tests inspect cache/shadow state).
+func (c *CPU) MemSys() *MemSystem { return c.ms }
+
+// Predictor exposes the branch predictor (attack helpers poison it).
+func (c *CPU) Predictor() *bpred.Predictor { return c.bp }
+
+// Reg returns the committed architectural value of r.
+func (c *CPU) Reg(r isa.Reg) int64 { return c.regs[r] }
+
+// Cycle returns the current cycle count.
+func (c *CPU) Cycle() uint64 { return c.cycle }
+
+// Halted reports whether the program has stopped.
+func (c *CPU) Halted() bool { return c.halted }
+
+// EnableOccupancySampling attaches occupancy histograms (sized to each
+// structure's capacity) to the shadow structures and samples them every
+// cycle. Call before Run. No-op in baseline mode.
+func (c *CPU) EnableOccupancySampling() {
+	if !c.cfg.Mode.SafeSpec() {
+		return
+	}
+	c.sampleOcc = true
+	attach(c.ms.ShD)
+	attach(c.ms.ShI)
+	attach(c.ms.ShDTLB)
+	attach(c.ms.ShITLB)
+}
+
+// Run executes until the program halts or a run limit is reached. It
+// returns the accumulated statistics.
+func (c *CPU) Run() *Stats {
+	for !c.halted && c.cycle < c.cfg.MaxCycles && c.St.Committed < c.cfg.MaxInstrs {
+		c.Step()
+	}
+	c.finalizeStats()
+	return &c.St
+}
+
+// Step advances the core by one cycle, fast-forwarding over idle cycles
+// (all in-flight operations waiting on memory, nothing to fetch or commit)
+// to keep simulation time proportional to activity rather than latency.
+func (c *CPU) Step() {
+	c.cycle++
+	c.St.Cycles++
+	c.active = false
+	c.commit()
+	if c.halted {
+		return
+	}
+	c.execute()
+	c.dispatch()
+	c.fetch()
+	if c.sampleOcc {
+		c.ms.SampleOccupancy()
+	}
+	if c.detD != nil {
+		c.detD.Observe(c.ms.ShD.Len())
+		c.detDTLB.Observe(c.ms.ShDTLB.Len())
+	}
+	// Deadlock backstop: an empty pipeline with nowhere to fetch from means
+	// the program ran off the end of its code.
+	if c.count == 0 && len(c.fetchBuf) == 0 && !c.fetchValid {
+		c.halted = true
+		return
+	}
+	if !c.active {
+		c.fastForward()
+	}
+}
+
+// fastForward jumps the clock to just before the next scheduled event when
+// the current cycle saw no state change: the very same stage outcomes would
+// repeat every cycle until an execution completes or the front-end stall
+// expires.
+func (c *CPU) fastForward() {
+	next := c.cfg.MaxCycles
+	for i := 0; i < c.count; i++ {
+		e := &c.rob[c.slot(i)]
+		if e.state == stExec && e.completeAt > c.cycle && e.completeAt < next {
+			next = e.completeAt
+		}
+	}
+	if c.fetchValid && c.fetchStallUntil > c.cycle && c.fetchStallUntil < next {
+		next = c.fetchStallUntil
+	}
+	if next <= c.cycle+1 {
+		return
+	}
+	skipped := next - c.cycle - 1
+	c.cycle += skipped
+	c.St.Cycles += skipped
+	if c.sampleOcc && c.cfg.Mode.SafeSpec() {
+		c.ms.ShD.SampleN(skipped)
+		c.ms.ShI.SampleN(skipped)
+		c.ms.ShDTLB.SampleN(skipped)
+		c.ms.ShITLB.SampleN(skipped)
+	}
+	if c.detD != nil {
+		for i := uint64(0); i < skipped; i++ {
+			c.detD.Observe(c.ms.ShD.Len())
+			c.detDTLB.Observe(c.ms.ShDTLB.Len())
+		}
+	}
+}
+
+func attach(s *shadow.Structure) {
+	if s.Occupancy == nil {
+		s.Occupancy = newOccHist(s.Policy().Entries)
+	}
+}
+
+// ordinal returns the position of ROB slot idx relative to head, or -1 if
+// the slot is not live.
+func (c *CPU) ordinal(idx int) int {
+	o := (idx - c.head + len(c.rob)) % len(c.rob)
+	if o >= c.count {
+		return -1
+	}
+	return o
+}
+
+// live reports whether slot idx currently holds the entry with sequence seq.
+func (c *CPU) live(idx int, seq uint64) bool {
+	return c.ordinal(idx) >= 0 && c.rob[idx].seq == seq
+}
+
+// slot returns the ROB index of the i-th oldest live entry.
+func (c *CPU) slot(i int) int { return (c.head + i) % len(c.rob) }
+
+// tail returns the ROB index one past the youngest live entry.
+func (c *CPU) tail() int { return (c.head + c.count) % len(c.rob) }
+
+// resolveSrc reads an operand: from the committed register file, or from an
+// in-flight producer if the rename reference is still live.
+func (c *CPU) resolveSrc(r isa.Reg, ref renameRef) (int64, bool) {
+	if r == isa.Zero {
+		return 0, true
+	}
+	if !ref.has || !c.live(ref.idx, ref.seq) {
+		return c.regs[r], true
+	}
+	p := &c.rob[ref.idx]
+	if p.state != stDone {
+		return 0, false
+	}
+	return p.val, true
+}
+
+// renameLookup returns the current rename mapping for r.
+func (c *CPU) renameLookup(r isa.Reg) renameRef {
+	if r == isa.Zero {
+		return renameRef{}
+	}
+	ref := c.renm[r]
+	if ref.has && c.live(ref.idx, ref.seq) {
+		return ref
+	}
+	return renameRef{}
+}
+
+// rebuildRename reconstructs the rename map from the surviving ROB entries
+// after a squash.
+func (c *CPU) rebuildRename() {
+	for i := range c.renm {
+		c.renm[i] = renameRef{}
+	}
+	for i := 0; i < c.count; i++ {
+		idx := c.slot(i)
+		e := &c.rob[idx]
+		if e.in.HasDest() {
+			c.renm[e.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
+		}
+	}
+}
+
+// String summarizes the core state (debug helper).
+func (c *CPU) String() string {
+	return fmt.Sprintf("cpu{cycle=%d rob=%d/%d fetchPC=%d committed=%d}",
+		c.cycle, c.count, len(c.rob), c.fetchPC, c.St.Committed)
+}

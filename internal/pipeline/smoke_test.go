@@ -1,0 +1,44 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"safespec/internal/asm"
+	"safespec/internal/core"
+	"safespec/internal/isa"
+)
+
+// TestSmokeLoop runs a simple counted loop with a store under all three
+// modes and checks architectural results match.
+func TestSmokeLoop(t *testing.T) {
+	b := asm.NewBuilder()
+	const resultAddr = 0x1000
+	b.Region(resultAddr, 4096, false)
+	b.Movi(isa.T0, 0)   // i
+	b.Movi(isa.T1, 100) // n
+	b.Movi(isa.T2, 0)   // sum
+	b.Label("loop")
+	b.Add(isa.T2, isa.T2, isa.T0)
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Blt(isa.T0, isa.T1, "loop")
+	b.Movi(isa.T3, resultAddr)
+	b.Store(isa.T2, isa.T3, 0)
+	b.Load(isa.T4, isa.T3, 0)
+	b.Halt()
+	prog := b.MustBuild()
+
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeWFB, core.ModeWFC} {
+		sim := core.New(core.DefaultConfig(mode), prog)
+		res := sim.Run()
+		if got := sim.CPU().Reg(isa.T2); got != 4950 {
+			t.Errorf("%v: sum = %d, want 4950", mode, got)
+		}
+		if got := sim.CPU().Reg(isa.T4); got != 4950 {
+			t.Errorf("%v: loaded = %d, want 4950", mode, got)
+		}
+		if !sim.CPU().Halted() {
+			t.Errorf("%v: did not halt (cycles=%d)", mode, res.Cycles)
+		}
+		t.Logf("%s", res.Summary())
+	}
+}

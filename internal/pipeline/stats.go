@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"safespec/internal/bpred"
+	"safespec/internal/cache"
+	"safespec/internal/shadow"
+	"safespec/internal/stats"
+	"safespec/internal/tlb"
+)
+
+// newOccHist builds an occupancy histogram covering [0, capacity].
+func newOccHist(capacity int) *stats.Histogram { return stats.NewHistogram(capacity) }
+
+// Stats collects everything the paper's figures need from one run.
+type Stats struct {
+	// Cycles is the total simulated cycles.
+	Cycles uint64
+	// Committed counts architecturally retired instructions.
+	Committed uint64
+	// CommittedLoads / CommittedStores break down retirement.
+	CommittedLoads, CommittedStores uint64
+	// Dispatched counts instructions entering the ROB (committed + squashed).
+	Dispatched uint64
+	// Squashed counts instructions annulled by mispredicts or traps.
+	Squashed uint64
+	// Mispredicts counts execute-time branch redirects.
+	Mispredicts uint64
+	// Faults counts faults raised at commit.
+	Faults uint64
+	// Traps counts vectored transfers to the trap handler.
+	Traps uint64
+
+	// Demand data-read classification, counted at access time and including
+	// wrong-path accesses (the paper's Figure 12/13 methodology).
+	DReads          uint64
+	DReadL1Hits     uint64
+	DReadShadowHits uint64
+	DReadMisses     uint64
+
+	// Instruction-line fetch classification (Figures 14/15).
+	IFetches         uint64
+	IFetchL1Hits     uint64
+	IFetchShadowHits uint64
+	IFetchMisses     uint64
+
+	// StoreForwards counts loads satisfied by store-to-load forwarding.
+	StoreForwards uint64
+
+	// Snapshots of the subsystem statistics, filled at the end of Run.
+	L1I, L1D, L2, L3 cache.Stats
+	ITLB, DTLB       tlb.Stats
+	Bpred            bpred.Stats
+	ShD, ShI         shadow.Stats
+	ShDTLB, ShITLB   shadow.Stats
+
+	// Occupancy histograms (non-nil only when sampling was enabled).
+	OccD, OccI, OccDTLB, OccITLB *stats.Histogram
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 { return stats.Rate(s.Committed, s.Cycles) }
+
+// DReadMissRate returns the Figure 12 metric: demand-read misses over all
+// demand reads, where shadow hits count as hits.
+func (s *Stats) DReadMissRate() float64 { return stats.Rate(s.DReadMisses, s.DReads) }
+
+// DShadowHitShare returns the Figure 13 metric: the fraction of d-side hits
+// that were serviced by the shadow d-cache.
+func (s *Stats) DShadowHitShare() float64 {
+	return stats.Rate(s.DReadShadowHits, s.DReadShadowHits+s.DReadL1Hits)
+}
+
+// IFetchMissRate returns the Figure 14 metric.
+func (s *Stats) IFetchMissRate() float64 { return stats.Rate(s.IFetchMisses, s.IFetches) }
+
+// IShadowHitShare returns the Figure 15 metric.
+func (s *Stats) IShadowHitShare() float64 {
+	return stats.Rate(s.IFetchShadowHits, s.IFetchShadowHits+s.IFetchL1Hits)
+}
+
+// finalizeStats snapshots subsystem counters into St.
+func (c *CPU) finalizeStats() {
+	c.St.L1I = c.ms.Hier.L1I.Stats
+	c.St.L1D = c.ms.Hier.L1D.Stats
+	c.St.L2 = c.ms.Hier.L2.Stats
+	c.St.L3 = c.ms.Hier.L3.Stats
+	c.St.ITLB = c.ms.ITLB.Stats
+	c.St.DTLB = c.ms.DTLB.Stats
+	c.St.Bpred = c.bp.Stats
+	if c.cfg.Mode.SafeSpec() {
+		c.St.ShD = c.ms.ShD.Stats
+		c.St.ShI = c.ms.ShI.Stats
+		c.St.ShDTLB = c.ms.ShDTLB.Stats
+		c.St.ShITLB = c.ms.ShITLB.Stats
+		c.St.OccD = c.ms.ShD.Occupancy
+		c.St.OccI = c.ms.ShI.Occupancy
+		c.St.OccDTLB = c.ms.ShDTLB.Occupancy
+		c.St.OccITLB = c.ms.ShITLB.Occupancy
+	}
+}

@@ -1,0 +1,250 @@
+package pipeline_test
+
+import (
+	"bytes"
+	"testing"
+
+	"safespec/internal/asm"
+	"safespec/internal/core"
+	"safespec/internal/isa"
+	"safespec/internal/pipeline"
+)
+
+// tinyConfig returns a deliberately cramped core: every structural hazard
+// (ROB full, IQ full, LDQ/STQ full, branch-tag exhaustion) is exercised on
+// ordinary programs. Architectural results must be unaffected.
+func tinyConfig(mode core.Mode) core.Config {
+	cfg := core.DefaultConfig(mode)
+	cfg.Pipeline.ROBSize = 8
+	cfg.Pipeline.IQSize = 4
+	cfg.Pipeline.LDQSize = 2
+	cfg.Pipeline.STQSize = 2
+	cfg.Pipeline.MaxBranchTags = 2
+	cfg.Pipeline = cfg.Pipeline.Normalize()
+	return cfg
+}
+
+// stressProgram mixes loads, stores, branches and calls densely enough to
+// hit every tiny limit.
+func stressProgram() *isa.Program {
+	b := asm.NewBuilder()
+	b.Region(0x1_0000, 1<<16, false)
+	b.Movi(isa.S0, 0x1_0000)
+	b.Movi(isa.S1, 0) // sum
+	b.Movi(isa.T0, 0) // i
+	b.Movi(isa.T1, 64)
+	b.Label("loop")
+	b.Shli(isa.T2, isa.T0, 3)
+	b.Add(isa.T2, isa.S0, isa.T2)
+	b.Store(isa.T0, isa.T2, 0)
+	b.Load(isa.T3, isa.T2, 0)
+	b.Add(isa.S1, isa.S1, isa.T3)
+	b.Andi(isa.T4, isa.T0, 3)
+	b.Bne(isa.T4, isa.Zero, "noCall")
+	b.Call("bump")
+	b.Label("noCall")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Blt(isa.T0, isa.T1, "loop")
+	b.Halt()
+	b.Label("bump")
+	b.Addi(isa.S2, isa.S2, 1)
+	b.Ret()
+	return b.MustBuild()
+}
+
+func TestTinyStructuresCorrectness(t *testing.T) {
+	prog := stressProgram()
+	// Reference on the full-size machine.
+	ref := core.New(core.Baseline(), prog)
+	ref.Run()
+	wantSum := ref.CPU().Reg(isa.S1)
+	wantBump := ref.CPU().Reg(isa.S2)
+	if wantSum != 2016 || wantBump != 16 {
+		t.Fatalf("reference results unexpected: sum=%d bump=%d", wantSum, wantBump)
+	}
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeWFB, core.ModeWFC} {
+		sim := core.New(tinyConfig(mode), prog)
+		res := sim.Run()
+		if !sim.CPU().Halted() {
+			t.Fatalf("%v: tiny core did not halt", mode)
+		}
+		if got := sim.CPU().Reg(isa.S1); got != wantSum {
+			t.Errorf("%v: sum = %d, want %d", mode, got, wantSum)
+		}
+		if got := sim.CPU().Reg(isa.S2); got != wantBump {
+			t.Errorf("%v: bump = %d, want %d", mode, got, wantBump)
+		}
+		// The tiny core must be slower than the big one, proving the
+		// structural limits actually bound it.
+		if res.Cycles <= ref.Run().Cycles/2 {
+			t.Errorf("%v: tiny core suspiciously fast (%d cycles)", mode, res.Cycles)
+		}
+	}
+}
+
+func TestTinyShadowWithWorkload(t *testing.T) {
+	// A cramped shadow d-cache under each full policy must still execute
+	// correctly (performance differs; semantics must not).
+	prog := stressProgram()
+	ref := core.New(core.Baseline(), prog)
+	ref.Run()
+	want := ref.CPU().Reg(isa.S1)
+	for _, of := range []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"block", tinyShadowCfg(0)},
+		{"drop", tinyShadowCfg(1)},
+		{"replace", tinyShadowCfg(2)},
+	} {
+		sim := core.New(of.cfg, prog)
+		sim.Run()
+		if got := sim.CPU().Reg(isa.S1); got != want {
+			t.Errorf("%s: sum = %d, want %d", of.name, got, want)
+		}
+	}
+}
+
+func tinyShadowCfg(policy int) core.Config {
+	cfg := core.WFC()
+	d := cfg.Pipeline.ShadowD
+	d.Entries = 2
+	switch policy {
+	case 0:
+		d.WhenFull = 0 // Block
+	case 1:
+		d.WhenFull = 1 // Drop
+	default:
+		d.WhenFull = 2 // Replace
+	}
+	cfg.Pipeline.ShadowD = d
+	return cfg
+}
+
+func TestDeepCallChain(t *testing.T) {
+	// Recursion deeper than the 16-entry RAS: predictions go wrong but
+	// execution stays correct.
+	b := asm.NewBuilder()
+	b.Movi(isa.A0, 24) // depth > RAS size
+	b.Region(0x1_0000, 4096, false)
+	b.Movi(isa.SP, 0x1_0000)
+	b.Call("rec")
+	b.Halt()
+	b.Label("rec")
+	// if a0 == 0 return
+	b.Beq(isa.A0, isa.Zero, "base")
+	// push ra
+	b.Store(isa.RA, isa.SP, 0)
+	b.Addi(isa.SP, isa.SP, 8)
+	b.Addi(isa.A0, isa.A0, -1)
+	b.Call("rec")
+	// pop ra
+	b.Addi(isa.SP, isa.SP, -8)
+	b.Load(isa.RA, isa.SP, 0)
+	b.Addi(isa.S0, isa.S0, 1)
+	b.Ret()
+	b.Label("base")
+	b.Ret()
+	prog := b.MustBuild()
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeWFC} {
+		sim := core.New(core.DefaultConfig(mode), prog)
+		sim.Run()
+		if !sim.CPU().Halted() {
+			t.Fatalf("%v: did not halt", mode)
+		}
+		if got := sim.CPU().Reg(isa.S0); got != 24 {
+			t.Errorf("%v: unwound %d frames, want 24", mode, got)
+		}
+	}
+}
+
+func TestTraceOutput(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Movi(isa.T0, 1)
+	b.Halt()
+	sim := core.New(core.Baseline(), b.MustBuild())
+	var buf bytes.Buffer
+	sim.CPU().SetTrace(&buf)
+	sim.Run()
+	out := buf.String()
+	for _, want := range []string{"issue", "commit", "movi t0, 1", "halt"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("trace missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMaxCyclesLimit(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("spin")
+	b.Jmp("spin")
+	prog := b.MustBuild()
+	cfg := core.Baseline().WithLimits(0, 5000)
+	sim := core.New(cfg, prog)
+	res := sim.Run()
+	if res.Cycles > 5000 {
+		t.Errorf("ran %d cycles past the limit", res.Cycles)
+	}
+}
+
+func TestMaxInstrsLimit(t *testing.T) {
+	b := asm.NewBuilder()
+	b.Label("spin")
+	b.Addi(isa.T0, isa.T0, 1)
+	b.Jmp("spin")
+	prog := b.MustBuild()
+	res := core.Run(core.Baseline().WithLimits(1000, 0), prog)
+	if res.Committed < 1000 || res.Committed > 1100 {
+		t.Errorf("committed %d, want ≈1000", res.Committed)
+	}
+}
+
+func TestSingleWideCore(t *testing.T) {
+	// A 1-wide in-order-ish configuration must still be correct.
+	cfg := core.DefaultConfig(core.ModeWFC)
+	cfg.Pipeline.FetchWidth = 1
+	cfg.Pipeline.DispatchWidth = 1
+	cfg.Pipeline.IssueWidth = 1
+	cfg.Pipeline.CommitWidth = 1
+	prog := stressProgram()
+	sim := core.New(cfg, prog)
+	sim.Run()
+	if got := sim.CPU().Reg(isa.S1); got != 2016 {
+		t.Errorf("1-wide core: sum = %d, want 2016", got)
+	}
+}
+
+func TestStatsSanity(t *testing.T) {
+	prog := stressProgram()
+	res := core.Run(core.WFC(), prog)
+	if res.Committed == 0 || res.Cycles == 0 {
+		t.Fatal("empty stats")
+	}
+	if res.Dispatched < res.Committed {
+		t.Errorf("dispatched %d < committed %d", res.Dispatched, res.Committed)
+	}
+	if res.Dispatched != res.Committed+res.Squashed {
+		t.Errorf("dispatched %d != committed %d + squashed %d",
+			res.Dispatched, res.Committed, res.Squashed)
+	}
+	if res.CommittedLoads == 0 || res.CommittedStores == 0 {
+		t.Error("no memory operations committed")
+	}
+	if res.IPC() <= 0 || res.IPC() > 6 {
+		t.Errorf("IPC %f out of range", res.IPC())
+	}
+}
+
+// TestConfigIsolation: two simulators must not share mutable state.
+func TestConfigIsolation(t *testing.T) {
+	prog := stressProgram()
+	a := core.New(core.WFC(), prog)
+	b2 := core.New(core.WFC(), prog)
+	a.Run()
+	resB := b2.Run()
+	resA := core.New(core.WFC(), prog).Run()
+	if resA.Cycles != resB.Cycles {
+		t.Errorf("runs interfere: %d vs %d cycles", resA.Cycles, resB.Cycles)
+	}
+	_ = pipeline.ModeWFC // keep the import for the type alias check below
+}

@@ -1,0 +1,26 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+)
+
+// Trace, when non-nil, receives a line per pipeline event (fetch redirects,
+// dispatch, issue, writeback, commit, squash, trap). Intended for debugging
+// and for teaching: the examples can show exactly how a Spectre gadget's
+// wrong path flows through the machine.
+func (c *CPU) SetTrace(w io.Writer) { c.trace = w }
+
+func (c *CPU) tracef(format string, args ...any) {
+	if c.trace == nil {
+		return
+	}
+	fmt.Fprintf(c.trace, "%8d  ", c.cycle)
+	fmt.Fprintf(c.trace, format, args...)
+	fmt.Fprintln(c.trace)
+}
+
+// traceEntry renders an entry identity for trace lines.
+func traceEntry(e *entry) string {
+	return fmt.Sprintf("#%d pc=%d %s", e.seq, e.pc, e.in)
+}

@@ -1,0 +1,78 @@
+package shadow
+
+// Detector implements the attack-detection idea the paper sketches in
+// Section VII: "it is possible to use abnormal growth of the structures as
+// an indicator of a possible attack and introduce mitigations".
+//
+// The detector watches a shadow structure's per-cycle occupancy with an
+// exponential moving average and flags cycles where occupancy exceeds both
+// an absolute floor and a multiple of the recent average. Benign programs
+// keep shadow occupancy near its (small) steady state — Figures 6-9 show
+// the 99.99th percentile far below the worst case — while a transient
+// attack must drive the structure toward capacity within one speculation
+// window to create contention.
+//
+// A Detector lets an implementation provision the shadow structures well
+// below the worst case (saving most of Table V's Secure overhead) and fall
+// back to a safe response — e.g. draining speculation or temporarily
+// serializing — only when growth is anomalous.
+type Detector struct {
+	// Floor is the occupancy below which no alarm is possible, no matter
+	// the growth rate (absorbs tiny-structure noise).
+	Floor int
+	// Ratio is how many times above the moving average the occupancy must
+	// be to alarm.
+	Ratio float64
+	// HalfLife controls the moving average's decay, in cycles.
+	HalfLife float64
+
+	avg    float64
+	alarms uint64
+	cycles uint64
+}
+
+// NewDetector returns a detector with the given thresholds. A zero Ratio
+// defaults to 4 and a zero HalfLife to 1024 cycles.
+func NewDetector(floor int, ratio float64, halfLife float64) *Detector {
+	if ratio == 0 {
+		ratio = 4
+	}
+	if halfLife == 0 {
+		halfLife = 1024
+	}
+	return &Detector{Floor: floor, Ratio: ratio, HalfLife: halfLife}
+}
+
+// Observe feeds one cycle's occupancy and reports whether this cycle is
+// anomalous.
+func (d *Detector) Observe(occupancy int) bool {
+	d.cycles++
+	// EMA with per-cycle decay alpha = ln2/halfLife (approximated).
+	alpha := 0.6931 / d.HalfLife
+	d.avg += alpha * (float64(occupancy) - d.avg)
+	if occupancy <= d.Floor {
+		return false
+	}
+	if float64(occupancy) >= d.Ratio*d.avg {
+		d.alarms++
+		return true
+	}
+	return false
+}
+
+// Alarms returns the number of anomalous cycles seen.
+func (d *Detector) Alarms() uint64 { return d.alarms }
+
+// Cycles returns the number of observations.
+func (d *Detector) Cycles() uint64 { return d.cycles }
+
+// AlarmRate returns alarms per observed cycle.
+func (d *Detector) AlarmRate() float64 {
+	if d.cycles == 0 {
+		return 0
+	}
+	return float64(d.alarms) / float64(d.cycles)
+}
+
+// Average returns the current moving-average occupancy.
+func (d *Detector) Average() float64 { return d.avg }

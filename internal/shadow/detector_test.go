@@ -1,0 +1,68 @@
+package shadow
+
+import "testing"
+
+func TestDetectorQuietOnSteadyOccupancy(t *testing.T) {
+	d := NewDetector(8, 4, 256)
+	for i := 0; i < 10000; i++ {
+		d.Observe(3) // benign steady state below the floor
+	}
+	if d.Alarms() != 0 {
+		t.Errorf("steady occupancy raised %d alarms", d.Alarms())
+	}
+	if d.Cycles() != 10000 {
+		t.Errorf("cycles = %d", d.Cycles())
+	}
+}
+
+func TestDetectorFiresOnBurst(t *testing.T) {
+	d := NewDetector(8, 4, 256)
+	for i := 0; i < 5000; i++ {
+		d.Observe(2)
+	}
+	// A contention burst: occupancy jumps toward capacity.
+	fired := false
+	for i := 0; i < 50; i++ {
+		if d.Observe(60) {
+			fired = true
+		}
+	}
+	if !fired {
+		t.Error("burst to 60 entries over a 2-entry average did not alarm")
+	}
+}
+
+func TestDetectorFloorSuppressesSmallBursts(t *testing.T) {
+	d := NewDetector(16, 4, 256)
+	for i := 0; i < 5000; i++ {
+		d.Observe(1)
+	}
+	for i := 0; i < 50; i++ {
+		if d.Observe(10) { // big relative jump, but under the floor
+			t.Fatal("sub-floor burst alarmed")
+		}
+	}
+}
+
+func TestDetectorAdaptsToNewBaseline(t *testing.T) {
+	d := NewDetector(4, 4, 64)
+	for i := 0; i < 5000; i++ {
+		d.Observe(40) // legitimately busy program
+	}
+	if d.Observe(50) { // 25% above average: not anomalous
+		t.Error("alarmed on occupancy near the learned average")
+	}
+	if d.Average() < 35 || d.Average() > 45 {
+		t.Errorf("average = %.1f, want ≈40", d.Average())
+	}
+}
+
+func TestDetectorDefaults(t *testing.T) {
+	d := NewDetector(2, 0, 0)
+	if d.Ratio != 4 || d.HalfLife != 1024 {
+		t.Errorf("defaults not applied: %+v", d)
+	}
+	if d.AlarmRate() != 0 {
+		t.Error("empty detector alarm rate != 0")
+	}
+}

@@ -1,0 +1,58 @@
+package shadow
+
+import "testing"
+
+func mkPart(entries int) *Structure {
+	return New(Policy{Name: "part", Entries: entries, WhenFull: Replace, Partitioned: true})
+}
+
+func TestPartitionedReplaceStaysWithinPath(t *testing.T) {
+	s := mkPart(2)
+	// Two entries belonging to speculative path 1 (the spy).
+	hA, _, _ := s.Alloc(0xA, 10, 1, Payload{})
+	hB, _, _ := s.Alloc(0xB, 11, 1, Payload{})
+	// An allocation from path 2 (the trojan) may not displace them.
+	_, ok, blocked := s.Alloc(0xC, 12, 2, Payload{})
+	if ok || blocked {
+		t.Errorf("cross-partition alloc: ok=%v blocked=%v, want drop", ok, blocked)
+	}
+	if !s.StillValid(hA) || !s.StillValid(hB) {
+		t.Error("cross-partition allocation displaced another path's entries")
+	}
+	if s.Stats.DroppedFull != 1 || s.Stats.Replaced != 0 {
+		t.Errorf("stats = %+v", s.Stats)
+	}
+}
+
+func TestPartitionedReplaceWithinOwnPath(t *testing.T) {
+	s := mkPart(2)
+	hA, _, _ := s.Alloc(0xA, 10, 7, Payload{})
+	s.Alloc(0xB, 11, 7, Payload{})
+	// Same-path allocation evicts its own oldest entry.
+	hC, ok, blocked := s.Alloc(0xC, 12, 7, Payload{})
+	if !ok || blocked {
+		t.Fatalf("same-partition replace failed: ok=%v blocked=%v", ok, blocked)
+	}
+	if s.StillValid(hA) {
+		t.Error("same-path oldest entry should have been replaced")
+	}
+	if !s.StillValid(hC) {
+		t.Error("new entry missing")
+	}
+	if s.Stats.Replaced != 1 {
+		t.Errorf("replaced = %d", s.Stats.Replaced)
+	}
+}
+
+func TestUnpartitionedIgnoresPartitionKey(t *testing.T) {
+	s := New(Policy{Name: "flat", Entries: 2, WhenFull: Replace})
+	s.Alloc(0xA, 10, 1, Payload{})
+	s.Alloc(0xB, 11, 1, Payload{})
+	_, ok, _ := s.Alloc(0xC, 12, 2, Payload{})
+	if !ok {
+		t.Error("unpartitioned Replace must evict across paths")
+	}
+	if s.Stats.Replaced != 1 {
+		t.Errorf("replaced = %d", s.Stats.Replaced)
+	}
+}

@@ -1,0 +1,171 @@
+// Package stats provides the counters, histograms and summary statistics
+// used by the SafeSpec evaluation: occupancy histograms with high-percentile
+// extraction (the paper sizes shadow structures at the 99.99th percentile),
+// rates, and geometric means (used for the Figure 11 IPC summary).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts integer-valued samples in [0, max]. It is used to record
+// per-cycle occupancy of the shadow structures.
+type Histogram struct {
+	counts []uint64
+	n      uint64
+	sum    uint64
+	max    int
+}
+
+// NewHistogram returns a histogram accepting samples in [0, max]. Samples
+// above max are clamped to max.
+func NewHistogram(max int) *Histogram {
+	if max < 0 {
+		max = 0
+	}
+	return &Histogram{counts: make([]uint64, max+1)}
+}
+
+// AddN records n identical samples (used when the simulator fast-forwards
+// over idle cycles: the occupancy was constant for all of them).
+func (h *Histogram) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		v = len(h.counts) - 1
+	}
+	h.counts[v] += n
+	h.n += n
+	h.sum += uint64(v) * n
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v >= len(h.counts) {
+		v = len(h.counts) - 1
+	}
+	h.counts[v]++
+	h.n++
+	h.sum += uint64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Max returns the largest sample recorded.
+func (h *Histogram) Max() int { return h.max }
+
+// Mean returns the arithmetic mean of the samples (0 if empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Percentile returns the smallest value v such that at least p (0 < p <= 1)
+// of the samples are <= v. This is the quantity plotted in Figures 6-9 of
+// the paper with p = 0.9999.
+func (h *Histogram) Percentile(p float64) int {
+	if h.n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return h.max
+	}
+	if p < 0 {
+		p = 0
+	}
+	need := uint64(math.Ceil(p * float64(h.n)))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return h.max
+}
+
+// Count returns the number of samples equal to v.
+func (h *Histogram) Count(v int) uint64 {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.2f p99.99=%d max=%d}",
+		h.n, h.Mean(), h.Percentile(0.9999), h.max)
+}
+
+// Rate returns num/den, or 0 when den == 0.
+func Rate(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// GeoMean returns the geometric mean of xs, ignoring non-positive entries.
+// It returns 0 if no positive entries exist.
+func GeoMean(xs []float64) float64 {
+	var sum float64
+	var n int
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Mean returns the arithmetic mean of xs (0 if empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the median of xs (0 if empty). xs is not modified.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	mid := len(cp) / 2
+	if len(cp)%2 == 1 {
+		return cp[mid]
+	}
+	return (cp[mid-1] + cp[mid]) / 2
+}

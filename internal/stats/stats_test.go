@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for i := 0; i < 5; i++ {
+		h.Add(i)
+	}
+	if h.N() != 5 {
+		t.Errorf("N = %d, want 5", h.N())
+	}
+	if h.Max() != 4 {
+		t.Errorf("Max = %d, want 4", h.Max())
+	}
+	if got := h.Mean(); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if h.Count(3) != 1 || h.Count(9) != 0 {
+		t.Error("Count wrong")
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(-3)
+	h.Add(100)
+	if h.Count(0) != 1 || h.Count(4) != 1 {
+		t.Errorf("clamping failed: %v %v", h.Count(0), h.Count(4))
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(4)
+	if h.Percentile(0.9999) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramAddN(t *testing.T) {
+	a := NewHistogram(16)
+	b := NewHistogram(16)
+	for i := 0; i < 7; i++ {
+		a.Add(3)
+	}
+	b.AddN(3, 7)
+	if a.N() != b.N() || a.Mean() != b.Mean() || a.Percentile(0.5) != b.Percentile(0.5) {
+		t.Errorf("AddN(3,7) != 7×Add(3): %v vs %v", a, b)
+	}
+	b.AddN(5, 0) // no-op
+	if b.N() != 7 {
+		t.Error("AddN with n=0 must not record")
+	}
+}
+
+func TestPercentileAgainstSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 100 + rng.Intn(1000)
+		h := NewHistogram(256)
+		samples := make([]int, n)
+		for i := range samples {
+			samples[i] = rng.Intn(250)
+			h.Add(samples[i])
+		}
+		sort.Ints(samples)
+		for _, p := range []float64{0.5, 0.9, 0.99, 0.9999, 1.0} {
+			idx := int(math.Ceil(p*float64(n))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			want := samples[idx]
+			if got := h.Percentile(p); got != want {
+				t.Fatalf("trial %d p=%v: Percentile = %d, want %d", trial, p, got, want)
+			}
+		}
+	}
+}
+
+func TestPercentileBounds(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(5)
+	if h.Percentile(-1) != 5 {
+		t.Error("negative p should still return the first sample value")
+	}
+	if h.Percentile(2) != h.Max() {
+		t.Error("p>=1 should return the max")
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(1, 0) != 0 {
+		t.Error("Rate with zero denominator must be 0")
+	}
+	if Rate(1, 4) != 0.25 {
+		t.Error("Rate(1,4) != 0.25")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{2, 8})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean(2,8) = %v, want 4", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) != 0")
+	}
+	// Non-positive entries are ignored.
+	got = GeoMean([]float64{2, 8, 0, -3})
+	if math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean with non-positives = %v, want 4", got)
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Error("odd Median wrong")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Error("even Median wrong")
+	}
+	if Median(nil) != 0 {
+		t.Error("Median(nil) != 0")
+	}
+	// Median must not mutate its argument.
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 {
+		t.Error("Median mutated its input")
+	}
+}
+
+// Property: the percentile is monotone in p, and every percentile is within
+// [0, max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(255)
+		for _, v := range raw {
+			h.Add(int(v))
+		}
+		prev := -1
+		for _, p := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.9999, 1} {
+			v := h.Percentile(p)
+			if v < prev || v < 0 || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean is bounded by [min, max] of the recorded samples.
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram(255)
+		lo, hi := 255, 0
+		for _, v := range raw {
+			h.Add(int(v))
+			if int(v) < lo {
+				lo = int(v)
+			}
+			if int(v) > hi {
+				hi = int(v)
+			}
+		}
+		m := h.Mean()
+		return m >= float64(lo)-1e-9 && m <= float64(hi)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"safespec/internal/mem"
+)
+
+func small() Config {
+	return Config{Name: "t", Entries: 8, Ways: 2, HitLatency: 1} // 4 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{Name: "zero"},
+		{Name: "indiv", Entries: 7, Ways: 2},
+		{Name: "nonpow2", Entries: 12, Ways: 2}, // 6 sets
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s should be invalid", c.Name)
+		}
+	}
+	if SkylakeITLB().Entries != 64 || SkylakeDTLB().Entries != 64 {
+		t.Error("Skylake TLBs must have 64 entries (Table I)")
+	}
+}
+
+func TestLookupFill(t *testing.T) {
+	tl := New(small())
+	if _, _, hit := tl.Lookup(0x1234); hit {
+		t.Error("cold hit")
+	}
+	tl.Fill(0x1234, 0xAB000, mem.PermUser)
+	frame, perm, hit := tl.Lookup(0x1567) // same page
+	if !hit || frame != 0xAB000 || perm != mem.PermUser {
+		t.Errorf("lookup = %#x %v %v", frame, perm, hit)
+	}
+	if _, _, hit := tl.Lookup(0x2000); hit {
+		t.Error("different page hit")
+	}
+	if tl.Stats.Hits != 1 || tl.Stats.Misses != 2 {
+		t.Errorf("stats = %+v", tl.Stats)
+	}
+}
+
+func TestFillUpdatesExisting(t *testing.T) {
+	tl := New(small())
+	tl.Fill(0x1000, 0xA000, mem.PermUser)
+	tl.Fill(0x1000, 0xB000, mem.PermKernel)
+	frame, perm, hit := tl.Lookup(0x1000)
+	if !hit || frame != 0xB000 || perm != mem.PermKernel {
+		t.Errorf("updated entry = %#x %v", frame, perm)
+	}
+	if tl.Stats.Fills != 1 {
+		t.Errorf("update counted as new fill: %+v", tl.Stats)
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	tl := New(small()) // 4 sets × 2 ways; set = (va>>12) & 3
+	// Three pages in set 0: 0x0000, 0x4000, 0x8000.
+	tl.Fill(0x0000, 0x1000, mem.PermUser)
+	tl.Fill(0x4000, 0x2000, mem.PermUser)
+	tl.Lookup(0x0000) // touch
+	tl.Fill(0x8000, 0x3000, mem.PermUser)
+	if !tl.Contains(0x0000) || tl.Contains(0x4000) || !tl.Contains(0x8000) {
+		t.Error("LRU eviction wrong")
+	}
+}
+
+func TestInvalidateAndReset(t *testing.T) {
+	tl := New(small())
+	tl.Fill(0x5000, 0x9000, mem.PermUser)
+	if !tl.Invalidate(0x5000) || tl.Invalidate(0x5000) {
+		t.Error("invalidate semantics wrong")
+	}
+	tl.Fill(0x5000, 0x9000, mem.PermUser)
+	tl.Reset()
+	if tl.Occupancy() != 0 || tl.Stats.Fills != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestWalker(t *testing.T) {
+	m := mem.New()
+	m.Map(0x7000, mem.PermUser)
+	w := &Walker{Mem: m, BaseLatency: 5}
+	tr := w.Walk(0x7abc)
+	if tr.Fault != mem.FaultNone {
+		t.Fatalf("walk fault: %v", tr.Fault)
+	}
+	if w.Walks != 1 {
+		t.Errorf("walk count = %d", w.Walks)
+	}
+	if tr.Steps[0].PA == 0 || tr.Steps[1].PA == 0 {
+		t.Error("walker must report both PTE reads")
+	}
+}
+
+// Property: occupancy never exceeds Entries and a just-filled page is
+// always present.
+func TestOccupancyProperty(t *testing.T) {
+	f := func(pages []uint16) bool {
+		tl := New(small())
+		for _, p := range pages {
+			va := uint64(p) << 12
+			tl.Fill(va, uint64(p)<<12|0x100000, mem.PermUser)
+			if !tl.Contains(va) {
+				return false
+			}
+			if tl.Occupancy() > tl.Config().Entries {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a hit always returns exactly what was last filled for the page.
+func TestFillLookupAgreementProperty(t *testing.T) {
+	f := func(page uint8, frame uint32) bool {
+		tl := New(small())
+		va := uint64(page) << 12
+		fr := uint64(frame) << 12
+		tl.Fill(va, fr, mem.PermKernel)
+		got, perm, hit := tl.Lookup(va + 123)
+		return hit && got == fr && perm == mem.PermKernel
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

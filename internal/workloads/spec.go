@@ -1,0 +1,300 @@
+// Package workloads provides the 21 synthetic benchmark kernels the
+// evaluation runs, one per SPEC CPU2017 benchmark named in the paper's
+// figures. Each kernel is generated from a Spec describing its memory
+// access pattern, working-set size, branch behaviour, compute mix and code
+// footprint — the microarchitectural knobs that drive the per-benchmark
+// differences the figures report.
+//
+// The kernels are infinite loops; the harness bounds each run by committed
+// instruction count.
+package workloads
+
+import (
+	"math/rand"
+
+	"safespec/internal/asm"
+	"safespec/internal/isa"
+)
+
+// Pattern selects the data-access pattern of a kernel.
+type Pattern uint8
+
+const (
+	// PatternSeq streams sequentially through the working set.
+	PatternSeq Pattern = iota
+	// PatternStride strides through the working set (Stride bytes).
+	PatternStride
+	// PatternRand does LCG-randomized accesses over the working set.
+	PatternRand
+	// PatternChase follows a pre-permuted linked list (pointer chasing,
+	// serializing the memory accesses like mcf/omnetpp).
+	PatternChase
+)
+
+// Spec describes one synthetic kernel.
+type Spec struct {
+	// Name is the SPEC2017 benchmark this kernel stands in for.
+	Name string
+	// DataBytes is the working-set size (rounded up to 8 bytes).
+	DataBytes int
+	// Pattern selects the access pattern.
+	Pattern Pattern
+	// Stride is the PatternStride step in bytes.
+	Stride int
+	// LoadsPerIter is how many data loads each iteration performs.
+	LoadsPerIter int
+	// StoreEvery issues one store every N iterations (0 = never).
+	StoreEvery int
+	// BranchEntropy adds data-dependent branches: 0 = none, 1 = one
+	// moderately biased branch per iteration, 2 = two unbiased branches
+	// (mispredict-heavy like deepsjeng/gcc).
+	BranchEntropy int
+	// IntOps / MulOps / FPOps add per-iteration compute instructions.
+	IntOps, MulOps, FPOps int
+	// CodeBlocks dispatches through a jump table over N distinct padded
+	// code blocks per iteration (I-cache and BTB pressure).
+	CodeBlocks int
+	// BlockPadLines pads each code block to this many I-cache lines.
+	BlockPadLines int
+	// PageSpan, if > 0, adds one load per iteration striding page-by-page
+	// over this many pages (dTLB pressure).
+	PageSpan int
+	// Seed fixes the generator's PRNG.
+	Seed int64
+}
+
+// Memory layout of generated kernels (virtual addresses).
+const (
+	dataBase  uint64 = 0x0010_0000 // main working set
+	tableBase uint64 = 0x0800_0000 // jump table for code blocks
+	pageBase  uint64 = 0x1000_0000 // page-span region (dTLB pressure)
+	miscBase  uint64 = 0x0008_0000 // scratch (stores)
+)
+
+// Build generates the kernel program for the spec.
+func (s Spec) Build() *isa.Program {
+	rng := rand.New(rand.NewSource(s.Seed))
+	b := asm.NewBuilder()
+
+	words := s.DataBytes / 8
+	if words < 16 {
+		words = 16
+	}
+	b.Region(dataBase, uint64(words*8), false)
+	b.Region(miscBase, 4096, false)
+
+	// Initialize the chase permutation in the data image: a single cycle
+	// visiting every word in pseudo-random order.
+	if s.Pattern == PatternChase {
+		perm := rng.Perm(words)
+		for i := 0; i < words; i++ {
+			from := perm[i]
+			to := perm[(i+1)%words]
+			b.Data(dataBase+uint64(from*8), int64(dataBase)+int64(to*8))
+		}
+	}
+	if s.PageSpan > 0 {
+		b.Region(pageBase, uint64(s.PageSpan)*4096, false)
+	}
+	if s.CodeBlocks > 0 {
+		b.Region(tableBase, uint64(s.CodeBlocks*8), false)
+		for i := 0; i < s.CodeBlocks; i++ {
+			b.DataLabel(tableBase+uint64(i*8), blockLabel(i))
+		}
+	}
+
+	// Register roles.
+	const (
+		rBase   = isa.S0 // data base
+		rPtr    = isa.S1 // chase pointer / stream cursor
+		rX      = isa.S2 // LCG state
+		rAcc    = isa.S3 // load accumulator
+		rIter   = isa.S4 // iteration counter
+		rMask   = isa.S5 // working-set index mask (bytes, 8-aligned)
+		rTmp    = isa.T0
+		rTmp2   = isa.T1
+		rAddr   = isa.T2
+		rFP1    = isa.S6
+		rFP2    = isa.S7
+		rPgBase = isa.S8
+		rPgIdx  = isa.S9
+		rTbl    = isa.S10
+	)
+
+	b.Movi(rBase, int64(dataBase))
+	b.Movi(rPtr, int64(dataBase))
+	b.Movi(rX, s.Seed|1)
+	b.Movi(rAcc, 0)
+	b.Movi(rIter, 0)
+	// Mask for word-aligned indices within the working set. words is not
+	// necessarily a power of two; use modulo via Rem for generality on the
+	// random pattern, mask only when power of two.
+	b.Movi(rMask, int64(words*8-8)&^7)
+	b.Movi(rFP1, 3)
+	b.Movi(rFP2, 5)
+	if s.PageSpan > 0 {
+		b.Movi(rPgBase, int64(pageBase))
+		b.Movi(rPgIdx, 0)
+	}
+	if s.CodeBlocks > 0 {
+		b.Movi(rTbl, int64(tableBase))
+	}
+
+	b.Label("outer")
+
+	// LCG step: x = x*25214903917 + 11 (mul latency + unpredictable bits).
+	b.Movi(rTmp, 25214903917)
+	b.Mul(rX, rX, rTmp)
+	b.Addi(rX, rX, 11)
+
+	// Data loads.
+	for l := 0; l < maxInt(1, s.LoadsPerIter); l++ {
+		switch s.Pattern {
+		case PatternSeq:
+			b.Addi(rPtr, rPtr, 8)
+			b.Sub(rTmp, rPtr, rBase)
+			b.And(rTmp, rTmp, rMask)
+			b.Add(rAddr, rBase, rTmp)
+			b.Load(rTmp2, rAddr, 0)
+			b.Add(rAcc, rAcc, rTmp2)
+		case PatternStride:
+			b.Addi(rPtr, rPtr, int64(maxInt(8, s.Stride)))
+			b.Sub(rTmp, rPtr, rBase)
+			b.And(rTmp, rTmp, rMask)
+			b.Add(rAddr, rBase, rTmp)
+			b.Load(rTmp2, rAddr, 0)
+			b.Add(rAcc, rAcc, rTmp2)
+		case PatternRand:
+			b.Shri(rTmp, rX, 11+int64(l))
+			b.And(rTmp, rTmp, rMask)
+			b.Andi(rTmp, rTmp, ^int64(7))
+			b.Add(rAddr, rBase, rTmp)
+			b.Load(rTmp2, rAddr, 0)
+			b.Add(rAcc, rAcc, rTmp2)
+		case PatternChase:
+			// ptr = mem[ptr]: fully serialized dependent loads.
+			b.Load(rPtr, rPtr, 0)
+			b.Add(rAcc, rAcc, rPtr)
+		}
+	}
+
+	// dTLB pressure: one load per iteration walking across PageSpan pages.
+	if s.PageSpan > 0 {
+		b.Addi(rPgIdx, rPgIdx, 4096)
+		b.Movi(rTmp, int64(s.PageSpan)*4096)
+		b.Rem(rPgIdx, rPgIdx, rTmp)
+		b.Add(rAddr, rPgBase, rPgIdx)
+		b.Load(rTmp2, rAddr, 0)
+		b.Add(rAcc, rAcc, rTmp2)
+	}
+
+	// Data-dependent branches. Biases mimic real integer codes: mostly
+	// predictable with a data-dependent minority direction (SPEC-class
+	// mispredict rates are a few percent, not coin flips).
+	if s.BranchEntropy >= 1 {
+		b.Shri(rTmp, rX, 17)
+		b.Andi(rTmp, rTmp, 15)
+		b.Bne(rTmp, isa.Zero, "skip1") // ~94% taken
+		b.Addi(rAcc, rAcc, 7)
+		b.Label("skip1")
+	}
+	if s.BranchEntropy >= 2 {
+		b.Shri(rTmp, rX, 23)
+		b.Andi(rTmp, rTmp, 7)
+		b.Bne(rTmp, isa.Zero, "skip2") // ~87.5% taken
+		b.Xori(rAcc, rAcc, 0x5a)
+		b.Label("skip2")
+		b.Shri(rTmp, rX, 31)
+		b.Andi(rTmp, rTmp, 3)
+		b.Beq(rTmp, isa.Zero, "skip3") // ~25% taken
+		b.Addi(rAcc, rAcc, 3)
+		b.Label("skip3")
+	}
+
+	// Compute mix.
+	for i := 0; i < s.IntOps; i++ {
+		b.Xor(rTmp, rAcc, rX)
+		b.Add(rAcc, rAcc, rTmp)
+	}
+	for i := 0; i < s.MulOps; i++ {
+		b.Mul(rTmp, rAcc, rFP1)
+		b.Add(rAcc, rAcc, rTmp)
+	}
+	for i := 0; i < s.FPOps; i++ {
+		switch i % 3 {
+		case 0:
+			b.FMul(rFP1, rFP1, rFP2)
+		case 1:
+			b.FAdd(rFP2, rFP2, rFP1)
+		default:
+			b.FAdd(rAcc, rAcc, rFP1)
+		}
+	}
+
+	// Stores.
+	if s.StoreEvery > 0 {
+		b.Movi(rTmp, int64(s.StoreEvery))
+		b.Rem(rTmp, rIter, rTmp)
+		b.Bne(rTmp, isa.Zero, "nostore")
+		b.Movi(rAddr, int64(miscBase))
+		b.Shri(rTmp2, rX, 13)
+		b.Andi(rTmp2, rTmp2, 0x1f8)
+		b.Add(rAddr, rAddr, rTmp2)
+		b.Store(rAcc, rAddr, 0)
+		b.Label("nostore")
+	}
+
+	// Indirect dispatch through the jump table (I-cache/BTB pressure).
+	// The target changes every 16 iterations: real dispatch sites are
+	// phase-repetitive, so the BTB predicts most dynamic instances while
+	// the footprint still sweeps every block.
+	if s.CodeBlocks > 0 {
+		b.Shri(rTmp, rIter, 4)
+		b.Movi(rTmp2, int64(s.CodeBlocks))
+		b.Rem(rTmp, rTmp, rTmp2)
+		b.Shli(rTmp, rTmp, 3)
+		b.Add(rAddr, rTbl, rTmp)
+		b.Load(rTmp2, rAddr, 0)
+		// Indirect call to the selected block.
+		b.Calli(rTmp2, 0)
+	}
+
+	b.Addi(rIter, rIter, 1)
+	b.Jmp("outer")
+
+	// Code blocks: small padded functions.
+	if s.CodeBlocks > 0 {
+		pad := maxInt(1, s.BlockPadLines)*16 - 4
+		for i := 0; i < s.CodeBlocks; i++ {
+			b.Label(blockLabel(i))
+			b.Addi(isa.T3, isa.T3, int64(i))
+			b.Nops(pad)
+			b.Ret()
+		}
+	}
+
+	return b.MustBuild()
+}
+
+func blockLabel(i int) string { return "blk" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
