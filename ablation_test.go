@@ -1,18 +1,39 @@
 package safespec_test
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"safespec/internal/core"
 	"safespec/internal/shadow"
+	"safespec/internal/sweep"
 	"safespec/internal/workloads"
 )
 
 // Ablation benchmarks for the design choices DESIGN.md calls out: the
 // commit policy (WFB vs WFC), the shadow sizing, and the full-structure
-// behaviour. Run with `go test -bench=Ablation -benchmem`.
+// behaviour. Run with `go test -bench=Ablation -benchmem`. The sizing and
+// full-policy sweeps dispatch their custom-config jobs through the
+// internal/sweep engine.
 
 const ablationInstrs = 20_000
+
+// runJob executes one custom-config job on the sweep engine and returns its
+// IPC. Each call includes program generation and pool setup, so ns/op here
+// measures the full job path, not the bare simulation loop; the reported
+// IPC metric is what the ablation compares.
+func runJob(b *testing.B, job sweep.Job) float64 {
+	b.Helper()
+	results, err := sweep.Run(context.Background(), []sweep.Job{job}, sweep.Options{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if results[0].Err != nil {
+		b.Fatal(results[0].Err)
+	}
+	return results[0].Res.IPC()
+}
 
 // BenchmarkAblationCommitPolicy compares the two SafeSpec policies on a
 // branchy kernel: the paper finds "the benefit from doing WFB is small"
@@ -35,19 +56,21 @@ func BenchmarkAblationCommitPolicy(b *testing.B) {
 // Drop policy: the performance knee shows how much capacity the workloads
 // actually need, motivating the Figures 6-9 sizing study.
 func BenchmarkAblationShadowSizing(b *testing.B) {
-	w, _ := workloads.ByName("blender")
-	prog := w.Build()
 	for _, size := range []int{2, 4, 8, 16, 32, 72} {
-		b.Run(sizeName(size), func(b *testing.B) {
+		job := sweep.Job{
+			Bench: "blender",
+			Mode:  fmt.Sprintf("wfc-drop-%d", size),
+			Config: core.WFC().WithShadowPolicy(
+				shadow.Policy{Name: "shadow-dcache", Entries: size, WhenFull: shadow.Drop},
+				shadow.Policy{Name: "shadow-icache", Entries: 224},
+				shadow.Policy{Name: "shadow-dtlb", Entries: 72},
+				shadow.Policy{Name: "shadow-itlb", Entries: 224},
+			).WithLimits(ablationInstrs, 0),
+		}
+		b.Run(fmt.Sprintf("entries-%d", size), func(b *testing.B) {
 			var ipc float64
 			for i := 0; i < b.N; i++ {
-				cfg := core.WFC().WithShadowPolicy(
-					shadow.Policy{Name: "shadow-dcache", Entries: size, WhenFull: shadow.Drop},
-					shadow.Policy{Name: "shadow-icache", Entries: 224},
-					shadow.Policy{Name: "shadow-dtlb", Entries: 72},
-					shadow.Policy{Name: "shadow-itlb", Entries: 224},
-				).WithLimits(ablationInstrs, 0)
-				ipc = core.Run(cfg, prog).IPC()
+				ipc = runJob(b, job)
 			}
 			b.ReportMetric(ipc, "IPC")
 		})
@@ -60,8 +83,6 @@ func BenchmarkAblationShadowSizing(b *testing.B) {
 // fills — and all three leak transiently (Section V), which is why the
 // Secure sizing exists.
 func BenchmarkAblationFullPolicy(b *testing.B) {
-	w, _ := workloads.ByName("xz")
-	prog := w.Build()
 	for _, tc := range []struct {
 		name string
 		of   shadow.OnFull
@@ -70,16 +91,20 @@ func BenchmarkAblationFullPolicy(b *testing.B) {
 		{"Drop", shadow.Drop},
 		{"Replace", shadow.Replace},
 	} {
+		job := sweep.Job{
+			Bench: "xz",
+			Mode:  "wfc-full-" + tc.name,
+			Config: core.WFC().WithShadowPolicy(
+				shadow.Policy{Name: "shadow-dcache", Entries: 4, WhenFull: tc.of},
+				shadow.Policy{Name: "shadow-icache", Entries: 224},
+				shadow.Policy{Name: "shadow-dtlb", Entries: 72},
+				shadow.Policy{Name: "shadow-itlb", Entries: 224},
+			).WithLimits(ablationInstrs, 0),
+		}
 		b.Run(tc.name, func(b *testing.B) {
 			var ipc float64
 			for i := 0; i < b.N; i++ {
-				cfg := core.WFC().WithShadowPolicy(
-					shadow.Policy{Name: "shadow-dcache", Entries: 4, WhenFull: tc.of},
-					shadow.Policy{Name: "shadow-icache", Entries: 224},
-					shadow.Policy{Name: "shadow-dtlb", Entries: 72},
-					shadow.Policy{Name: "shadow-itlb", Entries: 224},
-				).WithLimits(ablationInstrs, 0)
-				ipc = core.Run(cfg, prog).IPC()
+				ipc = runJob(b, job)
 			}
 			b.ReportMetric(ipc, "IPC")
 		})
@@ -123,17 +148,4 @@ func BenchmarkAblationMeltdownSemantics(b *testing.B) {
 		dIPC = rv.IPC() - rs.IPC()
 	}
 	b.ReportMetric(dIPC, "IPC-delta")
-}
-
-func sizeName(n int) string {
-	const digits = "0123456789"
-	if n == 0 {
-		return "entries-0"
-	}
-	var buf []byte
-	for n > 0 {
-		buf = append([]byte{digits[n%10]}, buf...)
-		n /= 10
-	}
-	return "entries-" + string(buf)
 }

@@ -7,27 +7,55 @@
 package safespec_test
 
 import (
+	"context"
 	"testing"
 
 	"safespec/internal/attacks"
 	"safespec/internal/core"
 	"safespec/internal/figures"
 	"safespec/internal/hwmodel"
+	"safespec/internal/sweep"
 	"safespec/internal/workloads"
 )
 
-// benchSweep runs the reduced per-figure sweep over a representative
-// benchmark subset.
+// benchSweep runs the reduced per-figure sweep (the sweep.Quick matrix at a
+// slightly larger budget) through the internal/sweep engine.
 func benchSweep(b *testing.B) []figures.BenchResult {
 	b.Helper()
-	sc := figures.QuickSweep()
-	sc.Instructions = 20_000
-	sc.Benchmarks = []string{"perlbench", "mcf", "lbm", "exchange2", "gcc", "pop2"}
-	res, err := figures.RunSweep(sc)
+	spec := sweep.Quick()
+	spec.Instructions = 20_000
+	jobs, err := spec.Jobs()
 	if err != nil {
 		b.Fatal(err)
 	}
-	return res
+	results, err := sweep.Run(context.Background(), jobs, sweep.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows, err := figures.Group(results)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rows
+}
+
+// BenchmarkSweepEngine measures the engine itself on the CI smoke matrix:
+// the quick preset (6 benchmarks x 3 modes) on the default worker pool,
+// reporting aggregate simulation throughput.
+func BenchmarkSweepEngine(b *testing.B) {
+	jobs, err := sweep.Quick().Jobs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var agg sweep.Aggregate
+	for i := 0; i < b.N; i++ {
+		agg = sweep.Aggregate{}
+		if _, err := sweep.Run(context.Background(), jobs, sweep.Options{Sinks: []sweep.Sink{&agg}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(agg.Jobs), "jobs")
+	b.ReportMetric(float64(agg.Committed)*float64(b.N)/b.Elapsed().Seconds(), "sim-instrs/s")
 }
 
 // BenchmarkTable1_PipelineThroughput exercises the Table I core at full

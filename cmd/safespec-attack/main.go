@@ -1,20 +1,25 @@
 // Command safespec-attack runs the proof-of-concept speculation attacks
 // against the simulated CPU under each protection mode and prints the leak
-// matrix (the paper's Tables III and IV).
+// matrix (the paper's Tables III and IV). The attack × mode cells execute
+// concurrently on the internal/sweep worker pool; the printed matrix is
+// always in attack-major, baseline/wfb/wfc order regardless of scheduling.
 //
 // Usage:
 //
 //	safespec-attack                 # all attacks, all modes
 //	safespec-attack -attack meltdown -mode wfb -v
+//	safespec-attack -workers 1      # serial execution
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"safespec/internal/attacks"
 	"safespec/internal/core"
+	"safespec/internal/sweep"
 )
 
 func main() {
@@ -22,15 +27,25 @@ func main() {
 		attackName = flag.String("attack", "", "single attack to run (default: all)")
 		modeName   = flag.String("mode", "", "single mode to run (default: all)")
 		verbose    = flag.Bool("v", false, "print per-slot probe timings")
+		workers    = flag.Int("workers", 0, "attack worker pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*attackName, *modeName, *verbose); err != nil {
+	if err := run(*attackName, *modeName, *verbose, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-attack:", err)
 		os.Exit(1)
 	}
 }
 
-func run(attackName, modeName string, verbose bool) error {
+// cell is one attack × mode entry of the leak matrix.
+type cell struct {
+	attack attacks.Attack
+	mode   string
+	cfg    core.Config
+	out    attacks.Outcome
+	err    error
+}
+
+func run(attackName, modeName string, verbose bool, workers int) error {
 	modes := []struct {
 		name string
 		cfg  core.Config
@@ -40,7 +55,7 @@ func run(attackName, modeName string, verbose bool) error {
 		{"wfc", core.WFC()},
 	}
 
-	fmt.Printf("%-16s %-9s %-8s %-10s %s\n", "attack", "mode", "leaked", "recovered", "planted")
+	var cells []cell
 	for _, a := range attacks.All() {
 		if attackName != "" && a.Name != attackName {
 			continue
@@ -49,15 +64,33 @@ func run(attackName, modeName string, verbose bool) error {
 			if modeName != "" && m.name != modeName {
 				continue
 			}
-			out, err := attacks.Execute(a, m.cfg)
-			if err != nil {
-				return err
-			}
-			fmt.Printf("%-16s %-9s %-8v %-10d %d\n", a.Name, m.name, out.Leaked, out.Recovered, out.Secret)
-			if verbose {
-				fmt.Printf("    probe cycles: %v\n", out.Times)
-			}
+			cells = append(cells, cell{attack: a, mode: m.name, cfg: m.cfg})
 		}
+	}
+
+	// Each Execute builds its own simulator, so the cells are independent;
+	// results land in the cell slice, keeping the printed order fixed.
+	err := sweep.ForEach(context.Background(), len(cells), workers,
+		func(_ context.Context, i int) error {
+			cells[i].out, cells[i].err = attacks.Execute(cells[i].attack, cells[i].cfg)
+			return cells[i].err
+		})
+
+	// A failed cell must not discard the rest of the matrix: print every
+	// computed row (errored cells flagged in place), then propagate the error.
+	fmt.Printf("%-16s %-9s %-8s %-10s %s\n", "attack", "mode", "leaked", "recovered", "planted")
+	for _, c := range cells {
+		if c.err != nil {
+			fmt.Printf("%-16s %-9s error: %v\n", c.attack.Name, c.mode, c.err)
+			continue
+		}
+		fmt.Printf("%-16s %-9s %-8v %-10d %d\n", c.attack.Name, c.mode, c.out.Leaked, c.out.Recovered, c.out.Secret)
+		if verbose {
+			fmt.Printf("    probe cycles: %v\n", c.out.Times)
+		}
+	}
+	if err != nil {
+		return err
 	}
 
 	if attackName == "" || attackName == "tsa" {

@@ -3,13 +3,13 @@ package main
 import "testing"
 
 func TestRunSingleAttack(t *testing.T) {
-	if err := run("spectre-v1", "baseline", true); err != nil {
+	if err := run("spectre-v1", "baseline", true, 2); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTSAOnly(t *testing.T) {
-	if err := run("tsa", "", false); err != nil {
+	if err := run("tsa", "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,65 +12,111 @@
 //	safespec-bench -figs overhead       # Table V only
 //	safespec-bench -instrs 250000       # longer runs
 //	safespec-bench -bench mcf,gcc       # subset of benchmarks
+//	safespec-bench -workers 4           # bound the worker pool
+//	safespec-bench -quick               # CI smoke matrix
+//	safespec-bench -figs perf -json     # per-job JSON-lines rows on stdout
+//
+// The per-job rows emitted by -json are deterministic and arrive in job
+// order for any -workers value, so outputs are byte-identical across worker
+// counts. Progress and accounting go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"safespec/internal/figures"
+	"safespec/internal/sweep"
 )
 
-func main() {
-	var (
-		figsFlag   = flag.String("figs", "all", "which outputs: all|sizing|perf|security|overhead|config")
-		instrs     = flag.Uint64("instrs", figures.DefaultSweep().Instructions, "committed instructions per benchmark run")
-		benchNames = flag.String("bench", "", "comma-separated benchmark subset (default: all 21)")
-		serial     = flag.Bool("serial", false, "run benchmarks one at a time")
-	)
-	flag.Parse()
+// options carries the flag surface (kept as a struct so tests can drive run
+// directly and capture its output).
+type options struct {
+	figs    string
+	instrs  uint64 // 0 = preset default
+	bench   string
+	serial  bool
+	workers int
+	timeout time.Duration
+	json    bool
+	quick   bool
+	out     io.Writer // table / JSON output (stdout in main)
+	info    io.Writer // progress + accounting (stderr in main)
+}
 
-	if err := run(*figsFlag, *instrs, *benchNames, *serial); err != nil {
+func main() {
+	var o options
+	flag.StringVar(&o.figs, "figs", "all", "which outputs: all|sizing|perf|security|overhead|config")
+	flag.Uint64Var(&o.instrs, "instrs", 0, "committed instructions per benchmark run (default: preset)")
+	flag.StringVar(&o.bench, "bench", "", "comma-separated benchmark subset (default: all 21)")
+	flag.BoolVar(&o.serial, "serial", false, "run benchmarks one at a time (same as -workers 1)")
+	flag.IntVar(&o.workers, "workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	flag.DurationVar(&o.timeout, "timeout", 0, "abort the sweep after this long (0 = no bound)")
+	flag.BoolVar(&o.json, "json", false, "emit per-job JSON-lines rows on stdout instead of tables (requires -figs sizing|perf|overhead)")
+	flag.BoolVar(&o.quick, "quick", false, "use the reduced smoke matrix (sweep.Quick) for CI")
+	flag.Parse()
+	o.out, o.info = os.Stdout, os.Stderr
+
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(figsFlag string, instrs uint64, benchNames string, serial bool) error {
-	want := func(k string) bool { return figsFlag == "all" || figsFlag == k }
-
-	if want("config") {
-		printConfig()
+func run(o options) error {
+	want := func(k string) bool { return o.figs == "all" || o.figs == k }
+	sweeps := want("sizing") || want("perf") || want("overhead")
+	if o.json {
+		switch o.figs {
+		case "sizing", "perf", "overhead":
+		default:
+			// "all" is rejected too: its security/config outputs have no row
+			// representation and would be silently dropped.
+			return fmt.Errorf("-json emits per-job sweep rows; -figs %s has outputs without rows (want sizing|perf|overhead)", o.figs)
+		}
 	}
 
-	var sweep []figures.BenchResult
-	if want("sizing") || want("perf") || want("overhead") {
-		sc := figures.DefaultSweep()
-		sc.Instructions = instrs
-		sc.Parallel = !serial
-		if benchNames != "" {
-			sc.Benchmarks = strings.Split(benchNames, ",")
+	if want("config") && !o.json {
+		printConfig(o.out)
+	}
+
+	var sweepRes []figures.BenchResult
+	if sweeps {
+		sc := sweepConfig(o)
+		agg := &sweep.Aggregate{}
+		sc.Sinks = append(sc.Sinks, agg)
+		if o.json {
+			sc.Sinks = append(sc.Sinks, sweep.NewJSONL(o.out))
 		}
-		fmt.Printf("running sweep: %d instructions per benchmark per mode...\n\n", sc.Instructions)
+		fmt.Fprintf(o.info, "running sweep: %d instructions per benchmark per mode...\n", sc.Instructions)
 		var err error
-		sweep, err = figures.RunSweep(sc)
+		sweepRes, err = figures.RunSweep(sc)
 		if err != nil {
 			return err
 		}
+		fmt.Fprintf(o.info, "sweep done: %s\n", agg)
 	}
 
-	if want("sizing") {
-		fmt.Println("=== Figures 6-9: shadow structure size covering 99.99% of cycles ===")
-		fmt.Println(figures.FormatSizing(figures.Sizing(sweep)))
+	if !o.json {
+		if want("sizing") {
+			fmt.Fprintln(o.out, "=== Figures 6-9: shadow structure size covering 99.99% of cycles ===")
+			fmt.Fprintln(o.out, figures.FormatSizing(figures.Sizing(sweepRes)))
+		}
+		if want("perf") {
+			fmt.Fprintln(o.out, "=== Figures 11-16: performance of SafeSpec (WFC) vs baseline ===")
+			fmt.Fprintln(o.out, figures.FormatPerformance(figures.Performance(sweepRes)))
+		}
+		if want("overhead") {
+			fmt.Fprintln(o.out, "=== Table V: hardware overhead at 40nm ===")
+			fmt.Fprintln(o.out, figures.FormatTableV(figures.TableVFromSizing(figures.Sizing(sweepRes))))
+		}
 	}
-	if want("perf") {
-		fmt.Println("=== Figures 11-16: performance of SafeSpec (WFC) vs baseline ===")
-		fmt.Println(figures.FormatPerformance(figures.Performance(sweep)))
-	}
-	if want("security") {
-		fmt.Println("=== Tables III/IV: security evaluation ===")
+	if want("security") && !o.json {
+		fmt.Fprintln(o.out, "=== Tables III/IV: security evaluation ===")
 		rows, err := figures.Security()
 		if err != nil {
 			return err
@@ -79,23 +125,47 @@ func run(figsFlag string, instrs uint64, benchNames string, serial bool) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(figures.FormatSecurity(rows, tr))
-	}
-	if want("overhead") {
-		fmt.Println("=== Table V: hardware overhead at 40nm ===")
-		fmt.Println(figures.FormatTableV(figures.TableVFromSizing(figures.Sizing(sweep))))
+		fmt.Fprintln(o.out, figures.FormatSecurity(rows, tr))
 	}
 	return nil
 }
 
-func printConfig() {
-	fmt.Println("=== Tables I/II: simulated CPU configuration (Skylake-like) ===")
-	fmt.Print(`CPU           6-wide issue, 96-entry IQ, 224-entry ROB, 72-entry LDQ, 56-entry STQ
+// sweepConfig derives the figures sweep configuration from the flags:
+// -quick selects the CI smoke matrix, -instrs/-bench override the preset,
+// and -serial forces a single worker.
+func sweepConfig(o options) figures.SweepConfig {
+	sc := figures.DefaultSweep()
+	if o.quick {
+		sc = figures.QuickSweep()
+		sc.Benchmarks = sweep.Quick().Benchmarks
+	}
+	if o.instrs > 0 {
+		sc.Instructions = o.instrs
+		// Keep the safety cycle bound proportionate (the default budget's
+		// cycles-per-instruction ratio) so a raised -instrs is never
+		// silently truncated by a preset's smaller bound.
+		d := figures.DefaultSweep()
+		sc.MaxCycles = max(sc.MaxCycles, o.instrs*(d.MaxCycles/d.Instructions))
+	}
+	if o.bench != "" {
+		sc.Benchmarks = strings.Split(o.bench, ",")
+	}
+	sc.Workers = o.workers
+	sc.Timeout = o.timeout
+	if o.serial {
+		sc.Workers = 1
+	}
+	return sc
+}
+
+func printConfig(w io.Writer) {
+	fmt.Fprintln(w, "=== Tables I/II: simulated CPU configuration (Skylake-like) ===")
+	fmt.Fprint(w, `CPU           6-wide issue, 96-entry IQ, 224-entry ROB, 72-entry LDQ, 56-entry STQ
 TLBs          64-entry iTLB, 64-entry dTLB (4-way)
 L1I / L1D     32 KB, 8-way, 64 B lines, 4-cycle hit
 L2            256 KB, 4-way, 64 B lines, 12-cycle hit
 L3            2 MB, 16-way, 64 B lines, 44-cycle hit
 Memory        191 cycles
 `)
-	fmt.Println()
+	fmt.Fprintln(w)
 }

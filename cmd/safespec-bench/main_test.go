@@ -1,27 +1,98 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+// testOpts returns options writing tables to out and progress to io.Discard.
+func testOpts(out io.Writer) options {
+	return options{out: out, info: io.Discard}
+}
 
 func TestRunConfigOnly(t *testing.T) {
-	if err := run("config", 1000, "", false); err != nil {
+	o := testOpts(io.Discard)
+	o.figs, o.instrs = "config", 1000
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunSizingSubset(t *testing.T) {
-	if err := run("sizing", 3000, "exchange2,lbm", false); err != nil {
+	o := testOpts(io.Discard)
+	o.figs, o.instrs, o.bench = "sizing", 3000, "exchange2,lbm"
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPerfSubset(t *testing.T) {
-	if err := run("perf", 3000, "exchange2", true); err != nil {
+	o := testOpts(io.Discard)
+	o.figs, o.instrs, o.bench, o.serial = "perf", 3000, "exchange2", true
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestJSONRejectsNonSweepFigs(t *testing.T) {
+	for _, figs := range []string{"security", "config", "all"} {
+		o := testOpts(io.Discard)
+		o.figs, o.json = figs, true
+		if err := run(o); err == nil {
+			t.Errorf("-json with -figs %s must error instead of printing nothing", figs)
+		}
+	}
+}
+
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("perf", 1000, "missing-bench", false); err == nil {
+	o := testOpts(io.Discard)
+	o.figs, o.instrs, o.bench = "perf", 1000, "missing-bench"
+	if err := run(o); err == nil {
 		t.Error("unknown benchmark must error")
+	}
+}
+
+// TestJSONDeterministicAcrossWorkers is the acceptance check: the -json
+// rows of the quick preset are byte-identical for -workers 1 and -workers 8.
+func TestJSONDeterministicAcrossWorkers(t *testing.T) {
+	jsonOut := func(workers int) string {
+		var buf bytes.Buffer
+		o := testOpts(&buf)
+		o.figs, o.json, o.quick, o.workers = "perf", true, true, workers
+		o.bench = "exchange2,perlbench,mcf" // trim the quick matrix for test time
+		o.instrs = 4000
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	one, eight := jsonOut(1), jsonOut(8)
+	if one != eight {
+		t.Errorf("-json output differs between -workers 1 and -workers 8:\n%q\nvs\n%q", one, eight)
+	}
+	if n := strings.Count(one, "\n"); n != 9 {
+		t.Errorf("want 9 JSON rows (3 benches x 3 modes), got %d", n)
+	}
+	if !strings.Contains(one, `"bench":"exchange2"`) || !strings.Contains(one, `"mode":"wfc"`) {
+		t.Errorf("JSON rows malformed: %s", one)
+	}
+	if strings.Contains(one, "===") {
+		t.Error("-json must suppress the human tables")
+	}
+}
+
+func TestQuickPreset(t *testing.T) {
+	var buf bytes.Buffer
+	o := testOpts(&buf)
+	o.figs, o.quick = "perf", true
+	o.bench = "exchange2"
+	o.instrs = 2000
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "geomean") {
+		t.Error("perf table missing geomean")
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"safespec/internal/figures"
 	"safespec/internal/hwmodel"
@@ -26,26 +27,31 @@ func main() {
 		rob     = flag.Int("rob", 224, "ROB size bounding the instruction-side worst case")
 		wfcSpec = flag.String("wfc", "", "WFC sizing as d$,i$,dtlb,itlb (default: paper's values)")
 		measure = flag.Bool("measure", false, "derive the WFC sizing from a fresh workload sweep")
+		workers = flag.Int("workers", 0, "sweep worker pool size for -measure (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "abort the -measure sweep after this long (0 = no bound)")
 	)
 	flag.Parse()
-	if err := run(*ldq, *rob, *wfcSpec, *measure); err != nil {
+	if err := run(*ldq, *rob, *wfcSpec, *measure, *workers, *timeout); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-overhead:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ldq, rob int, wfcSpec string, measure bool) error {
+func run(ldq, rob int, wfcSpec string, measure bool, workers int, timeout time.Duration) error {
 	tech := hwmodel.Tech40nm()
 	secure := hwmodel.SecureSizes(ldq, rob)
 
 	var rows [2]hwmodel.Report
 	switch {
 	case measure:
-		sweep, err := figures.RunSweep(figures.DefaultSweep())
+		sc := figures.DefaultSweep()
+		sc.Workers = workers
+		sc.Timeout = timeout
+		sweepRes, err := figures.RunSweep(sc)
 		if err != nil {
 			return err
 		}
-		rows = figures.TableVFromSizing(figures.Sizing(sweep))
+		rows = figures.TableVFromSizing(figures.Sizing(sweepRes))
 	case wfcSpec != "":
 		parts := strings.Split(wfcSpec, ",")
 		if len(parts) != 4 {

@@ -1,19 +1,26 @@
 // Command safespec-sim runs one benchmark kernel under one protection mode
 // and prints the full statistics — the workhorse for exploring the
-// simulator interactively.
+// simulator interactively. The run is dispatched through the internal/sweep
+// engine, so it gets the same wall-time accounting and panic isolation as
+// the full evaluation sweep.
 //
 // Usage:
 //
 //	safespec-sim -bench mcf -mode wfc -instrs 100000
+//	safespec-sim -bench gcc -seed 12345
 //	safespec-sim -list
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"safespec/internal/core"
+	"safespec/internal/sweep"
 	"safespec/internal/workloads"
 )
 
@@ -22,6 +29,7 @@ func main() {
 		benchName = flag.String("bench", "perlbench", "benchmark kernel to run")
 		mode      = flag.String("mode", "wfc", "protection mode: baseline|wfb|wfc")
 		instrs    = flag.Uint64("instrs", 100_000, "committed instructions to simulate")
+		seed      = flag.Int64("seed", 0, "program-generator seed override (0 = benchmark default)")
 		list      = flag.Bool("list", false, "list available benchmarks and exit")
 		occupancy = flag.Bool("occupancy", false, "report shadow occupancy percentiles")
 	)
@@ -33,35 +41,50 @@ func main() {
 		}
 		return
 	}
-	if err := run(*benchName, *mode, *instrs, *occupancy); err != nil {
+	if err := run(*benchName, *mode, *instrs, *occupancy, *seed); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, mode string, instrs uint64, occupancy bool) error {
-	w, err := workloads.ByName(benchName)
+func run(benchName, mode string, instrs uint64, occupancy bool, seed int64) error {
+	cfg, err := modeConfig(mode)
 	if err != nil {
 		return err
-	}
-	var cfg core.Config
-	switch mode {
-	case "baseline":
-		cfg = core.Baseline()
-	case "wfb":
-		cfg = core.WFB()
-	case "wfc":
-		cfg = core.WFC()
-	default:
-		return fmt.Errorf("unknown mode %q (want baseline|wfb|wfc)", mode)
 	}
 	cfg = cfg.WithLimits(instrs, 0)
 	cfg.SampleOccupancy = occupancy
 
-	res := core.Run(cfg, w.Build())
+	job := sweep.Job{Bench: benchName, Mode: mode, Seed: seed, Config: cfg}
+	results, err := sweep.Run(context.Background(), []sweep.Job{job}, sweep.Options{Workers: 1})
+	if err != nil {
+		return err
+	}
+	if results[0].Err != nil {
+		return results[0].Err
+	}
+	return printStats(benchName, occupancy, results[0])
+}
 
+// modeConfig resolves -mode against sweep.StandardModes so the CLI accepts
+// exactly the mode set the evaluation matrix runs.
+func modeConfig(mode string) (core.Config, error) {
+	specs := sweep.StandardModes()
+	names := make([]string, len(specs))
+	for i, m := range specs {
+		if m.Name == mode {
+			return m.Config, nil
+		}
+		names[i] = m.Name
+	}
+	return core.Config{}, fmt.Errorf("unknown mode %q (want %s)", mode, strings.Join(names, "|"))
+}
+
+func printStats(benchName string, occupancy bool, jr sweep.Result) error {
+	res := jr.Res
 	fmt.Printf("benchmark      %s\n", benchName)
 	fmt.Printf("mode           %s\n", res.Mode)
+	fmt.Printf("wall time      %v\n", jr.Wall.Round(time.Microsecond))
 	fmt.Printf("cycles         %d\n", res.Cycles)
 	fmt.Printf("committed      %d (IPC %.3f)\n", res.Committed, res.IPC())
 	fmt.Printf("  loads/stores %d / %d\n", res.CommittedLoads, res.CommittedStores)

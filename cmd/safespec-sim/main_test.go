@@ -4,20 +4,20 @@ import "testing"
 
 func TestRunModes(t *testing.T) {
 	for _, mode := range []string{"baseline", "wfb", "wfc"} {
-		if err := run("exchange2", mode, 2000, true); err != nil {
+		if err := run("exchange2", mode, 2000, true, 0); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("nope", "wfc", 1000, false); err == nil {
+	if err := run("nope", "wfc", 1000, false, 0); err == nil {
 		t.Error("unknown benchmark must error")
 	}
 }
 
 func TestRunUnknownMode(t *testing.T) {
-	if err := run("mcf", "turbo", 1000, false); err == nil {
+	if err := run("mcf", "turbo", 1000, false, 0); err == nil {
 		t.Error("unknown mode must error")
 	}
 }

@@ -55,10 +55,3 @@ func main() {
 	fmt.Println("\nThe Secure sizing eliminates shadow-structure contention (and with it")
 	fmt.Println("the transient covert channel of Section V) at a hardware premium.")
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

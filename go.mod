@@ -1,0 +1,3 @@
+module safespec
+
+go 1.24

@@ -6,16 +6,17 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
+	"time"
 
 	"safespec/internal/attacks"
 	"safespec/internal/core"
 	"safespec/internal/hwmodel"
 	"safespec/internal/stats"
-	"safespec/internal/workloads"
+	"safespec/internal/sweep"
 )
 
 // SweepConfig bounds the per-benchmark runs.
@@ -24,20 +25,41 @@ type SweepConfig struct {
 	Instructions uint64
 	// MaxCycles is the safety cycle bound per run.
 	MaxCycles uint64
-	// Parallel runs benchmarks on multiple goroutines.
-	Parallel bool
+	// Workers bounds the worker pool (<=0 selects GOMAXPROCS; 1 = serial).
+	Workers int
+	// Timeout bounds the whole sweep (0 = none).
+	Timeout time.Duration
 	// Benchmarks restricts the sweep (nil = all 21).
 	Benchmarks []string
+	// Sinks additionally observe every per-job result in job order (e.g.
+	// the JSON-lines output of cmd/safespec-bench).
+	Sinks []sweep.Sink
 }
 
 // DefaultSweep returns the configuration used by cmd/safespec-bench.
 func DefaultSweep() SweepConfig {
-	return SweepConfig{Instructions: 120_000, MaxCycles: 30_000_000, Parallel: true}
+	return SweepConfig{Instructions: 120_000, MaxCycles: 30_000_000}
 }
 
-// QuickSweep returns a reduced configuration for tests.
+// QuickSweep returns a reduced configuration for tests and CI, with run
+// limits taken from the sweep.Quick smoke matrix (the single source of the
+// quick budget). The benchmark set is left unrestricted; callers that want
+// Quick's subset use it explicitly.
 func QuickSweep() SweepConfig {
-	return SweepConfig{Instructions: 15_000, MaxCycles: 5_000_000, Parallel: true}
+	q := sweep.Quick()
+	return SweepConfig{Instructions: q.Instructions, MaxCycles: q.MaxCycles}
+}
+
+// Matrix expands the config into the sweep job list (benchmark-major,
+// baseline/WFC/WFB per benchmark, occupancy sampling on).
+func (sc SweepConfig) Matrix() ([]sweep.Job, error) {
+	spec := sweep.MatrixSpec{
+		Benchmarks:      sc.Benchmarks,
+		Instructions:    sc.Instructions,
+		MaxCycles:       sc.MaxCycles,
+		SampleOccupancy: true,
+	}
+	return spec.Jobs()
 }
 
 // BenchResult holds one benchmark's results under the three modes.
@@ -49,55 +71,57 @@ type BenchResult struct {
 }
 
 // RunSweep executes every selected workload under baseline, WFC and WFB
-// with occupancy sampling enabled, returning results in figure order.
+// with occupancy sampling enabled, returning results in figure order. It is
+// a thin consumer of internal/sweep: the matrix expansion, worker pool and
+// sinks all live there.
 func RunSweep(sc SweepConfig) ([]BenchResult, error) {
-	list := workloads.All()
-	if sc.Benchmarks != nil {
-		var filtered []workloads.Workload
-		for _, name := range sc.Benchmarks {
-			w, err := workloads.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			filtered = append(filtered, w)
-		}
-		list = filtered
+	jobs, err := sc.Matrix()
+	if err != nil {
+		return nil, err
 	}
-	results := make([]BenchResult, len(list))
-	run := func(i int) {
-		w := list[i]
-		prog := w.Build()
-		mk := func(cfg core.Config) *core.Results {
-			cfg = cfg.WithLimits(sc.Instructions, sc.MaxCycles)
-			cfg.SampleOccupancy = true
-			return core.Run(cfg, prog)
-		}
-		results[i] = BenchResult{
-			Name:     w.Name,
-			Baseline: mk(core.Baseline()),
-			WFC:      mk(core.WFC()),
-			WFB:      mk(core.WFB()),
-		}
+	results, err := sweep.Run(context.Background(), jobs,
+		sweep.Options{Workers: sc.Workers, Timeout: sc.Timeout, Sinks: sc.Sinks})
+	if err != nil {
+		return nil, err
 	}
-	if sc.Parallel {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, 8)
-		for i := range list {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(i int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				run(i)
-			}(i)
-		}
-		wg.Wait()
-	} else {
-		for i := range list {
-			run(i)
-		}
+	return Group(results)
+}
+
+// Group folds per-job sweep results into per-benchmark rows, preserving job
+// order. The jobs must come from a single-seed standard-modes matrix (as
+// built by SweepConfig.Matrix); the first per-job error aborts with that
+// error, and a duplicate (bench, mode) cell — e.g. from a multi-seed fan —
+// is rejected rather than silently keeping only the last seed.
+func Group(results []sweep.Result) ([]BenchResult, error) {
+	if err := sweep.FirstErr(results); err != nil {
+		return nil, err
 	}
-	return results, nil
+	var rows []BenchResult
+	index := map[string]int{}
+	for _, r := range results {
+		i, ok := index[r.Job.Bench]
+		if !ok {
+			i = len(rows)
+			index[r.Job.Bench] = i
+			rows = append(rows, BenchResult{Name: r.Job.Bench})
+		}
+		var slot **core.Results
+		switch r.Job.Mode {
+		case "baseline":
+			slot = &rows[i].Baseline
+		case "wfc":
+			slot = &rows[i].WFC
+		case "wfb":
+			slot = &rows[i].WFB
+		default:
+			return nil, fmt.Errorf("figures: job %s: unknown mode %q", r.Job, r.Job.Mode)
+		}
+		if *slot != nil {
+			return nil, fmt.Errorf("figures: job %s: duplicate (bench, mode) result; Group needs a single-seed matrix", r.Job)
+		}
+		*slot = r.Res
+	}
+	return rows, nil
 }
 
 // SizingRow is one benchmark's Figures 6-9 data point: the shadow-structure
@@ -250,19 +274,12 @@ func Transient() (TransientRow, error) {
 func TableVFromSizing(rows []SizingRow) [2]hwmodel.Report {
 	wfc := hwmodel.ShadowSizes{DCache: 1, ICache: 1, DTLB: 1, ITLB: 1}
 	for _, r := range rows {
-		wfc.DCache = maxInt(wfc.DCache, r.DCacheWFC)
-		wfc.ICache = maxInt(wfc.ICache, r.ICacheWFC)
-		wfc.DTLB = maxInt(wfc.DTLB, r.DTLBWFC)
-		wfc.ITLB = maxInt(wfc.ITLB, r.ITLBWFC)
+		wfc.DCache = max(wfc.DCache, r.DCacheWFC)
+		wfc.ICache = max(wfc.ICache, r.ICacheWFC)
+		wfc.DTLB = max(wfc.DTLB, r.DTLBWFC)
+		wfc.ITLB = max(wfc.ITLB, r.ITLBWFC)
 	}
 	return hwmodel.TableV(hwmodel.Tech40nm(), hwmodel.SecureSizes(72, 224), wfc)
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // --- formatting ---

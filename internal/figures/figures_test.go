@@ -1,14 +1,17 @@
 package figures
 
 import (
+	"context"
 	"strings"
 	"testing"
+
+	"safespec/internal/sweep"
 )
 
 // sweepOnce caches one reduced sweep across the tests in this package.
 var sweepCache []BenchResult
 
-func sweep(t *testing.T) []BenchResult {
+func testSweep(t *testing.T) []BenchResult {
 	t.Helper()
 	if sweepCache != nil {
 		return sweepCache
@@ -32,7 +35,7 @@ func TestRunSweepUnknownBenchmark(t *testing.T) {
 }
 
 func TestSweepProducesAllModes(t *testing.T) {
-	for _, r := range sweep(t) {
+	for _, r := range testSweep(t) {
 		if r.Baseline == nil || r.WFC == nil || r.WFB == nil {
 			t.Fatalf("%s: missing mode results", r.Name)
 		}
@@ -42,11 +45,33 @@ func TestSweepProducesAllModes(t *testing.T) {
 	}
 }
 
+// TestGroupRejectsDuplicateCell guards the single-seed contract: a
+// multi-seed fan produces two results per (bench, mode) and must error
+// instead of silently keeping only the last seed.
+func TestGroupRejectsDuplicateCell(t *testing.T) {
+	sc := QuickSweep()
+	sc.Benchmarks = []string{"exchange2"}
+	sc.Instructions = 2_000
+	jobs, err := sc.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := jobs[0]
+	dup.Seed = 7
+	results, err := sweep.Run(context.Background(), append(jobs, dup), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Group(results); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate (bench, mode) must error, got %v", err)
+	}
+}
+
 // TestSizingShapes checks the qualitative Figures 6-9 properties: WFC
 // occupancy >= WFB occupancy (state lives longer until commit than until
 // branch resolution), and all sizes within the worst-case bounds.
 func TestSizingShapes(t *testing.T) {
-	rows := Sizing(sweep(t))
+	rows := Sizing(testSweep(t))
 	if len(rows) == 0 {
 		t.Fatal("no sizing rows")
 	}
@@ -68,7 +93,7 @@ func TestSizingShapes(t *testing.T) {
 
 // TestPerformanceShapes checks the qualitative Figures 11-16 properties.
 func TestPerformanceShapes(t *testing.T) {
-	rows := Performance(sweep(t))
+	rows := Performance(testSweep(t))
 	gm := GeoMeanNormIPC(rows)
 	// Figure 11: SafeSpec IPC within a few percent of baseline.
 	if gm < 0.85 || gm > 1.15 {
@@ -90,7 +115,7 @@ func TestPerformanceShapes(t *testing.T) {
 }
 
 func TestTableVFromSizing(t *testing.T) {
-	rows := TableVFromSizing(Sizing(sweep(t)))
+	rows := TableVFromSizing(Sizing(testSweep(t)))
 	if rows[0].AreaMM2 <= rows[1].AreaMM2 {
 		t.Error("Secure sizing must cost more area than measured WFC sizing")
 	}
@@ -100,7 +125,7 @@ func TestTableVFromSizing(t *testing.T) {
 }
 
 func TestFormatters(t *testing.T) {
-	res := sweep(t)
+	res := testSweep(t)
 	siz := FormatSizing(Sizing(res))
 	if !strings.Contains(siz, "mcf") || !strings.Contains(siz, "fig6") {
 		t.Error("sizing table malformed")

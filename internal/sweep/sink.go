@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// Sink observes sweep results. Run delivers results in ascending job order
+// from a single goroutine (no locking needed) and calls Flush exactly once
+// before returning.
+type Sink interface {
+	Observe(Result) error
+	Flush() error
+}
+
+// Row is the serialized form of one result shared by the JSONL and CSV
+// sinks. It contains only fields that are deterministic for a given job —
+// never wall-clock times — so sink output is byte-identical across runs and
+// worker counts.
+type Row struct {
+	Bench           string  `json:"bench"`
+	Mode            string  `json:"mode"`
+	Seed            int64   `json:"seed"`
+	Cycles          uint64  `json:"cycles"`
+	Committed       uint64  `json:"committed"`
+	IPC             float64 `json:"ipc"`
+	Mispredicts     uint64  `json:"mispredicts"`
+	DMissRate       float64 `json:"d_miss_rate"`
+	IMissRate       float64 `json:"i_miss_rate"`
+	DShadowHitShare float64 `json:"d_shadow_hit_share"`
+	IShadowHitShare float64 `json:"i_shadow_hit_share"`
+	CommitRateD     float64 `json:"commit_rate_d"`
+	CommitRateI     float64 `json:"commit_rate_i"`
+	Err             string  `json:"err,omitempty"`
+}
+
+// MakeRow projects a Result onto its serialized form.
+func MakeRow(r Result) Row {
+	row := Row{Bench: r.Job.Bench, Mode: r.Job.Mode, Seed: r.Job.Seed}
+	if r.Err != nil {
+		row.Err = r.Err.Error()
+		return row
+	}
+	s := r.Res
+	row.Cycles = s.Cycles
+	row.Committed = s.Committed
+	row.IPC = s.IPC()
+	row.Mispredicts = s.Mispredicts
+	row.DMissRate = s.DReadMissRate()
+	row.IMissRate = s.IFetchMissRate()
+	row.DShadowHitShare = s.DShadowHitShare()
+	row.IShadowHitShare = s.IShadowHitShare()
+	row.CommitRateD = s.ShD.CommitRate()
+	row.CommitRateI = s.ShI.CommitRate()
+	return row
+}
+
+// JSONL streams one JSON object per result to w (the `-json` output of
+// cmd/safespec-bench).
+type JSONL struct {
+	enc *json.Encoder
+}
+
+// NewJSONL builds a JSON-lines sink over w.
+func NewJSONL(w io.Writer) *JSONL { return &JSONL{enc: json.NewEncoder(w)} }
+
+// Observe writes the result's row as one JSON line.
+func (j *JSONL) Observe(r Result) error { return j.enc.Encode(MakeRow(r)) }
+
+// Flush is a no-op; every Observe writes through.
+func (j *JSONL) Flush() error { return nil }
+
+// CSV streams results as comma-separated rows with a header line.
+type CSV struct {
+	w      *csv.Writer
+	header bool
+}
+
+// NewCSV builds a CSV sink over w.
+func NewCSV(w io.Writer) *CSV { return &CSV{w: csv.NewWriter(w)} }
+
+// Observe writes the result's row, emitting the header first.
+func (c *CSV) Observe(r Result) error {
+	if !c.header {
+		c.header = true
+		if err := c.w.Write([]string{"bench", "mode", "seed", "cycles", "committed",
+			"ipc", "mispredicts", "d_miss_rate", "i_miss_rate",
+			"d_shadow_hit_share", "i_shadow_hit_share",
+			"commit_rate_d", "commit_rate_i", "err"}); err != nil {
+			return err
+		}
+	}
+	row := MakeRow(r)
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	return c.w.Write([]string{
+		row.Bench, row.Mode,
+		strconv.FormatInt(row.Seed, 10),
+		strconv.FormatUint(row.Cycles, 10),
+		strconv.FormatUint(row.Committed, 10),
+		f(row.IPC),
+		strconv.FormatUint(row.Mispredicts, 10),
+		f(row.DMissRate), f(row.IMissRate),
+		f(row.DShadowHitShare), f(row.IShadowHitShare),
+		f(row.CommitRateD), f(row.CommitRateI),
+		row.Err,
+	})
+}
+
+// Flush drains the csv writer.
+func (c *CSV) Flush() error {
+	c.w.Flush()
+	return c.w.Error()
+}
+
+// Aggregate accumulates sweep-level accounting: job counts, summed per-job
+// wall time (worker-busy time) and committed instructions. It is the
+// in-memory sink behind the progress summary of cmd/safespec-bench.
+type Aggregate struct {
+	// Jobs and Errored count observed results and the failed subset.
+	Jobs, Errored int
+	// Committed and Cycles sum the simulated work across jobs.
+	Committed, Cycles uint64
+	// Busy sums per-job wall time across workers; MaxWall is the slowest
+	// single job.
+	Busy, MaxWall time.Duration
+}
+
+// Observe folds one result into the totals. Errored jobs still contribute
+// their wall time: a job that fails late has occupied its worker all along.
+func (a *Aggregate) Observe(r Result) error {
+	a.Jobs++
+	a.Busy += r.Wall
+	a.MaxWall = max(a.MaxWall, r.Wall)
+	if r.Err != nil {
+		a.Errored++
+		return nil
+	}
+	a.Committed += r.Res.Committed
+	a.Cycles += r.Res.Cycles
+	return nil
+}
+
+// Flush is a no-op.
+func (a *Aggregate) Flush() error { return nil }
+
+// String renders the accounting summary.
+func (a *Aggregate) String() string {
+	rate := 0.0
+	if s := a.Busy.Seconds(); s > 0 {
+		rate = float64(a.Committed) / s
+	}
+	return fmt.Sprintf("%d jobs (%d errored): %d instrs, %d cycles, busy %v (slowest job %v, %.0f instrs/s/worker)",
+		a.Jobs, a.Errored, a.Committed, a.Cycles,
+		a.Busy.Round(time.Millisecond), a.MaxWall.Round(time.Millisecond), rate)
+}

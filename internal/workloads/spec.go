@@ -148,7 +148,7 @@ func (s Spec) Build() *isa.Program {
 	b.Addi(rX, rX, 11)
 
 	// Data loads.
-	for l := 0; l < maxInt(1, s.LoadsPerIter); l++ {
+	for l := 0; l < max(1, s.LoadsPerIter); l++ {
 		switch s.Pattern {
 		case PatternSeq:
 			b.Addi(rPtr, rPtr, 8)
@@ -158,7 +158,7 @@ func (s Spec) Build() *isa.Program {
 			b.Load(rTmp2, rAddr, 0)
 			b.Add(rAcc, rAcc, rTmp2)
 		case PatternStride:
-			b.Addi(rPtr, rPtr, int64(maxInt(8, s.Stride)))
+			b.Addi(rPtr, rPtr, int64(max(8, s.Stride)))
 			b.Sub(rTmp, rPtr, rBase)
 			b.And(rTmp, rTmp, rMask)
 			b.Add(rAddr, rBase, rTmp)
@@ -264,7 +264,7 @@ func (s Spec) Build() *isa.Program {
 
 	// Code blocks: small padded functions.
 	if s.CodeBlocks > 0 {
-		pad := maxInt(1, s.BlockPadLines)*16 - 4
+		pad := max(1, s.BlockPadLines)*16 - 4
 		for i := 0; i < s.CodeBlocks; i++ {
 			b.Label(blockLabel(i))
 			b.Addi(isa.T3, isa.T3, int64(i))
@@ -290,11 +290,4 @@ func itoa(i int) string {
 		i /= 10
 	}
 	return string(buf[pos:])
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
