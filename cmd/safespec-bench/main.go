@@ -15,37 +15,52 @@
 //	safespec-bench -workers 4           # bound the worker pool
 //	safespec-bench -quick               # CI smoke matrix
 //	safespec-bench -figs perf -json     # per-job JSON-lines rows on stdout
+//	safespec-bench -seeds 1,2,3         # seed fan; figures show mean ± 95% CI
+//	safespec-bench -cache-dir .cache    # content-addressed result cache
+//	safespec-bench -remote -serve :9090 # lease jobs to safespec-worker fleet
 //
 // The per-job rows emitted by -json are deterministic and arrive in job
 // order for any -workers value, so outputs are byte-identical across worker
-// counts. Progress and accounting go to stderr.
+// counts — and across local, cached and distributed execution. Progress and
+// accounting go to stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"safespec/internal/figures"
+	"safespec/internal/grid"
+	"safespec/internal/resultcache"
 	"safespec/internal/sweep"
 )
 
 // options carries the flag surface (kept as a struct so tests can drive run
 // directly and capture its output).
 type options struct {
-	figs    string
-	instrs  uint64 // 0 = preset default
-	bench   string
-	serial  bool
-	workers int
-	timeout time.Duration
-	json    bool
-	quick   bool
-	out     io.Writer // table / JSON output (stdout in main)
-	info    io.Writer // progress + accounting (stderr in main)
+	figs     string
+	instrs   uint64 // 0 = preset default
+	bench    string
+	seeds    string
+	serial   bool
+	workers  int
+	timeout  time.Duration
+	json     bool
+	quick    bool
+	cacheDir string
+	remote   bool
+	serve    string
+	leaseTTL time.Duration
+	retries  int
+	out      io.Writer // table / JSON output (stdout in main)
+	info     io.Writer // progress + accounting (stderr in main)
 }
 
 func main() {
@@ -58,6 +73,12 @@ func main() {
 	flag.DurationVar(&o.timeout, "timeout", 0, "abort the sweep after this long (0 = no bound)")
 	flag.BoolVar(&o.json, "json", false, "emit per-job JSON-lines rows on stdout instead of tables (requires -figs sizing|perf|overhead)")
 	flag.BoolVar(&o.quick, "quick", false, "use the reduced smoke matrix (sweep.Quick) for CI")
+	flag.StringVar(&o.seeds, "seeds", "", "comma-separated generator seed fan per (bench, mode) cell; figures collapse it into mean ± 95% CI")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "content-addressed result cache directory (identical cells are never simulated twice)")
+	flag.BoolVar(&o.remote, "remote", false, "execute jobs on safespec-worker processes instead of local goroutines")
+	flag.StringVar(&o.serve, "serve", "", "grid coordinator listen address for -remote (default 127.0.0.1:0, printed to stderr)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "grid lease duration; size it above the slowest single job (default 2m)")
+	flag.IntVar(&o.retries, "lease-retries", 0, "grid lease grants per job before it fails as lost (default 5)")
 	flag.Parse()
 	o.out, o.info = os.Stdout, os.Stderr
 
@@ -80,20 +101,35 @@ func run(o options) error {
 		}
 	}
 
+	if (o.remote || o.serve != "" || o.cacheDir != "") && !sweeps {
+		return fmt.Errorf("-remote/-serve/-cache-dir apply to sweeps; -figs %s runs none", o.figs)
+	}
+	if o.serve != "" && !o.remote {
+		return fmt.Errorf("-serve only applies with -remote")
+	}
+
 	if want("config") && !o.json {
 		printConfig(o.out)
 	}
 
 	var sweepRes []figures.BenchResult
 	if sweeps {
-		sc := sweepConfig(o)
+		sc, err := sweepConfig(o)
+		if err != nil {
+			return err
+		}
+		exec, finish, err := buildExecutor(o)
+		if err != nil {
+			return err
+		}
+		defer finish()
+		sc.Executor = exec
 		agg := &sweep.Aggregate{}
 		sc.Sinks = append(sc.Sinks, agg)
 		if o.json {
 			sc.Sinks = append(sc.Sinks, sweep.NewJSONL(o.out))
 		}
 		fmt.Fprintf(o.info, "running sweep: %d instructions per benchmark per mode...\n", sc.Instructions)
-		var err error
 		sweepRes, err = figures.RunSweep(sc)
 		if err != nil {
 			return err
@@ -131,9 +167,9 @@ func run(o options) error {
 }
 
 // sweepConfig derives the figures sweep configuration from the flags:
-// -quick selects the CI smoke matrix, -instrs/-bench override the preset,
-// and -serial forces a single worker.
-func sweepConfig(o options) figures.SweepConfig {
+// -quick selects the CI smoke matrix, -instrs/-bench/-seeds override the
+// preset, and -serial forces a single worker.
+func sweepConfig(o options) (figures.SweepConfig, error) {
 	sc := figures.DefaultSweep()
 	if o.quick {
 		sc = figures.QuickSweep()
@@ -150,12 +186,77 @@ func sweepConfig(o options) figures.SweepConfig {
 	if o.bench != "" {
 		sc.Benchmarks = strings.Split(o.bench, ",")
 	}
+	if o.seeds != "" {
+		seen := map[int64]bool{}
+		for _, f := range strings.Split(o.seeds, ",") {
+			s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+			if err != nil {
+				return sc, fmt.Errorf("-seeds: %w", err)
+			}
+			if seen[s] {
+				return sc, fmt.Errorf("-seeds: duplicate seed %d", s)
+			}
+			seen[s] = true
+			sc.Seeds = append(sc.Seeds, s)
+		}
+	}
 	sc.Workers = o.workers
+	if o.remote && o.workers == 0 {
+		// In remote mode a sweep "worker" is just a goroutine holding one
+		// in-flight lease, so the default bound is the queue depth offered
+		// to the fleet, not local parallelism.
+		sc.Workers = 64
+	}
 	sc.Timeout = o.timeout
 	if o.serial {
 		sc.Workers = 1
 	}
-	return sc
+	return sc, nil
+}
+
+// buildExecutor assembles the sweep execution backend from the flags:
+// in-process simulation by default, the grid coordinator under -remote, and
+// either of them behind the content-addressed result cache under
+// -cache-dir (cache hits never reach the grid). finish reports cache and
+// coordinator accounting and tears the coordinator down; it is safe to call
+// exactly once after the sweep.
+func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
+	finish = func() {}
+	if o.remote {
+		coord := grid.NewCoordinator(grid.Options{LeaseTTL: o.leaseTTL, MaxAttempts: o.retries})
+		addr := o.serve
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("grid coordinator: %w", err)
+		}
+		srv := &http.Server{Handler: coord.Handler()}
+		go srv.Serve(ln)
+		fmt.Fprintf(o.info, "grid coordinator listening on http://%s (point safespec-worker -coordinator at it)\n", ln.Addr())
+		exec = coord
+		finish = func() {
+			s := coord.Stats()
+			fmt.Fprintf(o.info, "grid: leases granted=%d completed=%d requeued=%d failed=%d\n",
+				s.Granted, s.Completed, s.Requeued, s.Failed)
+			srv.Close()
+		}
+	}
+	if o.cacheDir != "" {
+		cache, cerr := resultcache.Open(o.cacheDir)
+		if cerr != nil {
+			finish()
+			return nil, nil, cerr
+		}
+		exec = resultcache.NewExecutor(cache, exec)
+		inner := finish
+		finish = func() {
+			fmt.Fprintf(o.info, "%s\n", cache)
+			inner()
+		}
+	}
+	return exec, finish, nil
 }
 
 func printConfig(w io.Writer) {

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
+	"time"
+
+	"safespec/internal/grid"
 )
 
 // testOpts returns options writing tables to out and progress to io.Discard.
@@ -94,5 +100,132 @@ func TestQuickPreset(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "geomean") {
 		t.Error("perf table missing geomean")
+	}
+}
+
+// TestFlagValidation covers the new distributed/cache flag surface.
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*options)
+	}{
+		{"serve without remote", func(o *options) { o.figs, o.serve = "perf", ":9090" }},
+		{"remote without sweep", func(o *options) { o.figs, o.remote = "security", true }},
+		{"cache without sweep", func(o *options) { o.figs, o.cacheDir = "config", "/tmp/x" }},
+		{"bad seeds", func(o *options) { o.figs, o.seeds = "perf", "1,two" }},
+		{"duplicate seeds", func(o *options) { o.figs, o.seeds = "perf", "3,3" }},
+	}
+	for _, tc := range cases {
+		o := testOpts(io.Discard)
+		o.instrs, o.bench = 1000, "exchange2"
+		tc.mut(&o)
+		if err := run(o); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+// TestCacheWarmRun drives the full binary path twice over one cache dir:
+// the second run must produce byte-identical JSON rows and simulate
+// nothing (misses=0 in the progress line).
+func TestCacheWarmRun(t *testing.T) {
+	dir := t.TempDir()
+	runOnce := func() (string, string) {
+		var out, info bytes.Buffer
+		o := options{out: &out, info: &info}
+		o.figs, o.json, o.cacheDir = "perf", true, dir
+		o.bench, o.instrs = "exchange2,mcf", 2000
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		return out.String(), info.String()
+	}
+	cold, coldInfo := runOnce()
+	warm, warmInfo := runOnce()
+	if cold != warm {
+		t.Errorf("warm-cache rows differ from cold:\n%s\nvs\n%s", cold, warm)
+	}
+	if !strings.Contains(coldInfo, "hits=0") {
+		t.Errorf("cold run should miss everything: %s", coldInfo)
+	}
+	if !strings.Contains(warmInfo, "misses=0") {
+		t.Errorf("warm run simulated something: %s", warmInfo)
+	}
+}
+
+// TestSeedFanFlag checks -seeds end to end: per-seed JSON rows plus the
+// mean ± CI annotation on the perf table.
+func TestSeedFanFlag(t *testing.T) {
+	var rows bytes.Buffer
+	o := testOpts(&rows)
+	o.figs, o.json, o.seeds = "perf", true, "1,2"
+	o.bench, o.instrs = "exchange2", 2000
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(rows.String(), "\n"); n != 6 { // 1 bench x 3 modes x 2 seeds
+		t.Errorf("want 6 rows, got %d:\n%s", n, rows.String())
+	}
+	var table bytes.Buffer
+	o = testOpts(&table)
+	o.figs, o.seeds = "perf", "1,2"
+	o.bench, o.instrs = "exchange2", 2000
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "n=2, ipc ±") {
+		t.Errorf("perf table missing seed-fan CI annotation:\n%s", table.String())
+	}
+}
+
+// TestRemoteEndToEnd drives run() in -remote mode with two in-process grid
+// workers attached to the ephemeral coordinator, and checks the JSON rows
+// are byte-identical to a local run — the distributed acceptance property
+// at the binary level.
+func TestRemoteEndToEnd(t *testing.T) {
+	localRows := func() string {
+		var buf bytes.Buffer
+		o := testOpts(&buf)
+		o.figs, o.json = "perf", true
+		o.bench, o.instrs = "exchange2,mcf", 2000
+		if err := run(o); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}()
+
+	// The coordinator address is ephemeral; scrape it from the progress
+	// stream and attach workers as soon as it is announced.
+	infoR, infoW := io.Pipe()
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	go func() {
+		sc := bufio.NewScanner(infoR)
+		for sc.Scan() {
+			line := sc.Text()
+			_, addr, ok := strings.Cut(line, "listening on ")
+			if !ok {
+				continue
+			}
+			addr = strings.Fields(addr)[0]
+			for i := 0; i < 2; i++ {
+				w := &grid.Worker{Coordinator: addr, ID: fmt.Sprintf("t%d", i),
+					Parallel: 2, Poll: 5 * time.Millisecond}
+				go w.Run(workerCtx)
+			}
+		}
+	}()
+
+	var buf bytes.Buffer
+	o := options{out: &buf, info: infoW}
+	o.figs, o.json, o.remote = "perf", true, true
+	o.bench, o.instrs = "exchange2,mcf", 2000
+	err := run(o)
+	infoW.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != localRows {
+		t.Errorf("-remote rows differ from local:\n%s\nvs\n%s", buf.String(), localRows)
 	}
 }

@@ -1,0 +1,89 @@
+// Command safespec-worker executes sweep jobs leased from a safespec-bench
+// coordinator (`safespec-bench -remote -serve ADDR`). Several workers may
+// serve one coordinator; each runs -parallel concurrent lease loops and
+// simulates jobs in-process, optionally behind a content-addressed result
+// cache shared with other workers on the same filesystem.
+//
+// Usage:
+//
+//	safespec-worker -coordinator http://host:9090
+//	safespec-worker -coordinator http://host:9090 -parallel 4 -cache-dir .cache
+//	safespec-worker -coordinator http://host:9090 -max-idle 1m   # exit when orphaned
+//
+// The worker polls until interrupted (or the coordinator stays unreachable
+// past -max-idle): an idle worker is a healthy worker waiting for the next
+// sweep.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safespec/internal/grid"
+	"safespec/internal/resultcache"
+	"safespec/internal/sweep"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "base URL of the safespec-bench coordinator (required)")
+		id          = flag.String("id", "", "worker name used in lease ids and logs (default host-pid)")
+		parallel    = flag.Int("parallel", 0, "concurrent lease loops (0 = GOMAXPROCS)")
+		cacheDir    = flag.String("cache-dir", "", "content-addressed result cache directory")
+		poll        = flag.Duration("poll", 250*time.Millisecond, "idle sleep between lease attempts")
+		maxIdle     = flag.Duration("max-idle", 0, "exit after the coordinator has been unreachable this long (0 = keep polling)")
+		quiet       = flag.Bool("quiet", false, "suppress per-job progress lines")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *coordinator, *id, *parallel, *cacheDir, *poll, *maxIdle, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "safespec-worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, coordinator, id string, parallel int,
+	cacheDir string, poll, maxIdle time.Duration, quiet bool) error {
+	if coordinator == "" {
+		return fmt.Errorf("-coordinator is required (e.g. -coordinator http://127.0.0.1:9090)")
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	var exec sweep.Executor
+	if cacheDir != "" {
+		cache, err := resultcache.Open(cacheDir)
+		if err != nil {
+			return err
+		}
+		defer func() { fmt.Fprintf(os.Stderr, "%s\n", cache) }()
+		exec = resultcache.NewExecutor(cache, nil)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	w := &grid.Worker{
+		Coordinator: coordinator,
+		ID:          id,
+		Parallel:    parallel,
+		Exec:        exec,
+		Poll:        poll,
+		MaxIdle:     maxIdle,
+		Logf:        logf,
+	}
+	return w.Run(ctx)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"safespec/internal/grid"
+	"safespec/internal/sweep"
+)
+
+func TestRequiresCoordinator(t *testing.T) {
+	err := run(context.Background(), "", "", 0, "", time.Millisecond, 0, true)
+	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
+		t.Errorf("missing -coordinator must error, got %v", err)
+	}
+}
+
+// TestWorkerServesSweep drives the command's run function against a live
+// coordinator: it must execute the leased jobs (through the cache wiring)
+// and exit cleanly on cancellation.
+func TestWorkerServesSweep(t *testing.T) {
+	coord := grid.NewCoordinator(grid.Options{})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	spec := sweep.Quick()
+	spec.Benchmarks = []string{"exchange2"}
+	spec.Instructions = 2_000
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	workerDone := make(chan error, 1)
+	go func() {
+		workerDone <- run(ctx, srv.URL, "test-worker", 2, t.TempDir(), 5*time.Millisecond, 0, true)
+	}()
+
+	results, err := sweep.Run(context.Background(), jobs,
+		sweep.Options{Workers: len(jobs), Executor: coord})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	select {
+	case err := <-workerDone:
+		if err != nil {
+			t.Errorf("worker exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit on cancellation")
+	}
+}

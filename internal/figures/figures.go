@@ -8,6 +8,7 @@ package figures
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -31,9 +32,17 @@ type SweepConfig struct {
 	Timeout time.Duration
 	// Benchmarks restricts the sweep (nil = all 21).
 	Benchmarks []string
+	// Seeds expands each (bench, mode) cell into a seed fan (nil = one run
+	// with the workload's default seed); the figures collapse fans into
+	// mean ± 95% CI.
+	Seeds []int64
 	// Sinks additionally observe every per-job result in job order (e.g.
 	// the JSON-lines output of cmd/safespec-bench).
 	Sinks []sweep.Sink
+	// Executor backs the sweep's job execution (nil = in-process
+	// simulation; see sweep.Options.Executor for the cache and grid
+	// backends).
+	Executor sweep.Executor
 }
 
 // DefaultSweep returns the configuration used by cmd/safespec-bench.
@@ -55,6 +64,7 @@ func QuickSweep() SweepConfig {
 func (sc SweepConfig) Matrix() ([]sweep.Job, error) {
 	spec := sweep.MatrixSpec{
 		Benchmarks:      sc.Benchmarks,
+		Seeds:           sc.Seeds,
 		Instructions:    sc.Instructions,
 		MaxCycles:       sc.MaxCycles,
 		SampleOccupancy: true,
@@ -63,11 +73,19 @@ func (sc SweepConfig) Matrix() ([]sweep.Job, error) {
 }
 
 // BenchResult holds one benchmark's results under the three modes.
+// Baseline/WFC/WFB are the first-seed representatives; the *Runs slices
+// hold the full seed fan in job (seed) order, aligned across modes so
+// index i of each slice is the same seed. With a single-seed matrix each
+// slice has length 1 and equals its representative.
 type BenchResult struct {
 	Name     string
 	Baseline *core.Results
 	WFC      *core.Results
 	WFB      *core.Results
+
+	BaselineRuns []*core.Results
+	WFCRuns      []*core.Results
+	WFBRuns      []*core.Results
 }
 
 // RunSweep executes every selected workload under baseline, WFC and WFB
@@ -80,7 +98,7 @@ func RunSweep(sc SweepConfig) ([]BenchResult, error) {
 		return nil, err
 	}
 	results, err := sweep.Run(context.Background(), jobs,
-		sweep.Options{Workers: sc.Workers, Timeout: sc.Timeout, Sinks: sc.Sinks})
+		sweep.Options{Workers: sc.Workers, Timeout: sc.Timeout, Sinks: sc.Sinks, Executor: sc.Executor})
 	if err != nil {
 		return nil, err
 	}
@@ -88,16 +106,20 @@ func RunSweep(sc SweepConfig) ([]BenchResult, error) {
 }
 
 // Group folds per-job sweep results into per-benchmark rows, preserving job
-// order. The jobs must come from a single-seed standard-modes matrix (as
-// built by SweepConfig.Matrix); the first per-job error aborts with that
-// error, and a duplicate (bench, mode) cell — e.g. from a multi-seed fan —
-// is rejected rather than silently keeping only the last seed.
+// order. The jobs must come from a standard-modes matrix (as built by
+// SweepConfig.Matrix); a multi-seed fan collapses into the per-mode Runs
+// slices (the figures layer turns them into mean ± 95% CI). The first
+// per-job error aborts with that error; a true duplicate — the same
+// (bench, mode, seed) cell twice — and ragged fans (modes with different
+// seed counts) are rejected rather than silently mixed.
 func Group(results []sweep.Result) ([]BenchResult, error) {
 	if err := sweep.FirstErr(results); err != nil {
 		return nil, err
 	}
 	var rows []BenchResult
 	index := map[string]int{}
+	seen := map[string]bool{}
+	seedsOf := map[string][]int64{} // bench/mode -> seeds in arrival order
 	for _, r := range results {
 		i, ok := index[r.Job.Bench]
 		if !ok {
@@ -105,21 +127,43 @@ func Group(results []sweep.Result) ([]BenchResult, error) {
 			index[r.Job.Bench] = i
 			rows = append(rows, BenchResult{Name: r.Job.Bench})
 		}
-		var slot **core.Results
+		var runs *[]*core.Results
 		switch r.Job.Mode {
 		case "baseline":
-			slot = &rows[i].Baseline
+			runs = &rows[i].BaselineRuns
 		case "wfc":
-			slot = &rows[i].WFC
+			runs = &rows[i].WFCRuns
 		case "wfb":
-			slot = &rows[i].WFB
+			runs = &rows[i].WFBRuns
 		default:
 			return nil, fmt.Errorf("figures: job %s: unknown mode %q", r.Job, r.Job.Mode)
 		}
-		if *slot != nil {
-			return nil, fmt.Errorf("figures: job %s: duplicate (bench, mode) result; Group needs a single-seed matrix", r.Job)
+		cell := fmt.Sprintf("%s/%s/%d", r.Job.Bench, r.Job.Mode, r.Job.Seed)
+		if seen[cell] {
+			return nil, fmt.Errorf("figures: job %s: duplicate (bench, mode, seed) result", r.Job)
 		}
-		*slot = r.Res
+		seen[cell] = true
+		seedsOf[r.Job.Bench+"/"+r.Job.Mode] = append(seedsOf[r.Job.Bench+"/"+r.Job.Mode], r.Job.Seed)
+		*runs = append(*runs, r.Res)
+	}
+	for i := range rows {
+		r := &rows[i]
+		if len(r.BaselineRuns) != len(r.WFCRuns) || len(r.WFCRuns) != len(r.WFBRuns) {
+			return nil, fmt.Errorf("figures: %s: ragged seed fan (baseline=%d wfc=%d wfb=%d runs)",
+				r.Name, len(r.BaselineRuns), len(r.WFCRuns), len(r.WFBRuns))
+		}
+		// Pairwise normalization requires index i of every mode to be the
+		// same seed, not merely the same count.
+		base := seedsOf[r.Name+"/baseline"]
+		if !slices.Equal(base, seedsOf[r.Name+"/wfc"]) || !slices.Equal(base, seedsOf[r.Name+"/wfb"]) {
+			return nil, fmt.Errorf("figures: %s: misaligned seed fan (baseline %v, wfc %v, wfb %v)",
+				r.Name, base, seedsOf[r.Name+"/wfc"], seedsOf[r.Name+"/wfb"])
+		}
+		if len(r.BaselineRuns) > 0 {
+			r.Baseline = r.BaselineRuns[0]
+			r.WFC = r.WFCRuns[0]
+			r.WFB = r.WFBRuns[0]
+		}
 	}
 	return rows, nil
 }
@@ -134,34 +178,57 @@ type SizingRow struct {
 	DTLBWFC, DTLBWFB     int
 }
 
-// Sizing extracts the Figures 6-9 series from a sweep.
+// Sizing extracts the Figures 6-9 series from a sweep. A seed fan takes
+// the maximum occupancy percentile across seeds: sizing is a worst-case
+// quantity, so the structure must cover every seed's demand.
 func Sizing(results []BenchResult) []SizingRow {
 	const p = 0.9999
 	rows := make([]SizingRow, 0, len(results))
 	for _, r := range results {
 		row := SizingRow{Bench: r.Name}
-		if r.WFC.OccI != nil {
-			row.ICacheWFC = r.WFC.OccI.Percentile(p)
-			row.DCacheWFC = r.WFC.OccD.Percentile(p)
-			row.ITLBWFC = r.WFC.OccITLB.Percentile(p)
-			row.DTLBWFC = r.WFC.OccDTLB.Percentile(p)
+		for _, run := range fanOf(r.WFCRuns, r.WFC) {
+			if run == nil || run.OccI == nil {
+				continue
+			}
+			row.ICacheWFC = max(row.ICacheWFC, run.OccI.Percentile(p))
+			row.DCacheWFC = max(row.DCacheWFC, run.OccD.Percentile(p))
+			row.ITLBWFC = max(row.ITLBWFC, run.OccITLB.Percentile(p))
+			row.DTLBWFC = max(row.DTLBWFC, run.OccDTLB.Percentile(p))
 		}
-		if r.WFB.OccI != nil {
-			row.ICacheWFB = r.WFB.OccI.Percentile(p)
-			row.DCacheWFB = r.WFB.OccD.Percentile(p)
-			row.ITLBWFB = r.WFB.OccITLB.Percentile(p)
-			row.DTLBWFB = r.WFB.OccDTLB.Percentile(p)
+		for _, run := range fanOf(r.WFBRuns, r.WFB) {
+			if run == nil || run.OccI == nil {
+				continue
+			}
+			row.ICacheWFB = max(row.ICacheWFB, run.OccI.Percentile(p))
+			row.DCacheWFB = max(row.DCacheWFB, run.OccD.Percentile(p))
+			row.ITLBWFB = max(row.ITLBWFB, run.OccITLB.Percentile(p))
+			row.DTLBWFB = max(row.DTLBWFB, run.OccDTLB.Percentile(p))
 		}
 		rows = append(rows, row)
 	}
 	return rows
 }
 
-// PerfRow is one benchmark's Figures 11-16 data point.
+// fanOf returns the seed-fan slice, falling back to the single
+// representative for BenchResults assembled by hand without Runs slices.
+func fanOf(runs []*core.Results, single *core.Results) []*core.Results {
+	if len(runs) > 0 {
+		return runs
+	}
+	return []*core.Results{single}
+}
+
+// PerfRow is one benchmark's Figures 11-16 data point. With a seed fan
+// every metric is the mean across seeds; NormIPC additionally carries its
+// 95% confidence half-width.
 type PerfRow struct {
 	Bench string
-	// NormIPC is WFC IPC over baseline IPC (Figure 11).
-	NormIPC float64
+	// Seeds is the fan size behind this row (1 for a single-seed matrix).
+	Seeds int
+	// NormIPC is WFC IPC over baseline IPC (Figure 11), normalized per seed
+	// and averaged; NormIPCCI is the 95% CI half-width across the fan (0
+	// when Seeds == 1).
+	NormIPC, NormIPCCI float64
 	// DMissWFC / DMissBase are the D-cache read miss rates (Figure 12).
 	DMissWFC, DMissBase float64
 	// DShadowHitShare is the shadow share of d-side hits (Figure 13).
@@ -174,22 +241,39 @@ type PerfRow struct {
 	CommitRateI, CommitRateD float64
 }
 
-// Performance extracts the Figures 11-16 series from a sweep.
+// Performance extracts the Figures 11-16 series from a sweep, collapsing a
+// seed fan into per-metric means. IPC is normalized pairwise — seed i's
+// WFC over seed i's baseline — before averaging, so generator variance
+// cancels within each seed.
 func Performance(results []BenchResult) []PerfRow {
 	rows := make([]PerfRow, 0, len(results))
 	for _, r := range results {
-		row := PerfRow{Bench: r.Name}
-		if r.Baseline.IPC() > 0 {
-			row.NormIPC = r.WFC.IPC() / r.Baseline.IPC()
+		base := fanOf(r.BaselineRuns, r.Baseline)
+		wfc := fanOf(r.WFCRuns, r.WFC)
+		n := min(len(base), len(wfc))
+		row := PerfRow{Bench: r.Name, Seeds: n}
+		norm := make([]float64, 0, n)
+		mean := func(metric func(*core.Results) float64, runs []*core.Results) float64 {
+			xs := make([]float64, 0, len(runs))
+			for _, run := range runs {
+				xs = append(xs, metric(run))
+			}
+			return stats.Mean(xs)
 		}
-		row.DMissWFC = r.WFC.DReadMissRate()
-		row.DMissBase = r.Baseline.DReadMissRate()
-		row.DShadowHitShare = r.WFC.DShadowHitShare()
-		row.IMissWFC = r.WFC.IFetchMissRate()
-		row.IMissBase = r.Baseline.IFetchMissRate()
-		row.IShadowHitShare = r.WFC.IShadowHitShare()
-		row.CommitRateI = r.WFC.ShI.CommitRate()
-		row.CommitRateD = r.WFC.ShD.CommitRate()
+		for i := 0; i < n; i++ {
+			if base[i].IPC() > 0 {
+				norm = append(norm, wfc[i].IPC()/base[i].IPC())
+			}
+		}
+		row.NormIPC, row.NormIPCCI = stats.MeanCI95(norm)
+		row.DMissWFC = mean((*core.Results).DReadMissRate, wfc)
+		row.DMissBase = mean((*core.Results).DReadMissRate, base)
+		row.DShadowHitShare = mean((*core.Results).DShadowHitShare, wfc)
+		row.IMissWFC = mean((*core.Results).IFetchMissRate, wfc)
+		row.IMissBase = mean((*core.Results).IFetchMissRate, base)
+		row.IShadowHitShare = mean((*core.Results).IShadowHitShare, wfc)
+		row.CommitRateI = mean(func(res *core.Results) float64 { return res.ShI.CommitRate() }, wfc)
+		row.CommitRateD = mean(func(res *core.Results) float64 { return res.ShD.CommitRate() }, wfc)
 		rows = append(rows, row)
 	}
 	return rows
@@ -303,9 +387,15 @@ func FormatPerformance(rows []PerfRow) string {
 	fmt.Fprintf(&sb, "%-12s %8s %9s %9s %8s %9s %9s %8s %8s %8s\n", "bench",
 		"f11 ipc", "f12 dmiss", "(base)", "f13 dsh", "f14 imiss", "(base)", "f15 ish", "f16 ci", "f16 cd")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-12s %8.3f %9.4f %9.4f %8.3f %9.4f %9.4f %8.3f %8.3f %8.3f\n",
+		fmt.Fprintf(&sb, "%-12s %8.3f %9.4f %9.4f %8.3f %9.4f %9.4f %8.3f %8.3f %8.3f",
 			r.Bench, r.NormIPC, r.DMissWFC, r.DMissBase, r.DShadowHitShare,
 			r.IMissWFC, r.IMissBase, r.IShadowHitShare, r.CommitRateI, r.CommitRateD)
+		if r.Seeds > 1 {
+			// Seed-fan rows carry the Figure 11 error bar; single-seed
+			// output is unchanged.
+			fmt.Fprintf(&sb, "  (n=%d, ipc ±%.3f)", r.Seeds, r.NormIPCCI)
+		}
+		sb.WriteByte('\n')
 	}
 	fmt.Fprintf(&sb, "%-12s %8.3f   (geometric mean of normalized IPC)\n", "geomean", GeoMeanNormIPC(rows))
 	return sb.String()

@@ -45,10 +45,9 @@ func TestSweepProducesAllModes(t *testing.T) {
 	}
 }
 
-// TestGroupRejectsDuplicateCell guards the single-seed contract: a
-// multi-seed fan produces two results per (bench, mode) and must error
-// instead of silently keeping only the last seed.
-func TestGroupRejectsDuplicateCell(t *testing.T) {
+// TestGroupRejectsTrueDuplicate guards against the same (bench, mode,
+// seed) cell appearing twice — that is double-counting, not a seed fan.
+func TestGroupRejectsTrueDuplicate(t *testing.T) {
 	sc := QuickSweep()
 	sc.Benchmarks = []string{"exchange2"}
 	sc.Instructions = 2_000
@@ -56,14 +55,84 @@ func TestGroupRejectsDuplicateCell(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dup := jobs[0]
-	dup.Seed = 7
-	results, err := sweep.Run(context.Background(), append(jobs, dup), sweep.Options{})
+	results, err := sweep.Run(context.Background(), append(jobs, jobs[0]), sweep.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Group(results); err == nil || !strings.Contains(err.Error(), "duplicate") {
-		t.Errorf("duplicate (bench, mode) must error, got %v", err)
+		t.Errorf("duplicate (bench, mode, seed) must error, got %v", err)
+	}
+}
+
+// TestGroupRejectsRaggedFan guards the pairwise-normalization contract:
+// modes with different seed counts cannot be averaged against each other.
+func TestGroupRejectsRaggedFan(t *testing.T) {
+	sc := QuickSweep()
+	sc.Benchmarks = []string{"exchange2"}
+	sc.Instructions = 2_000
+	jobs, err := sc.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	extra := jobs[0] // one more baseline seed than wfc/wfb
+	extra.Seed = 7
+	results, err := sweep.Run(context.Background(), append(jobs, extra), sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Group(results); err == nil || !strings.Contains(err.Error(), "ragged") {
+		t.Errorf("ragged seed fan must error, got %v", err)
+	}
+}
+
+// TestSeedFanCollapse runs a 3-seed fan through the full path: Group must
+// collapse it into one BenchResult with aligned Runs slices, Performance
+// must average across seeds with a confidence interval, and
+// FormatPerformance must carry the error bar.
+func TestSeedFanCollapse(t *testing.T) {
+	sc := QuickSweep()
+	sc.Benchmarks = []string{"exchange2", "mcf"}
+	sc.Seeds = []int64{1, 2, 3}
+	sc.Instructions = 2_000
+	rows, err := RunSweep(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.BaselineRuns) != 3 || len(r.WFCRuns) != 3 || len(r.WFBRuns) != 3 {
+			t.Fatalf("%s: fan not collapsed: %d/%d/%d runs",
+				r.Name, len(r.BaselineRuns), len(r.WFCRuns), len(r.WFBRuns))
+		}
+		if r.Baseline != r.BaselineRuns[0] || r.WFC != r.WFCRuns[0] {
+			t.Errorf("%s: representative is not the first seed", r.Name)
+		}
+	}
+	perf := Performance(rows)
+	for _, p := range perf {
+		if p.Seeds != 3 {
+			t.Errorf("%s: Seeds = %d, want 3", p.Bench, p.Seeds)
+		}
+		if p.NormIPC < 0.5 || p.NormIPC > 1.5 {
+			t.Errorf("%s: mean normalized IPC %.3f implausible", p.Bench, p.NormIPC)
+		}
+		if p.NormIPCCI < 0 {
+			t.Errorf("%s: negative CI %.4f", p.Bench, p.NormIPCCI)
+		}
+	}
+	if out := FormatPerformance(perf); !strings.Contains(out, "n=3, ipc ±") {
+		t.Errorf("multi-seed format missing error bar:\n%s", out)
+	}
+	// Sizing across the fan stays within the architectural bounds.
+	for _, s := range Sizing(rows) {
+		if s.DCacheWFC > 72 || s.ICacheWFC > 224 {
+			t.Errorf("%s: fan-max sizing exceeds bounds: %+v", s.Bench, s)
+		}
+		if s.DCacheWFC == 0 && s.ICacheWFC == 0 {
+			t.Errorf("%s: fan sizing empty", s.Bench)
+		}
 	}
 }
 
@@ -175,5 +244,33 @@ func TestSecurityMatrix(t *testing.T) {
 	out := FormatSecurity(rows, tr)
 	if !strings.Contains(out, "meltdown") || !strings.Contains(out, "transient") {
 		t.Error("security table malformed")
+	}
+}
+
+// TestGroupRejectsMisalignedFan guards seed alignment, not just counts:
+// equal-length fans whose index i holds different seeds across modes would
+// silently normalize unrelated runs against each other.
+func TestGroupRejectsMisalignedFan(t *testing.T) {
+	sc := QuickSweep()
+	sc.Benchmarks = []string{"exchange2"}
+	sc.Seeds = []int64{1, 2}
+	sc.Instructions = 2_000
+	jobs, err := sc.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same fan size everywhere, but baseline runs seeds {1,9} while
+	// wfc/wfb run {1,2}.
+	for i := range jobs {
+		if jobs[i].Mode == "baseline" && jobs[i].Seed == 2 {
+			jobs[i].Seed = 9
+		}
+	}
+	results, err := sweep.Run(context.Background(), jobs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Group(results); err == nil || !strings.Contains(err.Error(), "misaligned") {
+		t.Errorf("misaligned seed fan must error, got %v", err)
 	}
 }

@@ -1,0 +1,332 @@
+// Package grid shards a sweep.Job matrix across worker processes over
+// HTTP. The Coordinator implements sweep.Executor: sweep.Run's worker pool
+// hands it jobs, it leases each job to the next polling worker, and the
+// result flows back through Run's deterministic in-order sink delivery —
+// so JSONL/CSV output of a distributed sweep is byte-identical to a local
+// run. A lease that is not completed before its TTL (worker crash, network
+// partition) is re-queued and handed to another worker — but a slow
+// worker's late result is still accepted while the job remains incomplete,
+// since the simulation is deterministic and any completion is the
+// completion. A job whose leases are lost too many times fails with an
+// error Result instead of stalling the sweep forever.
+//
+// Wire protocol (JSON over HTTP, versioned under /v1/):
+//
+//	POST /v1/lease   LeaseRequest  -> 200 LeaseResponse | 204 (no work)
+//	POST /v1/result  ResultRequest -> 200 | 409 (lease unknown or expired)
+//	GET  /v1/stats                 -> 200 Snapshot
+//
+// Job execution errors are final results (exactly as in a local run) and
+// travel as strings in the Result encoding; only lost leases retry.
+package grid
+
+import (
+	"container/list"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"safespec/internal/core"
+	"safespec/internal/sweep"
+)
+
+// LeaseRequest asks the coordinator for one job.
+type LeaseRequest struct {
+	// Worker identifies the poller in lease ids and stats (free-form).
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one job under a lease.
+type LeaseResponse struct {
+	LeaseID string    `json:"lease_id"`
+	Index   int       `json:"index"`
+	Job     sweep.Job `json:"job"`
+	// TTLMS is the lease duration; the worker must report the result within
+	// it or the job is re-queued to another worker.
+	TTLMS int64 `json:"ttl_ms"`
+}
+
+// ResultRequest reports a finished lease. Result carries the job's error
+// (if any) as a string; it is a final outcome, not a retry trigger.
+type ResultRequest struct {
+	LeaseID string       `json:"lease_id"`
+	Result  sweep.Result `json:"result"`
+}
+
+// Snapshot is the coordinator's accounting, served at /v1/stats.
+type Snapshot struct {
+	Pending   int    `json:"pending"`
+	Leased    int    `json:"leased"`
+	Granted   uint64 `json:"granted"`
+	Completed uint64 `json:"completed"`
+	Requeued  uint64 `json:"requeued"`
+	Failed    uint64 `json:"failed"`
+}
+
+// Options configures a Coordinator.
+type Options struct {
+	// LeaseTTL is how long a worker may hold a job before it is re-queued
+	// (default 2 minutes; shorten it in tests to exercise the retry path).
+	LeaseTTL time.Duration
+	// MaxAttempts bounds how many times one job may be leased before its
+	// lost leases are converted into a job error (default 5).
+	MaxAttempts int
+	// now is a test seam for the lease clock.
+	now func() time.Time
+}
+
+// task is one job in flight through the coordinator.
+type task struct {
+	index     int
+	job       sweep.Job
+	attempts  int
+	leaseID   string    // non-empty while leased
+	deadline  time.Time // lease expiry while leased
+	done      chan outcome
+	elem      *list.Element // position in pending while queued
+	completed bool          // outcome delivered (exactly once)
+	cancelled bool          // Execute abandoned the job (ctx cancellation)
+}
+
+type outcome struct {
+	res *core.Results
+	err error
+}
+
+// Coordinator queues jobs from Execute calls and leases them to polling
+// workers. It is safe for concurrent use: sweep.Run calls Execute from its
+// worker pool while the HTTP handlers serve workers.
+type Coordinator struct {
+	opts Options
+
+	mu      sync.Mutex
+	pending *list.List       // *task FIFO; retried jobs go to the front
+	leases  map[string]*task // leaseID -> task, active leases
+	expired map[string]*task // leaseID -> task for timed-out leases: a slow
+	// worker's late result is still this job's deterministic result, so it
+	// is accepted as long as the job has not completed elsewhere
+	seq uint64 // lease id counter
+
+	granted, completed, requeued, failed uint64
+}
+
+// NewCoordinator builds a coordinator with defaults applied.
+func NewCoordinator(opts Options) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 2 * time.Minute
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 5
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return &Coordinator{
+		opts:    opts,
+		pending: list.New(),
+		leases:  make(map[string]*task),
+		expired: make(map[string]*task),
+	}
+}
+
+// Execute implements sweep.Executor: it queues the job for the worker
+// fleet and blocks until a worker reports its result, the job exhausts its
+// lease attempts, or ctx is cancelled. The bound on concurrently queued
+// jobs is sweep.Options.Workers — size it to the fleet's total capacity.
+func (c *Coordinator) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
+	t := &task{index: index, job: j, done: make(chan outcome, 1)}
+	c.mu.Lock()
+	t.elem = c.pending.PushBack(t)
+	c.mu.Unlock()
+
+	select {
+	case out := <-t.done:
+		return out.res, out.err
+	case <-ctx.Done():
+		c.abandon(t)
+		// A result may have raced the cancellation; prefer it.
+		select {
+		case out := <-t.done:
+			return out.res, out.err
+		default:
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// abandon withdraws a cancelled task from the queue and the lease table; a
+// late worker report for it gets 409 and is discarded.
+func (c *Coordinator) abandon(t *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.cancelled = true
+	if t.elem != nil {
+		c.pending.Remove(t.elem)
+		t.elem = nil
+	}
+	if t.leaseID != "" {
+		delete(c.leases, t.leaseID)
+		t.leaseID = ""
+	}
+}
+
+// requeueExpiredLocked re-queues (or fails) every lease past its deadline.
+// It runs under c.mu on each lease poll: expiry needs no timer goroutine,
+// because a lost job only matters when some worker is alive to take it.
+func (c *Coordinator) requeueExpiredLocked(now time.Time) {
+	for id, t := range c.leases {
+		if now.Before(t.deadline) {
+			continue
+		}
+		delete(c.leases, id)
+		c.expired[id] = t // a late result under this lease is still welcome
+		t.leaseID = ""
+		if t.attempts >= c.opts.MaxAttempts {
+			c.failed++
+			t.completed = true
+			t.done <- outcome{err: fmt.Errorf("grid: %s: lease lost %d times (worker crash or partition); giving up",
+				t.job, t.attempts)}
+			continue
+		}
+		c.requeued++
+		t.elem = c.pending.PushFront(t) // retries jump the queue
+	}
+}
+
+// lease hands the oldest pending job to a worker.
+func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.now()
+	c.requeueExpiredLocked(now)
+	front := c.pending.Front()
+	if front == nil {
+		return LeaseResponse{}, false
+	}
+	t := front.Value.(*task)
+	c.pending.Remove(front)
+	t.elem = nil
+	c.seq++
+	t.leaseID = fmt.Sprintf("%s-%d", worker, c.seq)
+	t.deadline = now.Add(c.opts.LeaseTTL)
+	t.attempts++
+	c.granted++
+	c.leases[t.leaseID] = t
+	return LeaseResponse{
+		LeaseID: t.leaseID,
+		Index:   t.index,
+		Job:     t.job,
+		TTLMS:   c.opts.LeaseTTL.Milliseconds(),
+	}, true
+}
+
+// complete resolves a lease with its reported result. An expired lease is
+// honored as long as its job has not completed elsewhere (the simulation is
+// deterministic, so a slow worker's late result is the same result); the
+// re-queued or re-leased copy is withdrawn. It returns false for an unknown
+// lease, a cancelled job, or a job already completed; the worker discards
+// the result.
+func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
+	c.mu.Lock()
+	t, ok := c.leases[leaseID]
+	if ok {
+		delete(c.leases, leaseID)
+	} else if t, ok = c.expired[leaseID]; ok {
+		if t.completed || t.cancelled {
+			t, ok = nil, false
+		} else {
+			// Withdraw the retry: the job may be queued again or already
+			// re-leased to another worker.
+			if t.elem != nil {
+				c.pending.Remove(t.elem)
+				t.elem = nil
+			}
+			if t.leaseID != "" {
+				delete(c.leases, t.leaseID)
+			}
+		}
+	}
+	if ok {
+		t.leaseID = ""
+		t.completed = true
+		c.completed++
+	}
+	c.mu.Unlock()
+	if !ok {
+		return false
+	}
+	t.done <- outcome{res: r.Res, err: r.Err}
+	return true
+}
+
+// Stats snapshots the coordinator accounting.
+func (c *Coordinator) Stats() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Snapshot{
+		Pending:   c.pending.Len(),
+		Leased:    len(c.leases),
+		Granted:   c.granted,
+		Completed: c.completed,
+		Requeued:  c.requeued,
+		Failed:    c.failed,
+	}
+}
+
+// maxBody bounds request bodies; a full Results encoding (histograms
+// included) is well under 1 MiB.
+const maxBody = 32 << 20
+
+// Handler returns the coordinator's HTTP surface.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, req *http.Request) {
+		var lr LeaseRequest
+		if !decodeJSON(w, req, &lr) {
+			return
+		}
+		resp, ok := c.lease(lr.Worker)
+		if !ok {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, req *http.Request) {
+		var rr ResultRequest
+		if !decodeJSON(w, req, &rr) {
+			return
+		}
+		if rr.Result.Res == nil && rr.Result.Err == nil {
+			// A result must carry a payload or a cause; accepting neither
+			// would surface as a nil dereference in the sinks.
+			http.Error(w, "result carries neither res nor err", http.StatusBadRequest)
+			return
+		}
+		if !c.complete(rr.LeaseID, rr.Result) {
+			http.Error(w, "unknown or expired lease", http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, c.Stats())
+	})
+	return mux
+}
+
+func decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBody)).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,208 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"safespec/internal/sweep"
+)
+
+// Worker polls a coordinator for leased jobs, executes them and reports
+// results. Parallel lease loops run concurrently; each one simulates
+// through Exec, so a worker can itself sit behind a result cache.
+type Worker struct {
+	// Coordinator is the base URL of the coordinator ("http://host:port").
+	Coordinator string
+	// ID names this worker in lease ids and logs.
+	ID string
+	// Parallel is the number of concurrent lease loops (<=0 selects
+	// GOMAXPROCS).
+	Parallel int
+	// Exec executes leased jobs (nil selects sweep.LocalExecutor).
+	Exec sweep.Executor
+	// Poll is the idle sleep between lease attempts when the coordinator
+	// has no work (default 250ms). Transport errors back off up to 16x.
+	Poll time.Duration
+	// MaxIdle exits Run after the coordinator has been unreachable for this
+	// long (0 = keep polling until ctx is cancelled). Idle 204 responses do
+	// not count: an empty queue is a healthy state between sweeps.
+	MaxIdle time.Duration
+	// Client is the HTTP client (nil selects one with a 30s timeout).
+	Client *http.Client
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+}
+
+// Run polls until ctx is cancelled (or the coordinator stays unreachable
+// past MaxIdle). It returns nil on cancellation: being told to stop is the
+// normal end of a worker's life.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Coordinator == "" {
+		return fmt.Errorf("grid: worker needs a coordinator URL")
+	}
+	client := w.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	exec := w.Exec
+	if exec == nil {
+		exec = sweep.LocalExecutor{}
+	}
+	logf := w.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	loops := w.Parallel
+	if loops <= 0 {
+		loops = runtime.GOMAXPROCS(0)
+	}
+	logf("worker %s: polling %s with %d lease loops", w.ID, w.Coordinator, loops)
+	err := sweep.ForEach(ctx, loops, loops, func(ctx context.Context, loop int) error {
+		return w.loop(ctx, loop, client, exec, poll, logf)
+	})
+	if ctx.Err() != nil {
+		return nil
+	}
+	return err
+}
+
+// loop is one lease loop: lease, execute, report, repeat.
+func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
+	exec sweep.Executor, poll time.Duration, logf func(string, ...any)) error {
+	backoff := poll
+	var unreachableSince time.Time
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		lease, ok, err := w.lease(ctx, client, loop)
+		switch {
+		case err != nil:
+			if unreachableSince.IsZero() {
+				unreachableSince = time.Now()
+			}
+			if w.MaxIdle > 0 && time.Since(unreachableSince) > w.MaxIdle {
+				return fmt.Errorf("grid: coordinator %s unreachable for %v: %w",
+					w.Coordinator, w.MaxIdle, err)
+			}
+			logf("worker %s/%d: lease failed (%v); backing off %v", w.ID, loop, err, backoff)
+			if !sleep(ctx, backoff) {
+				return nil
+			}
+			backoff = min(2*backoff, 16*poll)
+			continue
+		case !ok: // empty queue
+			unreachableSince, backoff = time.Time{}, poll
+			if !sleep(ctx, poll) {
+				return nil
+			}
+			continue
+		}
+		unreachableSince, backoff = time.Time{}, poll
+
+		start := time.Now()
+		res, jobErr := exec.Execute(ctx, lease.Index, lease.Job)
+		r := sweep.Result{Index: lease.Index, Job: lease.Job, Res: res, Err: jobErr, Wall: time.Since(start)}
+		if err := w.report(ctx, client, lease.LeaseID, r); err != nil {
+			// The lease expired or the coordinator re-queued the job; the
+			// authoritative copy is theirs now.
+			logf("worker %s/%d: result for %s discarded: %v", w.ID, loop, lease.Job, err)
+			continue
+		}
+		logf("worker %s/%d: %s done in %v", w.ID, loop, lease.Job, r.Wall.Round(time.Millisecond))
+	}
+}
+
+// lease requests one job; ok is false on an empty queue (204).
+func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (LeaseResponse, bool, error) {
+	var resp LeaseResponse
+	status, err := w.post(ctx, client, "/v1/lease",
+		LeaseRequest{Worker: fmt.Sprintf("%s/%d", w.ID, loop)}, &resp)
+	if err != nil {
+		return resp, false, err
+	}
+	switch status {
+	case http.StatusOK:
+		return resp, true, nil
+	case http.StatusNoContent:
+		return resp, false, nil
+	default:
+		return resp, false, fmt.Errorf("lease: unexpected status %d", status)
+	}
+}
+
+// report posts a finished lease, retrying transient transport errors a few
+// times before giving the job back to the coordinator via lease expiry.
+func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string, r sweep.Result) error {
+	var err error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 && !sleep(ctx, time.Duration(attempt)*200*time.Millisecond) {
+			return ctx.Err()
+		}
+		var status int
+		status, err = w.post(ctx, client, "/v1/result", ResultRequest{LeaseID: leaseID, Result: r}, nil)
+		if err != nil {
+			continue
+		}
+		switch status {
+		case http.StatusOK:
+			return nil
+		case http.StatusConflict:
+			return fmt.Errorf("result: lease %s no longer valid", leaseID)
+		default:
+			err = fmt.Errorf("result: unexpected status %d", status)
+		}
+	}
+	return err
+}
+
+// post sends one JSON request and decodes a JSON body into out (when non-nil
+// and the status is 200).
+func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// sleep waits d or until ctx is done, reporting whether the full wait
+// elapsed.
+func sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

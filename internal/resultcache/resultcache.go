@@ -1,0 +1,224 @@
+// Package resultcache is a disk-backed content-addressed store for sweep
+// results. Entries are keyed on sweep.Job.Hash — a stable SHA-256 over the
+// job's canonical encoding (bench, mode, seed and the fully-normalized
+// simulator configuration) — so an identical cell is never simulated twice
+// across figure regenerations, seed-fan extensions or grid workers. All
+// numeric result fields are integers, so a cached result reproduces sink
+// output byte-identically to a fresh simulation.
+//
+// On-disk layout (versioned; Open refuses a directory written by a
+// different format version):
+//
+//	<dir>/VERSION        # format version, one decimal line
+//	<dir>/<kk>/<key>.json  # envelope{version, key, res}; kk = key[:2]
+//
+// Writes are atomic: entries are staged in a temp file in <dir> and
+// renamed into place, so a crashed or concurrent writer can never publish
+// a torn entry (concurrent Put of the same key is idempotent — both write
+// identical bytes).
+package resultcache
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"safespec/internal/core"
+	"safespec/internal/sweep"
+)
+
+// FormatVersion is the on-disk format version. Bump it when the envelope or
+// the result encoding changes incompatibly.
+const FormatVersion = 1
+
+// Cache is a content-addressed result store rooted at one directory. It is
+// safe for concurrent use by multiple goroutines and multiple processes
+// sharing the directory.
+type Cache struct {
+	dir string
+
+	// hits/misses/puts/errs count Get/Put outcomes (errs counts corrupt or
+	// unreadable entries and failed writes, which degrade to misses rather
+	// than failing the sweep).
+	hits, misses, puts, errs atomic.Uint64
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits, Misses, Puts, Errors uint64
+}
+
+// envelope is the on-disk entry format.
+type envelope struct {
+	Version int           `json:"version"`
+	Key     string        `json:"key"`
+	Res     *core.Results `json:"res"`
+}
+
+// Open creates (or reuses) a cache directory, enforcing the format version.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	vpath := filepath.Join(dir, "VERSION")
+	b, err := os.ReadFile(vpath)
+	switch {
+	case err == nil:
+		v, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr != nil || v != FormatVersion {
+			return nil, fmt.Errorf("resultcache: %s holds format %q, this binary writes format %d",
+				dir, strings.TrimSpace(string(b)), FormatVersion)
+		}
+	case os.IsNotExist(err):
+		if werr := writeAtomic(dir, vpath, []byte(strconv.Itoa(FormatVersion)+"\n")); werr != nil {
+			return nil, fmt.Errorf("resultcache: %w", werr)
+		}
+	default:
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file, sharded on the first two hex digits so
+// a full standard sweep never piles thousands of files into one directory.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result for key, reporting whether it was present.
+// A corrupt or mismatched entry is surfaced as an error; callers typically
+// treat that as a miss and re-simulate.
+func (c *Cache) Get(key string) (*core.Results, bool, error) {
+	if len(key) < 2 {
+		return nil, false, fmt.Errorf("resultcache: malformed key %q", key)
+	}
+	b, err := os.ReadFile(c.path(key))
+	if os.IsNotExist(err) {
+		c.misses.Add(1)
+		return nil, false, nil
+	}
+	if err != nil {
+		c.errs.Add(1)
+		return nil, false, fmt.Errorf("resultcache: %w", err)
+	}
+	var e envelope
+	if err := json.Unmarshal(b, &e); err != nil {
+		c.errs.Add(1)
+		return nil, false, fmt.Errorf("resultcache: corrupt entry %s: %w", key, err)
+	}
+	if e.Version != FormatVersion || e.Key != key || e.Res == nil {
+		c.errs.Add(1)
+		return nil, false, fmt.Errorf("resultcache: entry %s does not match its address (version %d, key %q)",
+			key, e.Version, e.Key)
+	}
+	c.hits.Add(1)
+	return e.Res, true, nil
+}
+
+// Put stores res under key atomically. Only successful results are worth
+// storing; callers must not cache errors (a failure is not content).
+func (c *Cache) Put(key string, res *core.Results) error {
+	if len(key) < 2 {
+		return fmt.Errorf("resultcache: malformed key %q", key)
+	}
+	if res == nil {
+		return fmt.Errorf("resultcache: refusing to store nil result under %s", key)
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(envelope{Version: FormatVersion, Key: key, Res: res}); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	dst := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := writeAtomic(c.dir, dst, buf.Bytes()); err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// writeAtomic publishes data at dst via a temp file in dir and a rename
+// (atomic within one filesystem).
+func writeAtomic(dir, dst string, data []byte) error {
+	tmp, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), dst)
+}
+
+// CacheStats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:   c.hits.Load(),
+		Misses: c.misses.Load(),
+		Puts:   c.puts.Load(),
+		Errors: c.errs.Load(),
+	}
+}
+
+// String renders the counters for the safespec-bench progress line; a warm
+// run shows misses=0 (no cell was simulated).
+func (c *Cache) String() string {
+	s := c.Stats()
+	return fmt.Sprintf("cache %s: hits=%d misses=%d stored=%d errors=%d",
+		c.dir, s.Hits, s.Misses, s.Puts, s.Errors)
+}
+
+// Executor serves jobs from the cache and delegates misses to an inner
+// executor (local simulation or the grid coordinator), storing fresh
+// successful results on the way back. It implements sweep.Executor, so a
+// cached sweep plugs into sweep.Run without any consumer changes.
+type Executor struct {
+	cache *Cache
+	inner sweep.Executor
+}
+
+// NewExecutor wraps inner (nil selects sweep.LocalExecutor) with the cache.
+func NewExecutor(c *Cache, inner sweep.Executor) *Executor {
+	if inner == nil {
+		inner = sweep.LocalExecutor{}
+	}
+	return &Executor{cache: c, inner: inner}
+}
+
+// Execute resolves one job: cache hit, or inner execution plus a store.
+// Cache failures (unhashable job, corrupt entry, failed write) degrade to
+// plain execution — a broken cache must never fail a sweep whose
+// simulations succeed — and are visible in the Errors counter.
+func (e *Executor) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
+	key, err := j.Hash()
+	if err != nil {
+		e.cache.errs.Add(1)
+		return e.inner.Execute(ctx, index, j)
+	}
+	if res, ok, _ := e.cache.Get(key); ok {
+		return res, nil
+	}
+	res, err := e.inner.Execute(ctx, index, j)
+	if err == nil && res != nil {
+		if perr := e.cache.Put(key, res); perr != nil {
+			e.cache.errs.Add(1)
+		}
+	}
+	return res, err
+}

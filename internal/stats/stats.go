@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -168,4 +169,75 @@ func Median(xs []float64) float64 {
 		return cp[mid]
 	}
 	return (cp[mid-1] + cp[mid]) / 2
+}
+
+// histogramJSON is the wire form of a Histogram: the full counts slice
+// (length = capacity+1), from which every derived field is recomputed on
+// decode. Keeping only counts makes the encoding canonical — two equal
+// histograms always serialize to identical bytes.
+type histogramJSON struct {
+	Counts []uint64 `json:"counts"`
+}
+
+// MarshalJSON encodes the histogram for the sweep result cache and the grid
+// wire protocol.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Counts: h.counts})
+}
+
+// UnmarshalJSON decodes a histogram, recomputing the sample count, sum and
+// maximum from the counts. The round trip is exact: all fields are integers.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var w histogramJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if len(w.Counts) == 0 {
+		w.Counts = make([]uint64, 1)
+	}
+	h.counts = w.Counts
+	h.n, h.sum, h.max = 0, 0, 0
+	for v, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		h.n += c
+		h.sum += uint64(v) * c
+		h.max = v
+	}
+	return nil
+}
+
+// tTable95 holds two-sided 95% Student's t critical values for 1..30 degrees
+// of freedom; larger samples use the normal approximation 1.96.
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval (Student's t on the sample standard deviation). The
+// half-width is 0 for fewer than two samples, where no spread is estimable;
+// it is the quantity behind the seed-fan error bars on the figures.
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 0
+	}
+	mean = Mean(xs)
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	t := 1.96
+	if df := n - 1; df <= len(tTable95) {
+		t = tTable95[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
 }

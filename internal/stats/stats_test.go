@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"sort"
@@ -193,5 +194,83 @@ func TestMeanBoundedProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestHistogramJSONRoundTrip(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(3)
+	h.AddN(7, 5)
+	h.Add(0)
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Histogram
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != h.N() || back.Max() != h.Max() || back.Mean() != h.Mean() {
+		t.Errorf("round trip mutated: n=%d/%d max=%d/%d mean=%f/%f",
+			back.N(), h.N(), back.Max(), h.Max(), back.Mean(), h.Mean())
+	}
+	for _, p := range []float64{0.5, 0.9999, 1} {
+		if back.Percentile(p) != h.Percentile(p) {
+			t.Errorf("p%.4f differs: %d vs %d", p, back.Percentile(p), h.Percentile(p))
+		}
+	}
+	// Capacity survives: a sample above max still clamps identically.
+	back.Add(99)
+	if back.Max() != 10 {
+		t.Errorf("capacity lost: max %d after clamped add", back.Max())
+	}
+	// Canonical: equal histograms encode to equal bytes.
+	b2, _ := json.Marshal(h)
+	if string(b) != string(b2) {
+		t.Error("encoding not canonical")
+	}
+}
+
+func TestHistogramJSONEmpty(t *testing.T) {
+	var back Histogram
+	if err := json.Unmarshal([]byte(`{"counts":[]}`), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != 0 || back.Percentile(0.9999) != 0 {
+		t.Errorf("empty decode broken: %v", &back)
+	}
+	back.Add(5) // must not panic; clamps to capacity 0
+	if back.Max() != 0 {
+		t.Errorf("zero-capacity clamp broken: %d", back.Max())
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	if m, ci := MeanCI95(nil); m != 0 || ci != 0 {
+		t.Errorf("empty: %f ± %f", m, ci)
+	}
+	if m, ci := MeanCI95([]float64{2.5}); m != 2.5 || ci != 0 {
+		t.Errorf("single sample: %f ± %f", m, ci)
+	}
+	// n=5, sd=1: t(4)=2.776 -> half = 2.776/sqrt(5).
+	xs := []float64{1, 2, 3, 4, 5} // mean 3, sd sqrt(2.5)
+	m, ci := MeanCI95(xs)
+	want := 2.776 * math.Sqrt(2.5) / math.Sqrt(5)
+	if m != 3 || math.Abs(ci-want) > 1e-9 {
+		t.Errorf("got %f ± %f, want 3 ± %f", m, ci, want)
+	}
+	// Identical samples: zero-width interval.
+	if _, ci := MeanCI95([]float64{7, 7, 7, 7}); ci != 0 {
+		t.Errorf("constant samples: ci %f", ci)
+	}
+	// Large n falls back to the normal critical value.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	_, ci = MeanCI95(big)
+	sd := math.Sqrt(25.0 / 99.0) // Bernoulli-ish sample sd
+	if math.Abs(ci-1.96*sd/10) > 1e-9 {
+		t.Errorf("large-n ci %f, want %f", ci, 1.96*sd/10)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"time"
+
+	"safespec/internal/stats"
 )
 
 // Sink observes sweep results. Run delivers results in ascending job order
@@ -117,8 +119,10 @@ func (c *CSV) Flush() error {
 }
 
 // Aggregate accumulates sweep-level accounting: job counts, summed per-job
-// wall time (worker-busy time) and committed instructions. It is the
-// in-memory sink behind the progress summary of cmd/safespec-bench.
+// wall time (worker-busy time) and committed instructions, plus per-(bench,
+// mode) IPC samples so a multi-seed fan collapses into mean ± 95% CI cells.
+// It is the in-memory sink behind the progress summary of
+// cmd/safespec-bench.
 type Aggregate struct {
 	// Jobs and Errored count observed results and the failed subset.
 	Jobs, Errored int
@@ -127,6 +131,23 @@ type Aggregate struct {
 	// Busy sums per-job wall time across workers; MaxWall is the slowest
 	// single job.
 	Busy, MaxWall time.Duration
+
+	// cells collects per-(bench, mode) IPC samples in observation order;
+	// order holds the keys in first-seen (job) order.
+	cells map[cellKey][]float64
+	order []cellKey
+}
+
+type cellKey struct{ bench, mode string }
+
+// CellStat summarizes one (bench, mode) cell across its seed fan: the
+// number of successful runs and the mean IPC with its 95% confidence
+// half-width (0 when the cell holds a single seed).
+type CellStat struct {
+	Bench, Mode string
+	N           int
+	MeanIPC     float64
+	CI95        float64
 }
 
 // Observe folds one result into the totals. Errored jobs still contribute
@@ -141,7 +162,28 @@ func (a *Aggregate) Observe(r Result) error {
 	}
 	a.Committed += r.Res.Committed
 	a.Cycles += r.Res.Cycles
+	k := cellKey{r.Job.Bench, r.Job.Mode}
+	if a.cells == nil {
+		a.cells = make(map[cellKey][]float64)
+	}
+	if _, seen := a.cells[k]; !seen {
+		a.order = append(a.order, k)
+	}
+	a.cells[k] = append(a.cells[k], r.Res.IPC())
 	return nil
+}
+
+// Cells returns the per-(bench, mode) seed-fan summaries in job order. With
+// a single-seed matrix every cell has N=1 and CI95=0; a seed fan collapses
+// into one row per cell instead of duplicate rows.
+func (a *Aggregate) Cells() []CellStat {
+	out := make([]CellStat, 0, len(a.order))
+	for _, k := range a.order {
+		xs := a.cells[k]
+		mean, half := stats.MeanCI95(xs)
+		out = append(out, CellStat{Bench: k.bench, Mode: k.mode, N: len(xs), MeanIPC: mean, CI95: half})
+	}
+	return out
 }
 
 // Flush is a no-op.

@@ -51,6 +51,10 @@ type Options struct {
 	// Sinks observe results in job order as they become deliverable; every
 	// sink is flushed before Run returns.
 	Sinks []Sink
+	// Executor runs individual jobs (nil selects LocalExecutor). Wrapping it
+	// swaps in the result cache or the distributed grid without touching any
+	// consumer of Run.
+	Executor Executor
 }
 
 // ForEach runs fn(ctx, i) for i in [0, n) on at most workers goroutines
@@ -161,16 +165,21 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 		}()
 	}
 
+	exec := opts.Executor
+	if exec == nil {
+		exec = LocalExecutor{}
+	}
 	ctxErr := ForEach(ctx, len(jobs), opts.Workers, func(ctx context.Context, i int) error {
 		ran[i] = true
 		start := time.Now()
-		results[i].Res, results[i].Err = executeJob(ctx, i, jobs[i])
+		results[i].Res, results[i].Err = exec.Execute(ctx, i, jobs[i])
 		results[i].Wall = time.Since(start)
 		done <- i
 		return nil
 	})
-	// ForEach isolates every job error into results[i].Err (execute never
-	// returns through fn's error), so ctxErr can only carry cancellation.
+	// ForEach isolates every job error into results[i].Err (the executors
+	// never return through fn's error), so ctxErr can only carry
+	// cancellation.
 	close(done)
 	collector.Wait()
 
