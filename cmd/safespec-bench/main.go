@@ -17,7 +17,9 @@
 //	safespec-bench -figs perf -json     # per-job JSON-lines rows on stdout
 //	safespec-bench -seeds 1,2,3         # seed fan; figures show mean ± 95% CI
 //	safespec-bench -cache-dir .cache    # content-addressed result cache
-//	safespec-bench -remote -serve :9090 # lease jobs to safespec-worker fleet
+//	safespec-bench -serve :9090         # host an in-process coordinator for a worker fleet
+//	safespec-bench -remote http://host:9090 -token SECRET
+//	                                    # submit the sweep to a persistent safespec-coordinator
 //
 // The per-job rows emitted by -json are deterministic and arrive in job
 // order for any -workers value, so outputs are byte-identical across worker
@@ -26,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -55,8 +58,9 @@ type options struct {
 	json     bool
 	quick    bool
 	cacheDir string
-	remote   bool
+	remote   string
 	serve    string
+	token    string
 	leaseTTL time.Duration
 	retries  int
 	out      io.Writer // table / JSON output (stdout in main)
@@ -75,10 +79,11 @@ func main() {
 	flag.BoolVar(&o.quick, "quick", false, "use the reduced smoke matrix (sweep.Quick) for CI")
 	flag.StringVar(&o.seeds, "seeds", "", "comma-separated generator seed fan per (bench, mode) cell; figures collapse it into mean ± 95% CI")
 	flag.StringVar(&o.cacheDir, "cache-dir", "", "content-addressed result cache directory (identical cells are never simulated twice)")
-	flag.BoolVar(&o.remote, "remote", false, "execute jobs on safespec-worker processes instead of local goroutines")
-	flag.StringVar(&o.serve, "serve", "", "grid coordinator listen address for -remote (default 127.0.0.1:0, printed to stderr)")
-	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "grid lease duration; size it above the slowest single job (default 2m)")
-	flag.IntVar(&o.retries, "lease-retries", 0, "grid lease grants per job before it fails as lost (default 5)")
+	flag.StringVar(&o.remote, "remote", "", "submit the sweep to a persistent safespec-coordinator at this base URL (e.g. http://host:9090)")
+	flag.StringVar(&o.serve, "serve", "", "host an in-process grid coordinator on this listen address and run the sweep through it (the degenerate -remote; lets safespec-worker processes join)")
+	flag.StringVar(&o.token, "token", os.Getenv("SAFESPEC_TOKEN"), "coordinator bearer token for -remote, and the token enforced by -serve (default $SAFESPEC_TOKEN)")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "grid lease duration for -serve; size it above the slowest single job (default 2m)")
+	flag.IntVar(&o.retries, "lease-retries", 0, "grid lease grants per job before it fails as lost, for -serve (default 5)")
 	flag.Parse()
 	o.out, o.info = os.Stdout, os.Stderr
 
@@ -101,11 +106,14 @@ func run(o options) error {
 		}
 	}
 
-	if (o.remote || o.serve != "" || o.cacheDir != "") && !sweeps {
+	if (o.remote != "" || o.serve != "" || o.cacheDir != "") && !sweeps {
 		return fmt.Errorf("-remote/-serve/-cache-dir apply to sweeps; -figs %s runs none", o.figs)
 	}
-	if o.serve != "" && !o.remote {
-		return fmt.Errorf("-serve only applies with -remote")
+	if o.remote != "" && o.serve != "" {
+		return fmt.Errorf("-remote submits to an external coordinator and -serve hosts one in-process; pick one")
+	}
+	if (o.leaseTTL != 0 || o.retries != 0) && o.serve == "" {
+		return fmt.Errorf("-lease-ttl/-lease-retries configure the in-process coordinator (-serve); an external coordinator owns its lease policy (set them on safespec-coordinator)")
 	}
 
 	if want("config") && !o.json {
@@ -201,7 +209,7 @@ func sweepConfig(o options) (figures.SweepConfig, error) {
 		}
 	}
 	sc.Workers = o.workers
-	if o.remote && o.workers == 0 {
+	if (o.remote != "" || o.serve != "") && o.workers == 0 {
 		// In remote mode a sweep "worker" is just a goroutine holding one
 		// in-flight lease, so the default bound is the queue depth offered
 		// to the fleet, not local parallelism.
@@ -215,32 +223,52 @@ func sweepConfig(o options) (figures.SweepConfig, error) {
 }
 
 // buildExecutor assembles the sweep execution backend from the flags:
-// in-process simulation by default, the grid coordinator under -remote, and
-// either of them behind the content-addressed result cache under
-// -cache-dir (cache hits never reach the grid). finish reports cache and
-// coordinator accounting and tears the coordinator down; it is safe to call
-// exactly once after the sweep.
+// in-process simulation by default, a grid.RemoteExecutor submitting to an
+// external persistent coordinator under -remote (or to an in-process one
+// under -serve — the degenerate case, for fleets without a standalone
+// safespec-coordinator), and any of them behind the content-addressed
+// result cache under -cache-dir (cache hits never reach the grid; only
+// misses are submitted). finish releases the sweep's coordinator-side
+// state and reports cache and grid accounting; it is safe to call exactly
+// once after the sweep.
 func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
 	finish = func() {}
-	if o.remote {
-		coord := grid.NewCoordinator(grid.Options{LeaseTTL: o.leaseTTL, MaxAttempts: o.retries})
-		addr := o.serve
-		if addr == "" {
-			addr = "127.0.0.1:0"
+	reportGrid := func(s grid.ServerSnapshot) {
+		fmt.Fprintf(o.info, "grid: leases granted=%d completed=%d requeued=%d failed=%d\n",
+			s.Granted, s.Completed, s.Requeued, s.Failed)
+	}
+	switch {
+	case o.serve != "":
+		server := grid.NewServer(grid.ServerOptions{
+			Token: o.token,
+			Lease: grid.Options{LeaseTTL: o.leaseTTL, MaxAttempts: o.retries},
+		})
+		ln, lerr := net.Listen("tcp", o.serve)
+		if lerr != nil {
+			return nil, nil, fmt.Errorf("grid coordinator: %w", lerr)
 		}
-		ln, err := net.Listen("tcp", addr)
-		if err != nil {
-			return nil, nil, fmt.Errorf("grid coordinator: %w", err)
-		}
-		srv := &http.Server{Handler: coord.Handler()}
+		srv := &http.Server{Handler: server.Handler()}
 		go srv.Serve(ln)
 		fmt.Fprintf(o.info, "grid coordinator listening on http://%s (point safespec-worker -coordinator at it)\n", ln.Addr())
-		exec = coord
+		re := &grid.RemoteExecutor{URL: "http://" + ln.Addr().String(), Token: o.token}
+		exec = re
 		finish = func() {
-			s := coord.Stats()
-			fmt.Fprintf(o.info, "grid: leases granted=%d completed=%d requeued=%d failed=%d\n",
-				s.Granted, s.Completed, s.Requeued, s.Failed)
+			re.Close()
+			reportGrid(server.Stats())
 			srv.Close()
+		}
+	case o.remote != "":
+		re := &grid.RemoteExecutor{URL: o.remote, Token: o.token}
+		exec = re
+		finish = func() {
+			re.Close()
+			// The coordinator outlives this sweep; its accounting line is
+			// best-effort color, not part of the run's output contract.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if s, serr := re.Stats(ctx); serr == nil {
+				reportGrid(s)
+			}
 		}
 	}
 	if o.cacheDir != "" {

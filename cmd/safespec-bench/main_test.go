@@ -109,8 +109,17 @@ func TestFlagValidation(t *testing.T) {
 		name string
 		mut  func(*options)
 	}{
-		{"serve without remote", func(o *options) { o.figs, o.serve = "perf", ":9090" }},
-		{"remote without sweep", func(o *options) { o.figs, o.remote = "security", true }},
+		{"remote and serve together", func(o *options) {
+			o.figs, o.remote, o.serve = "perf", "http://127.0.0.1:9", ":9090"
+		}},
+		{"remote without sweep", func(o *options) { o.figs, o.remote = "security", "http://127.0.0.1:9" }},
+		{"serve without sweep", func(o *options) { o.figs, o.serve = "security", ":9090" }},
+		{"lease flags with external coordinator", func(o *options) {
+			o.figs, o.remote, o.leaseTTL = "perf", "http://127.0.0.1:9", time.Minute
+		}},
+		{"lease flags without a coordinator", func(o *options) {
+			o.figs, o.retries = "perf", 3
+		}},
 		{"cache without sweep", func(o *options) { o.figs, o.cacheDir = "config", "/tmp/x" }},
 		{"bad seeds", func(o *options) { o.figs, o.seeds = "perf", "1,two" }},
 		{"duplicate seeds", func(o *options) { o.figs, o.seeds = "perf", "3,3" }},
@@ -178,11 +187,12 @@ func TestSeedFanFlag(t *testing.T) {
 	}
 }
 
-// TestRemoteEndToEnd drives run() in -remote mode with two in-process grid
-// workers attached to the ephemeral coordinator, and checks the JSON rows
-// are byte-identical to a local run — the distributed acceptance property
-// at the binary level.
-func TestRemoteEndToEnd(t *testing.T) {
+// TestServeEndToEnd drives run() in -serve mode (the in-process degenerate
+// coordinator) with a bearer token and two in-process grid workers attached
+// to the ephemeral coordinator, and checks the JSON rows are byte-identical
+// to a local run — the distributed acceptance property at the binary level.
+func TestServeEndToEnd(t *testing.T) {
+	const token = "bench-test-token"
 	localRows := func() string {
 		var buf bytes.Buffer
 		o := testOpts(&buf)
@@ -209,8 +219,8 @@ func TestRemoteEndToEnd(t *testing.T) {
 			}
 			addr = strings.Fields(addr)[0]
 			for i := 0; i < 2; i++ {
-				w := &grid.Worker{Coordinator: addr, ID: fmt.Sprintf("t%d", i),
-					Parallel: 2, Poll: 5 * time.Millisecond}
+				w := &grid.Worker{Coordinator: addr, Token: token,
+					ID: fmt.Sprintf("t%d", i), Parallel: 2, Poll: 5 * time.Millisecond}
 				go w.Run(workerCtx)
 			}
 		}
@@ -218,7 +228,8 @@ func TestRemoteEndToEnd(t *testing.T) {
 
 	var buf bytes.Buffer
 	o := options{out: &buf, info: infoW}
-	o.figs, o.json, o.remote = "perf", true, true
+	o.figs, o.json = "perf", true
+	o.serve, o.token = "127.0.0.1:0", token
 	o.bench, o.instrs = "exchange2,mcf", 2000
 	err := run(o)
 	infoW.Close()
@@ -226,6 +237,6 @@ func TestRemoteEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	if buf.String() != localRows {
-		t.Errorf("-remote rows differ from local:\n%s\nvs\n%s", buf.String(), localRows)
+		t.Errorf("-serve rows differ from local:\n%s\nvs\n%s", buf.String(), localRows)
 	}
 }

@@ -1,0 +1,96 @@
+// Command safespec-coordinator hosts a persistent SafeSpec grid
+// coordinator: a long-lived service that safespec-worker processes poll
+// for leased jobs and to which safespec-bench -remote submits sweeps. One
+// coordinator serves any number of sequential (or concurrent) sweeps, so
+// a multi-machine worker fleet stays up between bench runs.
+//
+// Usage:
+//
+//	safespec-coordinator -listen 0.0.0.0:9090 -token SECRET
+//	safespec-worker -coordinator http://host:9090 -token SECRET   # on each machine
+//	safespec-bench -figs perf -remote http://host:9090 -token SECRET
+//
+// Every /v1/* endpoint requires `Authorization: Bearer SECRET` when a
+// token is configured (-token or $SAFESPEC_TOKEN); an empty token disables
+// auth and should only be used on loopback. Jobs are leased with a TTL
+// (-lease-ttl): a crashed worker's jobs are requeued to the surviving
+// fleet. A sweep whose submitting bench process disappears is abandoned
+// after -sweep-ttl, so coordinator memory holds steady over days.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"safespec/internal/grid"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "127.0.0.1:9090", "listen address (host:port; :0 for an ephemeral port, printed to stderr)")
+		token    = flag.String("token", os.Getenv("SAFESPEC_TOKEN"), "shared bearer token required on every /v1/* request (default $SAFESPEC_TOKEN; empty disables auth)")
+		leaseTTL = flag.Duration("lease-ttl", 0, "job lease duration; size it above the slowest single job (default 2m)")
+		retries  = flag.Int("lease-retries", 0, "lease grants per job before it fails as lost (default 5)")
+		sweepTTL = flag.Duration("sweep-ttl", 0, "abandon a sweep whose client stopped polling this long ago (default 10m)")
+		quiet    = flag.Bool("quiet", false, "suppress per-sweep progress lines")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *listen, *token, *leaseTTL, *retries, *sweepTTL, *quiet, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "safespec-coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, listen, token string, leaseTTL time.Duration,
+	retries int, sweepTTL time.Duration, quiet bool, info io.Writer) error {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(info, format+"\n", args...)
+	}
+	if quiet {
+		logf = nil
+	}
+	server := grid.NewServer(grid.ServerOptions{
+		Token:    token,
+		Lease:    grid.Options{LeaseTTL: leaseTTL, MaxAttempts: retries},
+		SweepTTL: sweepTTL,
+		Logf:     logf,
+	})
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	auth := "auth enabled"
+	if token == "" {
+		auth = "auth DISABLED; set -token or $SAFESPEC_TOKEN for anything beyond loopback"
+	}
+	fmt.Fprintf(info, "safespec-coordinator listening on http://%s (%s)\n", ln.Addr(), auth)
+
+	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		srv.Close()
+		<-errc
+		err = nil
+	case err = <-errc:
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+	}
+	s := server.Stats()
+	fmt.Fprintf(info, "safespec-coordinator: %d sweeps served (%d abandoned); leases granted=%d completed=%d requeued=%d failed=%d\n",
+		s.SweepsSubmitted, s.SweepsAbandoned, s.Granted, s.Completed, s.Requeued, s.Failed)
+	return err
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"safespec/internal/grid"
+	"safespec/internal/sweep"
+)
+
+// TestCoordinatorServesSweeps drives the binary's run function end to end:
+// it must announce its address, enforce the bearer token, serve a sweep
+// submitted by a RemoteExecutor through an authenticated worker, and shut
+// down cleanly on context cancellation.
+func TestCoordinatorServesSweeps(t *testing.T) {
+	const token = "coordinator-test-token"
+	infoR, infoW := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		err := run(ctx, "127.0.0.1:0", token, 0, 0, 0, false, infoW)
+		infoW.Close()
+		done <- err
+	}()
+
+	// Scrape the ephemeral address from the progress stream, then keep
+	// draining it (io.Pipe writes block on an idle reader).
+	urlc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(infoR)
+		for sc.Scan() {
+			if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+				urlc <- strings.Fields(addr)[0]
+			}
+		}
+	}()
+	var url string
+	select {
+	case url = <-urlc:
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator never announced its address")
+	}
+
+	// Unauthenticated requests bounce off every endpoint.
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless stats got %d, want 401", resp.StatusCode)
+	}
+
+	workerCtx, stopWorker := context.WithCancel(context.Background())
+	defer stopWorker()
+	w := &grid.Worker{Coordinator: url, Token: token, ID: "cw", Parallel: 2,
+		Poll: 5 * time.Millisecond}
+	go w.Run(workerCtx)
+
+	spec := sweep.Quick()
+	spec.Benchmarks = []string{"exchange2"}
+	spec.Instructions = 2_000
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := &grid.RemoteExecutor{URL: url, Token: token, PollWait: 100 * time.Millisecond}
+	results, err := sweep.Run(context.Background(), jobs,
+		sweep.Options{Workers: len(jobs), Executor: re})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Errorf("close sweep: %v", err)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("coordinator exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not exit on cancellation")
+	}
+}
+
+// TestCoordinatorBadListenAddr: an unusable listen address must error out
+// instead of hanging.
+func TestCoordinatorBadListenAddr(t *testing.T) {
+	err := run(context.Background(), "256.256.256.256:0", "", 0, 0, 0, true, io.Discard)
+	if err == nil {
+		t.Fatal("bogus listen address must error")
+	}
+}

@@ -1,12 +1,13 @@
-// Command safespec-worker executes sweep jobs leased from a safespec-bench
-// coordinator (`safespec-bench -remote -serve ADDR`). Several workers may
-// serve one coordinator; each runs -parallel concurrent lease loops and
-// simulates jobs in-process, optionally behind a content-addressed result
-// cache shared with other workers on the same filesystem.
+// Command safespec-worker executes sweep jobs leased from a grid
+// coordinator — a persistent safespec-coordinator process, or the one
+// embedded in `safespec-bench -serve ADDR`. Several workers may serve one
+// coordinator; each runs -parallel concurrent lease loops and simulates
+// jobs in-process, optionally behind a content-addressed result cache
+// shared with other workers on the same filesystem.
 //
 // Usage:
 //
-//	safespec-worker -coordinator http://host:9090
+//	safespec-worker -coordinator http://host:9090 -token SECRET
 //	safespec-worker -coordinator http://host:9090 -parallel 4 -cache-dir .cache
 //	safespec-worker -coordinator http://host:9090 -max-idle 1m   # exit when orphaned
 //
@@ -31,7 +32,8 @@ import (
 
 func main() {
 	var (
-		coordinator = flag.String("coordinator", "", "base URL of the safespec-bench coordinator (required)")
+		coordinator = flag.String("coordinator", "", "base URL of the grid coordinator (required)")
+		token       = flag.String("token", os.Getenv("SAFESPEC_TOKEN"), "coordinator bearer token (default $SAFESPEC_TOKEN)")
 		id          = flag.String("id", "", "worker name used in lease ids and logs (default host-pid)")
 		parallel    = flag.Int("parallel", 0, "concurrent lease loops (0 = GOMAXPROCS)")
 		cacheDir    = flag.String("cache-dir", "", "content-addressed result cache directory")
@@ -43,13 +45,13 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *coordinator, *id, *parallel, *cacheDir, *poll, *maxIdle, *quiet); err != nil {
+	if err := run(ctx, *coordinator, *token, *id, *parallel, *cacheDir, *poll, *maxIdle, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, coordinator, id string, parallel int,
+func run(ctx context.Context, coordinator, token, id string, parallel int,
 	cacheDir string, poll, maxIdle time.Duration, quiet bool) error {
 	if coordinator == "" {
 		return fmt.Errorf("-coordinator is required (e.g. -coordinator http://127.0.0.1:9090)")
@@ -78,6 +80,7 @@ func run(ctx context.Context, coordinator, id string, parallel int,
 	}
 	w := &grid.Worker{
 		Coordinator: coordinator,
+		Token:       token,
 		ID:          id,
 		Parallel:    parallel,
 		Exec:        exec,

@@ -12,18 +12,19 @@ import (
 )
 
 func TestRequiresCoordinator(t *testing.T) {
-	err := run(context.Background(), "", "", 0, "", time.Millisecond, 0, true)
+	err := run(context.Background(), "", "", "", 0, "", time.Millisecond, 0, true)
 	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
 		t.Errorf("missing -coordinator must error, got %v", err)
 	}
 }
 
 // TestWorkerServesSweep drives the command's run function against a live
-// coordinator: it must execute the leased jobs (through the cache wiring)
-// and exit cleanly on cancellation.
+// token-guarded coordinator server: it must authenticate, execute the
+// leased jobs (through the cache wiring) and exit cleanly on cancellation.
 func TestWorkerServesSweep(t *testing.T) {
-	coord := grid.NewCoordinator(grid.Options{})
-	srv := httptest.NewServer(coord.Handler())
+	const token = "cmd-test-token"
+	server := grid.NewServer(grid.ServerOptions{Token: token})
+	srv := httptest.NewServer(server.Handler())
 	defer srv.Close()
 
 	spec := sweep.Quick()
@@ -37,16 +38,20 @@ func TestWorkerServesSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	workerDone := make(chan error, 1)
 	go func() {
-		workerDone <- run(ctx, srv.URL, "test-worker", 2, t.TempDir(), 5*time.Millisecond, 0, true)
+		workerDone <- run(ctx, srv.URL, token, "test-worker", 2, t.TempDir(), 5*time.Millisecond, 0, true)
 	}()
 
+	re := &grid.RemoteExecutor{URL: srv.URL, Token: token, PollWait: 100 * time.Millisecond}
 	results, err := sweep.Run(context.Background(), jobs,
-		sweep.Options{Workers: len(jobs), Executor: coord})
+		sweep.Options{Workers: len(jobs), Executor: re})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := sweep.FirstErr(results); err != nil {
 		t.Fatal(err)
+	}
+	if err := re.Close(); err != nil {
+		t.Errorf("close sweep: %v", err)
 	}
 	cancel()
 	select {
@@ -56,5 +61,18 @@ func TestWorkerServesSweep(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("worker did not exit on cancellation")
+	}
+}
+
+// TestWorkerRejectedToken checks the fail-fast path: a worker with the
+// wrong token must exit with the auth error instead of polling forever.
+func TestWorkerRejectedToken(t *testing.T) {
+	server := grid.NewServer(grid.ServerOptions{Token: "right"})
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+
+	err := run(context.Background(), srv.URL, "wrong", "test-worker", 1, "", time.Millisecond, 0, true)
+	if err == nil || !strings.Contains(err.Error(), "401") {
+		t.Errorf("want auth failure, got %v", err)
 	}
 }

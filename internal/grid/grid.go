@@ -10,11 +10,19 @@
 // completion. A job whose leases are lost too many times fails with an
 // error Result instead of stalling the sweep forever.
 //
-// Wire protocol (JSON over HTTP, versioned under /v1/):
+// Wire protocol (JSON over HTTP, versioned under /v1/). The worker-facing
+// endpoints are served by Coordinator.Handler; Server adds the
+// sweep-submission surface on top and guards every /v1/* endpoint with a
+// shared bearer token:
 //
-//	POST /v1/lease   LeaseRequest  -> 200 LeaseResponse | 204 (no work)
-//	POST /v1/result  ResultRequest -> 200 | 409 (lease unknown or expired)
-//	GET  /v1/stats                 -> 200 Snapshot
+//	POST   /v1/lease             LeaseRequest  -> 200 LeaseResponse | 204 (no work)
+//	POST   /v1/result            ResultRequest -> 200 | 409 (lease unknown or expired)
+//	GET    /v1/stats                           -> 200 Snapshot (ServerSnapshot on a Server)
+//	POST   /v1/sweeps            SubmitRequest -> 200 SubmitResponse
+//	POST   /v1/sweeps/{id}/jobs  JobRequest    -> 200 (idempotent per index)
+//	GET    /v1/sweeps/{id}                     -> 200 SweepStatus
+//	GET    /v1/sweeps/{id}?index=N&wait=30s    -> 200 sweep.Result | 204 (pending)
+//	DELETE /v1/sweeps/{id}                     -> 200 (sweep state released)
 //
 // Job execution errors are final results (exactly as in a local run) and
 // travel as strings in the Result encoding; only lost leases retry.
@@ -56,10 +64,14 @@ type ResultRequest struct {
 	Result  sweep.Result `json:"result"`
 }
 
-// Snapshot is the coordinator's accounting, served at /v1/stats.
+// Snapshot is the coordinator's accounting, served at /v1/stats. Expired
+// counts timed-out leases still waiting for a late result; it returns to
+// zero as their jobs complete, fail, or are abandoned, so a persistent
+// coordinator holds steady memory across sweeps.
 type Snapshot struct {
 	Pending   int    `json:"pending"`
 	Leased    int    `json:"leased"`
+	Expired   int    `json:"expired"`
 	Granted   uint64 `json:"granted"`
 	Completed uint64 `json:"completed"`
 	Requeued  uint64 `json:"requeued"`
@@ -83,10 +95,12 @@ type task struct {
 	index     int
 	job       sweep.Job
 	attempts  int
-	leaseID   string    // non-empty while leased
-	deadline  time.Time // lease expiry while leased
-	done      chan outcome
+	leaseID   string        // non-empty while leased
+	deadline  time.Time     // lease expiry while leased
+	done      chan outcome  // terminal outcome for Execute callers (nil when deliver is set)
+	deliver   func(outcome) // terminal outcome for submitted sweeps (nil for Execute tasks)
 	elem      *list.Element // position in pending while queued
+	expired   []string      // this task's entries in Coordinator.expired
 	completed bool          // outcome delivered (exactly once)
 	cancelled bool          // Execute abandoned the job (ctx cancellation)
 }
@@ -94,6 +108,16 @@ type task struct {
 type outcome struct {
 	res *core.Results
 	err error
+}
+
+// finish hands the task its terminal outcome, exactly once. Callers must
+// not hold Coordinator.mu: deliver may take sweep-level locks.
+func (t *task) finish(out outcome) {
+	if t.deliver != nil {
+		t.deliver(out)
+		return
+	}
+	t.done <- out
 }
 
 // Coordinator queues jobs from Execute calls and leases them to polling
@@ -137,10 +161,7 @@ func NewCoordinator(opts Options) *Coordinator {
 // lease attempts, or ctx is cancelled. The bound on concurrently queued
 // jobs is sweep.Options.Workers — size it to the fleet's total capacity.
 func (c *Coordinator) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
-	t := &task{index: index, job: j, done: make(chan outcome, 1)}
-	c.mu.Lock()
-	t.elem = c.pending.PushBack(t)
-	c.mu.Unlock()
+	t := c.enqueue(index, j, nil)
 
 	select {
 	case out := <-t.done:
@@ -157,8 +178,23 @@ func (c *Coordinator) Execute(ctx context.Context, index int, j sweep.Job) (*cor
 	}
 }
 
-// abandon withdraws a cancelled task from the queue and the lease table; a
-// late worker report for it gets 409 and is discarded.
+// enqueue queues one job for the worker fleet and returns its task. When
+// deliver is non-nil the terminal outcome goes to it (called without c.mu
+// held); otherwise the task carries a buffered channel for Execute.
+func (c *Coordinator) enqueue(index int, j sweep.Job, deliver func(outcome)) *task {
+	t := &task{index: index, job: j, deliver: deliver}
+	if deliver == nil {
+		t.done = make(chan outcome, 1)
+	}
+	c.mu.Lock()
+	t.elem = c.pending.PushBack(t)
+	c.mu.Unlock()
+	return t
+}
+
+// abandon withdraws a cancelled task from the queue, the lease table and
+// the expired-lease index; a late worker report for it gets 409 and is
+// discarded.
 func (c *Coordinator) abandon(t *task) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -171,56 +207,78 @@ func (c *Coordinator) abandon(t *task) {
 		delete(c.leases, t.leaseID)
 		t.leaseID = ""
 	}
+	c.purgeExpiredLocked(t)
 }
 
-// requeueExpiredLocked re-queues (or fails) every lease past its deadline.
-// It runs under c.mu on each lease poll: expiry needs no timer goroutine,
-// because a lost job only matters when some worker is alive to take it.
-func (c *Coordinator) requeueExpiredLocked(now time.Time) {
+// purgeExpiredLocked forgets the task's timed-out lease ids. Once a job
+// reaches a terminal state — completed, failed, or abandoned — a late
+// result can no longer be used, and keeping the entries would leak one per
+// lease expiry for the life of a persistent coordinator.
+func (c *Coordinator) purgeExpiredLocked(t *task) {
+	for _, id := range t.expired {
+		delete(c.expired, id)
+	}
+	t.expired = nil
+}
+
+// requeueExpiredLocked re-queues every lease past its deadline, returning
+// the tasks that exhausted their attempts instead; the caller must finish
+// those after releasing c.mu. It runs under c.mu on each lease poll: expiry
+// needs no timer goroutine, because a lost job only matters when some
+// worker is alive to take it.
+func (c *Coordinator) requeueExpiredLocked(now time.Time) (exhausted []*task) {
 	for id, t := range c.leases {
 		if now.Before(t.deadline) {
 			continue
 		}
 		delete(c.leases, id)
-		c.expired[id] = t // a late result under this lease is still welcome
 		t.leaseID = ""
 		if t.attempts >= c.opts.MaxAttempts {
 			c.failed++
 			t.completed = true
-			t.done <- outcome{err: fmt.Errorf("grid: %s: lease lost %d times (worker crash or partition); giving up",
-				t.job, t.attempts)}
+			c.purgeExpiredLocked(t)
+			exhausted = append(exhausted, t)
 			continue
 		}
+		c.expired[id] = t // a late result under this lease is still welcome
+		t.expired = append(t.expired, id)
 		c.requeued++
 		t.elem = c.pending.PushFront(t) // retries jump the queue
 	}
+	return exhausted
 }
 
 // lease hands the oldest pending job to a worker.
 func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	now := c.opts.now()
-	c.requeueExpiredLocked(now)
-	front := c.pending.Front()
-	if front == nil {
-		return LeaseResponse{}, false
+	exhausted := c.requeueExpiredLocked(now)
+	var resp LeaseResponse
+	var ok bool
+	if front := c.pending.Front(); front != nil {
+		t := front.Value.(*task)
+		c.pending.Remove(front)
+		t.elem = nil
+		c.seq++
+		t.leaseID = fmt.Sprintf("%s-%d", worker, c.seq)
+		t.deadline = now.Add(c.opts.LeaseTTL)
+		t.attempts++
+		c.granted++
+		c.leases[t.leaseID] = t
+		resp = LeaseResponse{
+			LeaseID: t.leaseID,
+			Index:   t.index,
+			Job:     t.job,
+			TTLMS:   c.opts.LeaseTTL.Milliseconds(),
+		}
+		ok = true
 	}
-	t := front.Value.(*task)
-	c.pending.Remove(front)
-	t.elem = nil
-	c.seq++
-	t.leaseID = fmt.Sprintf("%s-%d", worker, c.seq)
-	t.deadline = now.Add(c.opts.LeaseTTL)
-	t.attempts++
-	c.granted++
-	c.leases[t.leaseID] = t
-	return LeaseResponse{
-		LeaseID: t.leaseID,
-		Index:   t.index,
-		Job:     t.job,
-		TTLMS:   c.opts.LeaseTTL.Milliseconds(),
-	}, true
+	c.mu.Unlock()
+	for _, t := range exhausted {
+		t.finish(outcome{err: fmt.Errorf("grid: %s: lease lost %d times (worker crash or partition); giving up",
+			t.job, t.attempts)})
+	}
+	return resp, ok
 }
 
 // complete resolves a lease with its reported result. An expired lease is
@@ -252,13 +310,14 @@ func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
 	if ok {
 		t.leaseID = ""
 		t.completed = true
+		c.purgeExpiredLocked(t)
 		c.completed++
 	}
 	c.mu.Unlock()
 	if !ok {
 		return false
 	}
-	t.done <- outcome{res: r.Res, err: r.Err}
+	t.finish(outcome{res: r.Res, err: r.Err})
 	return true
 }
 
@@ -269,6 +328,7 @@ func (c *Coordinator) Stats() Snapshot {
 	return Snapshot{
 		Pending:   c.pending.Len(),
 		Leased:    len(c.leases),
+		Expired:   len(c.expired),
 		Granted:   c.granted,
 		Completed: c.completed,
 		Requeued:  c.requeued,
@@ -280,42 +340,49 @@ func (c *Coordinator) Stats() Snapshot {
 // included) is well under 1 MiB.
 const maxBody = 32 << 20
 
-// Handler returns the coordinator's HTTP surface.
+// Handler returns the coordinator's worker-facing HTTP surface, without
+// authentication — the in-process `safespec-bench -serve` degenerate case
+// wraps these same handlers in a Server, which adds the sweep-submission
+// API and bearer-token auth.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, req *http.Request) {
-		var lr LeaseRequest
-		if !decodeJSON(w, req, &lr) {
-			return
-		}
-		resp, ok := c.lease(lr.Worker)
-		if !ok {
-			w.WriteHeader(http.StatusNoContent)
-			return
-		}
-		writeJSON(w, resp)
-	})
-	mux.HandleFunc("POST /v1/result", func(w http.ResponseWriter, req *http.Request) {
-		var rr ResultRequest
-		if !decodeJSON(w, req, &rr) {
-			return
-		}
-		if rr.Result.Res == nil && rr.Result.Err == nil {
-			// A result must carry a payload or a cause; accepting neither
-			// would surface as a nil dereference in the sinks.
-			http.Error(w, "result carries neither res nor err", http.StatusBadRequest)
-			return
-		}
-		if !c.complete(rr.LeaseID, rr.Result) {
-			http.Error(w, "unknown or expired lease", http.StatusConflict)
-			return
-		}
-		w.WriteHeader(http.StatusOK)
-	})
+	mux.HandleFunc("POST /v1/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/result", c.handleResult)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, c.Stats())
 	})
 	return mux
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
+	var lr LeaseRequest
+	if !decodeJSON(w, req, &lr) {
+		return
+	}
+	resp, ok := c.lease(lr.Worker)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, resp)
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
+	var rr ResultRequest
+	if !decodeJSON(w, req, &rr) {
+		return
+	}
+	if rr.Result.Res == nil && rr.Result.Err == nil {
+		// A result must carry a payload or a cause; accepting neither
+		// would surface as a nil dereference in the sinks.
+		http.Error(w, "result carries neither res nor err", http.StatusBadRequest)
+		return
+	}
+	if !c.complete(rr.LeaseID, rr.Result) {
+		http.Error(w, "unknown or expired lease", http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
 }
 
 func decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {

@@ -1,0 +1,311 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"safespec/internal/core"
+	"safespec/internal/sweep"
+)
+
+// RemoteExecutor runs a sweep on a persistent external coordinator
+// (cmd/safespec-coordinator, or the in-process `safespec-bench -serve`
+// degenerate case). It implements sweep.Executor — sinks, in-order
+// delivery and byte-identical output are untouched — plus the
+// sweep.Submitter extension: when sweep.Run announces the job matrix, the
+// whole sweep is enqueued in one POST /v1/sweeps. When the matrix is not
+// announced (e.g. a result cache wraps this executor and only misses reach
+// the grid), Execute submits jobs one at a time to a lazily-opened sweep.
+//
+// Each Execute call long-polls GET /v1/sweeps/{id}?index=N&wait=D for its
+// job's result; the number of concurrent Execute calls (sweep's Workers
+// option) is therefore the queue depth offered to the fleet. Close releases
+// the sweep's server-side state; an unclosed sweep (crashed client) is
+// abandoned by the server after its SweepTTL.
+type RemoteExecutor struct {
+	// URL is the coordinator base URL ("http://host:port").
+	URL string
+	// Token authenticates every request ("" sends no Authorization header).
+	Token string
+	// Client is the HTTP client; nil selects one whose timeout comfortably
+	// exceeds the long-poll window.
+	Client *http.Client
+	// PollWait is the long-poll duration requested per result poll
+	// (default 25s; the server caps it at one minute).
+	PollWait time.Duration
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	sweepID   string
+	submitted map[int]bool
+}
+
+// defaultPollWait balances held-open connections against poll chatter; it
+// must stay well under the client timeout below.
+const defaultPollWait = 25 * time.Second
+
+func (r *RemoteExecutor) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return defaultRemoteClient
+}
+
+var defaultRemoteClient = &http.Client{Timeout: 90 * time.Second}
+
+func (r *RemoteExecutor) logf(format string, args ...any) {
+	if r.Logf != nil {
+		r.Logf(format, args...)
+	}
+}
+
+// Submit implements sweep.Submitter: it opens a sweep on the coordinator
+// carrying the whole job matrix, so the fleet starts draining it before the
+// first Execute call even polls. Transport errors are retried briefly — a
+// coordinator mid-restart should not fail the sweep.
+func (r *RemoteExecutor) Submit(ctx context.Context, jobs []sweep.Job) error {
+	resp, err := r.openSweep(ctx, jobs)
+	if err != nil {
+		return fmt.Errorf("grid: submit sweep to %s: %w", r.URL, err)
+	}
+	r.mu.Lock()
+	r.sweepID = resp.SweepID
+	r.submitted = make(map[int]bool, len(jobs))
+	for i := range jobs {
+		r.submitted[i] = true
+	}
+	r.mu.Unlock()
+	r.logf("grid: sweep %s submitted to %s (%d jobs)", resp.SweepID, r.URL, len(jobs))
+	return nil
+}
+
+// openSweep POSTs a sweep-creation request carrying jobs (nil opens an
+// empty sweep for incremental submission). The nonce makes the retried
+// POST idempotent: if an attempt landed but its response was lost, the
+// coordinator hands back the existing sweep instead of double-running it.
+func (r *RemoteExecutor) openSweep(ctx context.Context, jobs []sweep.Job) (SubmitResponse, error) {
+	req := SubmitRequest{Jobs: jobs, Nonce: newNonce()}
+	var resp SubmitResponse
+	status, err := r.retry(ctx, func() (int, error) {
+		return doJSON(ctx, r.client(), http.MethodPost, r.URL+"/v1/sweeps", r.Token,
+			req, &resp)
+	})
+	if err == nil && status != http.StatusOK {
+		err = statusErr(status)
+	}
+	return resp, err
+}
+
+// Execute submits the job if the matrix announcement did not already cover
+// it, then long-polls the coordinator for the job's result.
+func (r *RemoteExecutor) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
+	id, err := r.ensure(ctx, index, j)
+	if err != nil {
+		return nil, err
+	}
+	wait := r.PollWait
+	if wait <= 0 {
+		wait = defaultPollWait
+	}
+	url := fmt.Sprintf("%s/v1/sweeps/%s?index=%d&wait=%s", r.URL, id, index, wait)
+	var res sweep.Result
+	for {
+		status, err := r.retry(ctx, func() (int, error) {
+			return doJSON(ctx, r.client(), http.MethodGet, url, r.Token, nil, &res)
+		})
+		switch {
+		case err != nil:
+			return nil, fmt.Errorf("grid: poll %s job %d: %w", id, index, err)
+		case status == http.StatusOK:
+			if res.Index != index {
+				// Belt and suspenders against ever adopting a foreign job's
+				// result (e.g. a proxy replaying a stale response).
+				return nil, fmt.Errorf("grid: poll %s job %d: coordinator answered for job %d", id, index, res.Index)
+			}
+			return res.Res, res.Err
+		case status == http.StatusNoContent:
+			continue // not finished yet; poll again
+		case status == http.StatusNotFound:
+			return nil, fmt.Errorf("grid: sweep %s expired on coordinator %s (client idle past the sweep TTL?)", id, r.URL)
+		default:
+			return nil, fmt.Errorf("grid: poll %s job %d: %w", id, index, statusErr(status))
+		}
+	}
+}
+
+// ensure opens the sweep on first use and submits this job if the matrix
+// announcement did not already carry it. Only sweep creation runs under the
+// mutex (one request per sweep); per-job submissions claim their index
+// first and post outside the lock, so concurrent cache misses submit in
+// parallel instead of serializing behind one another's round trips.
+func (r *RemoteExecutor) ensure(ctx context.Context, index int, j sweep.Job) (string, error) {
+	r.mu.Lock()
+	if r.sweepID == "" {
+		resp, err := r.openSweep(ctx, nil)
+		if err != nil {
+			r.mu.Unlock()
+			return "", fmt.Errorf("grid: open sweep on %s: %w", r.URL, err)
+		}
+		r.sweepID = resp.SweepID
+		r.submitted = make(map[int]bool)
+		r.logf("grid: sweep %s opened on %s (incremental submission)", resp.SweepID, r.URL)
+	}
+	id := r.sweepID
+	claimed := r.submitted[index]
+	if !claimed {
+		// Claim before posting: a concurrent Execute for the same index (not
+		// that Run produces one) would double-post, which the server treats
+		// as a no-op anyway.
+		r.submitted[index] = true
+	}
+	r.mu.Unlock()
+	if !claimed {
+		status, err := r.retry(ctx, func() (int, error) {
+			return doJSON(ctx, r.client(), http.MethodPost,
+				fmt.Sprintf("%s/v1/sweeps/%s/jobs", r.URL, id), r.Token,
+				JobRequest{Index: index, Job: j}, nil)
+		})
+		if err == nil && status != http.StatusOK {
+			err = statusErr(status)
+		}
+		if err != nil {
+			return "", fmt.Errorf("grid: submit job %d to sweep %s: %w", index, id, err)
+		}
+	}
+	return id, nil
+}
+
+// Close releases the sweep's state on the coordinator (idempotent; a sweep
+// the server already dropped counts as released). The executor can be
+// reused afterwards: the next Submit or Execute opens a fresh sweep.
+func (r *RemoteExecutor) Close() error {
+	r.mu.Lock()
+	id := r.sweepID
+	r.sweepID, r.submitted = "", nil
+	r.mu.Unlock()
+	if id == "" {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	status, err := doJSON(ctx, r.client(), http.MethodDelete, r.URL+"/v1/sweeps/"+id, r.Token, nil, nil)
+	if err != nil {
+		return fmt.Errorf("grid: close sweep %s: %w", id, err)
+	}
+	if status != http.StatusOK && status != http.StatusNotFound {
+		return fmt.Errorf("grid: close sweep %s: unexpected status %d", id, status)
+	}
+	return nil
+}
+
+// Stats fetches the coordinator's accounting snapshot.
+func (r *RemoteExecutor) Stats(ctx context.Context) (ServerSnapshot, error) {
+	var snap ServerSnapshot
+	status, err := doJSON(ctx, r.client(), http.MethodGet, r.URL+"/v1/stats", r.Token, nil, &snap)
+	if err != nil {
+		return snap, err
+	}
+	if status != http.StatusOK {
+		return snap, fmt.Errorf("grid: stats: unexpected status %d", status)
+	}
+	return snap, nil
+}
+
+// retry runs fn until it returns a non-5xx status without a transport
+// error, backing off between attempts, and hands the final status to the
+// caller to interpret. Transport faults and 5xx are retried alike: both
+// are the shape of a coordinator (or fronting proxy) mid-restart, which
+// should not fail the sweep.
+func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, error)) (int, error) {
+	backoff := 250 * time.Millisecond
+	var status int
+	var err error
+	for attempt := 0; attempt < 8; attempt++ {
+		if attempt > 0 {
+			if !sleep(ctx, backoff) {
+				return 0, ctx.Err()
+			}
+			backoff = min(2*backoff, 5*time.Second)
+		}
+		status, err = fn()
+		if err == nil && status < 500 {
+			return status, nil
+		}
+		if ctx.Err() != nil {
+			return 0, ctx.Err()
+		}
+		if err != nil {
+			r.logf("grid: %s unreachable (%v); backing off %v", r.URL, err, backoff)
+		} else {
+			r.logf("grid: %s returned %d; backing off %v", r.URL, status, backoff)
+		}
+	}
+	if err == nil {
+		err = statusErr(status)
+	}
+	return status, err
+}
+
+// statusErr renders a terminal HTTP status as an error, spelling out the
+// one misconfiguration users actually hit (a bad token).
+func statusErr(status int) error {
+	if status == http.StatusUnauthorized {
+		return errUnauthorized
+	}
+	return fmt.Errorf("unexpected status %d", status)
+}
+
+// newNonce returns a random submission id for sweep-creation idempotency.
+func newNonce() string {
+	var b [16]byte
+	rand.Read(b[:])
+	return hex.EncodeToString(b[:])
+}
+
+// doJSON sends one JSON request with optional bearer auth and decodes a
+// 200 response body into out (when non-nil). The returned error covers
+// transport and decoding failures only; HTTP statuses are the caller's to
+// interpret.
+func doJSON(ctx context.Context, client *http.Client, method, url, token string, in, out any) (int, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return 0, err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return 0, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
+		resp.Body.Close()
+	}()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,446 @@
+package grid
+
+import (
+	"crypto/subtle"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"safespec/internal/sweep"
+)
+
+// Server is a persistent grid coordinator: it owns a Coordinator for the
+// worker fleet and adds a sweep-submission API, so many sequential (or
+// concurrent) sweeps can share one long-lived worker fleet across
+// safespec-bench restarts. Every /v1/* endpoint — worker- and
+// client-facing alike — is guarded by a shared bearer token.
+//
+// A sweep is created by POST /v1/sweeps (optionally carrying the whole job
+// matrix), grown by POST /v1/sweeps/{id}/jobs, polled per job index by
+// GET /v1/sweeps/{id}?index=N&wait=D, and released by DELETE. A sweep whose
+// client stops polling (a crashed bench process) is abandoned after
+// SweepTTL: its unfinished jobs are withdrawn from the queue and all of its
+// state — including the coordinator's expired-lease entries — is freed, so
+// the server holds steady memory over days of operation.
+type Server struct {
+	opts  ServerOptions
+	coord *Coordinator
+
+	mu        sync.Mutex
+	sweeps    map[string]*sweepState
+	byNonce   map[string]string // submission nonce -> sweep id, for retried POSTs
+	lastGC    time.Time
+	submitted uint64
+	abandoned uint64
+}
+
+// ServerOptions configures a Server.
+type ServerOptions struct {
+	// Token is the shared bearer secret checked on every /v1/* request
+	// ("" disables auth — loopback development only).
+	Token string
+	// Lease configures the embedded Coordinator (TTL, attempt bound).
+	Lease Options
+	// SweepTTL abandons a sweep whose client has neither submitted jobs nor
+	// polled results for this long (default 10 minutes). Live clients
+	// long-poll far more often than that.
+	SweepTTL time.Duration
+	// Logf receives progress lines (nil discards them).
+	Logf func(format string, args ...any)
+	// now is a test seam for the sweep liveness clock.
+	now func() time.Time
+}
+
+// ServerSnapshot extends the coordinator accounting with sweep-level state.
+type ServerSnapshot struct {
+	Snapshot
+	// Sweeps counts sweeps currently held in memory.
+	Sweeps int `json:"sweeps"`
+	// SweepsSubmitted and SweepsAbandoned count lifetime submissions and
+	// TTL-expired abandonments.
+	SweepsSubmitted uint64 `json:"sweeps_submitted"`
+	SweepsAbandoned uint64 `json:"sweeps_abandoned"`
+}
+
+// SubmitRequest opens a sweep, optionally enqueueing its whole job matrix
+// (element position = job index). An empty Jobs slice opens a sweep for
+// incremental submission via POST /v1/sweeps/{id}/jobs — the path taken
+// when a client-side result cache filters the matrix down to its misses.
+type SubmitRequest struct {
+	Jobs []sweep.Job `json:"jobs,omitempty"`
+	// Nonce deduplicates retried submissions: POST /v1/sweeps is otherwise
+	// not idempotent, and a client whose 200 was lost in transit would
+	// open a duplicate sweep whose jobs the fleet executes for nothing. A
+	// coordinator that already holds a sweep for this nonce returns it
+	// instead of creating another.
+	Nonce string `json:"nonce,omitempty"`
+}
+
+// SubmitResponse identifies the created sweep.
+type SubmitResponse struct {
+	SweepID string `json:"sweep_id"`
+	Jobs    int    `json:"jobs"`
+}
+
+// JobRequest adds one job to an open sweep. Resubmitting an index is a
+// no-op (the simulation is deterministic, so a retried submission carries
+// the same job).
+type JobRequest struct {
+	Index int       `json:"index"`
+	Job   sweep.Job `json:"job"`
+}
+
+// SweepStatus is the index-less GET /v1/sweeps/{id} response.
+type SweepStatus struct {
+	SweepID   string `json:"sweep_id"`
+	Submitted int    `json:"submitted"`
+	Completed int    `json:"completed"`
+	// Done reports all submitted jobs completed; with incremental
+	// submission it can flicker true between batches, so it is meaningful
+	// only once the client has submitted its whole matrix.
+	Done bool `json:"done"`
+}
+
+// sweepState tracks one submitted sweep. Its mutex is ordered before the
+// coordinator's: handlers take sweepState.mu then enqueue/abandon (which
+// take Coordinator.mu), while result delivery takes sweepState.mu only
+// after Coordinator.mu has been released.
+type sweepState struct {
+	id    string
+	nonce string // submission nonce, purged from Server.byNonce with the sweep
+
+	mu        sync.Mutex
+	slots     map[int]*slot
+	completed int
+	lastSeen  time.Time
+	closed    bool
+}
+
+// slot is one job of a sweep: its queued task while live, its result once
+// delivered (ready is closed at that point).
+type slot struct {
+	task  *task
+	res   *sweep.Result
+	ready chan struct{}
+}
+
+// maxPollWait caps the long-poll duration a client may request.
+const maxPollWait = time.Minute
+
+// NewServer builds a persistent coordinator server with defaults applied.
+func NewServer(opts ServerOptions) *Server {
+	if opts.SweepTTL <= 0 {
+		opts.SweepTTL = 10 * time.Minute
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.now == nil {
+		opts.now = time.Now
+	}
+	return &Server{
+		opts:    opts,
+		coord:   NewCoordinator(opts.Lease),
+		sweeps:  make(map[string]*sweepState),
+		byNonce: make(map[string]string),
+	}
+}
+
+// Stats snapshots the server and its embedded coordinator.
+func (s *Server) Stats() ServerSnapshot {
+	snap := s.coord.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ServerSnapshot{
+		Snapshot:        snap,
+		Sweeps:          len(s.sweeps),
+		SweepsSubmitted: s.submitted,
+		SweepsAbandoned: s.abandoned,
+	}
+}
+
+// Handler returns the full authenticated HTTP surface: the coordinator's
+// worker endpoints plus the sweep-submission API. Abandoned-sweep GC runs
+// lazily on every authenticated request (workers poll /v1/lease
+// continuously, so an idle orphan sweep never outlives SweepTTL by much).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/lease", s.coord.handleLease)
+	mux.HandleFunc("POST /v1/result", s.coord.handleResult)
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, s.Stats())
+	})
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("POST /v1/sweeps/{id}/jobs", s.handleJob)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handlePoll)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleClose)
+	inner := requireAuth(s.opts.Token, mux)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.gc(s.opts.now())
+		inner.ServeHTTP(w, req)
+	})
+}
+
+// requireAuth enforces the shared bearer token on every request; an empty
+// token disables auth.
+func requireAuth(token string, next http.Handler) http.Handler {
+	if token == "" {
+		return next
+	}
+	want := []byte("Bearer " + token)
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		got := []byte(req.Header.Get("Authorization"))
+		if subtle.ConstantTimeCompare(got, want) != 1 {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="safespec-grid"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		next.ServeHTTP(w, req)
+	})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var sr SubmitRequest
+	if !decodeJSON(w, req, &sr) {
+		return
+	}
+	// The whole submission is one critical section (matrix enqueue is a
+	// few list pushes), so a concurrent retry of the same POST either sees
+	// nothing yet or the fully-populated sweep — never a partial matrix,
+	// and never a duplicate sweep for one nonce.
+	s.mu.Lock()
+	if sr.Nonce != "" {
+		if id, ok := s.byNonce[sr.Nonce]; ok {
+			if prev := s.sweeps[id]; prev != nil {
+				// A retried submission whose first attempt did land: hand
+				// back the existing sweep instead of double-running it.
+				prev.mu.Lock()
+				resp := SubmitResponse{SweepID: prev.id, Jobs: len(prev.slots)}
+				prev.lastSeen = s.opts.now()
+				prev.mu.Unlock()
+				s.mu.Unlock()
+				writeJSON(w, resp)
+				return
+			}
+		}
+	}
+	// The id is random, not sequential: a client that rides out a
+	// coordinator restart must see its old sweep id stop resolving (404)
+	// rather than silently adopt a sweep the restarted process assigned to
+	// someone else.
+	st := &sweepState{
+		id:       "s-" + newNonce()[:16],
+		nonce:    sr.Nonce,
+		slots:    make(map[int]*slot, len(sr.Jobs)),
+		lastSeen: s.opts.now(),
+	}
+	for i, j := range sr.Jobs {
+		s.addJob(st, i, j)
+	}
+	s.submitted++
+	s.sweeps[st.id] = st
+	if sr.Nonce != "" {
+		s.byNonce[sr.Nonce] = st.id
+	}
+	s.mu.Unlock()
+	s.opts.Logf("grid: sweep %s opened with %d jobs", st.id, len(sr.Jobs))
+	writeJSON(w, SubmitResponse{SweepID: st.id, Jobs: len(sr.Jobs)})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, req *http.Request) {
+	st := s.lookup(req.PathValue("id"))
+	if st == nil {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	var jr JobRequest
+	if !decodeJSON(w, req, &jr) {
+		return
+	}
+	if jr.Index < 0 {
+		http.Error(w, "negative job index", http.StatusBadRequest)
+		return
+	}
+	if !s.addJob(st, jr.Index, jr.Job) {
+		// The sweep was closed or abandoned between lookup and enqueue; a
+		// 200 here would leave the client long-polling a job that will
+		// never run.
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, req *http.Request) {
+	st := s.lookup(req.PathValue("id"))
+	if st == nil {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	q := req.URL.Query()
+	if q.Get("index") == "" {
+		st.mu.Lock()
+		status := SweepStatus{
+			SweepID:   st.id,
+			Submitted: len(st.slots),
+			Completed: st.completed,
+			Done:      len(st.slots) > 0 && st.completed == len(st.slots),
+		}
+		st.mu.Unlock()
+		writeJSON(w, status)
+		return
+	}
+	idx, err := strconv.Atoi(q.Get("index"))
+	if err != nil {
+		http.Error(w, "bad index: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var wait time.Duration
+	if ws := q.Get("wait"); ws != "" {
+		if wait, err = time.ParseDuration(ws); err != nil {
+			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		wait = min(wait, maxPollWait)
+	}
+	st.mu.Lock()
+	sl, ok := st.slots[idx]
+	st.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown job index", http.StatusNotFound)
+		return
+	}
+	if wait > 0 {
+		timer := time.NewTimer(wait)
+		defer timer.Stop()
+		select {
+		case <-sl.ready:
+		case <-timer.C:
+		case <-req.Context().Done():
+			return
+		}
+	}
+	st.mu.Lock()
+	res := sl.res
+	st.mu.Unlock()
+	if res == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	s.mu.Lock()
+	st, ok := s.sweeps[id]
+	if ok {
+		delete(s.sweeps, id)
+		if st.nonce != "" {
+			delete(s.byNonce, st.nonce)
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	submitted, completed := s.abandonSweep(st)
+	s.opts.Logf("grid: sweep %s closed (%d/%d jobs completed)", id, completed, submitted)
+	w.WriteHeader(http.StatusOK)
+}
+
+// lookup resolves a sweep id and refreshes its liveness clock.
+func (s *Server) lookup(id string) *sweepState {
+	s.mu.Lock()
+	st := s.sweeps[id]
+	s.mu.Unlock()
+	if st != nil {
+		st.mu.Lock()
+		st.lastSeen = s.opts.now()
+		st.mu.Unlock()
+	}
+	return st
+}
+
+// addJob enqueues one job of a sweep onto the shared coordinator queue,
+// wiring its terminal outcome back into the sweep's slot. It reports false
+// when the sweep has been closed or abandoned in the meantime — the caller
+// must not tell the client the job was accepted.
+func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return false
+	}
+	if _, dup := st.slots[index]; dup {
+		return true // idempotent resubmission
+	}
+	sl := &slot{ready: make(chan struct{})}
+	st.slots[index] = sl
+	sl.task = s.coord.enqueue(index, job, func(out outcome) {
+		res := &sweep.Result{Index: index, Job: job, Res: out.res, Err: out.err}
+		st.mu.Lock()
+		sl.res = res
+		st.completed++
+		st.mu.Unlock()
+		close(sl.ready)
+	})
+	return true
+}
+
+// abandonSweep withdraws a sweep's unfinished jobs from the coordinator
+// (which also purges their expired-lease entries) and reports its final
+// submitted/completed counts.
+func (s *Server) abandonSweep(st *sweepState) (submitted, completed int) {
+	st.mu.Lock()
+	st.closed = true
+	var live []*task
+	for _, sl := range st.slots {
+		if sl.res == nil && sl.task != nil {
+			live = append(live, sl.task)
+		}
+	}
+	submitted, completed = len(st.slots), st.completed
+	st.mu.Unlock()
+	for _, t := range live {
+		s.coord.abandon(t)
+	}
+	return submitted, completed
+}
+
+// gc abandons sweeps whose client has gone silent past SweepTTL. It runs
+// lazily on request arrival, mirroring the coordinator's lease expiry: an
+// orphan sweep only needs collecting while the server is alive to serve.
+// Scans are rate-limited to once per second — idle expiry is measured in
+// minutes, and the worker fleet's lease polls should not pay an O(sweeps)
+// lock walk each time.
+func (s *Server) gc(now time.Time) {
+	var drop []*sweepState
+	s.mu.Lock()
+	if now.Sub(s.lastGC) < time.Second {
+		s.mu.Unlock()
+		return
+	}
+	s.lastGC = now
+	for id, st := range s.sweeps {
+		st.mu.Lock()
+		idle := now.Sub(st.lastSeen)
+		st.mu.Unlock()
+		if idle > s.opts.SweepTTL {
+			delete(s.sweeps, id)
+			if st.nonce != "" {
+				delete(s.byNonce, st.nonce)
+			}
+			s.abandoned++
+			drop = append(drop, st)
+		}
+	}
+	s.mu.Unlock()
+	for _, st := range drop {
+		submitted, completed := s.abandonSweep(st)
+		s.opts.Logf("grid: sweep %s abandoned after %v idle (%d/%d jobs completed)",
+			st.id, s.opts.SweepTTL, completed, submitted)
+	}
+}

@@ -1,0 +1,490 @@
+package grid
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"safespec/internal/core"
+	"safespec/internal/pipeline"
+	"safespec/internal/sweep"
+)
+
+// startTokenWorkers runs n in-process workers authenticating with token and
+// returns a stop function that cancels and joins them.
+func startTokenWorkers(t testing.TB, url, token string, n int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			Coordinator: url,
+			Token:       token,
+			ID:          fmt.Sprintf("tw%d", i),
+			Parallel:    2,
+			Poll:        5 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				t.Errorf("worker: %v", err)
+			}
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+// TestServerSequentialSweeps is the tentpole acceptance property: one
+// persistent Server and one worker fleet serve several sequential sweeps —
+// including one submitted lazily, as a cache-wrapped executor would — each
+// byte-identical to a local run, and the server returns to steady-state
+// memory (no sweeps, no expired leases) after the clients close.
+func TestServerSequentialSweeps(t *testing.T) {
+	const token = "fleet-secret"
+	jobs := smallJobs(t)
+
+	var local bytes.Buffer
+	if _, err := sweep.Run(context.Background(), jobs,
+		sweep.Options{Sinks: []sweep.Sink{sweep.NewJSONL(&local)}}); err != nil {
+		t.Fatal(err)
+	}
+
+	server := NewServer(ServerOptions{Token: token})
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+	stop := startTokenWorkers(t, srv.URL, token, 2)
+	defer stop()
+
+	for round := 0; round < 3; round++ {
+		re := &RemoteExecutor{URL: srv.URL, Token: token, PollWait: 200 * time.Millisecond}
+		var exec sweep.Executor = re
+		if round == 2 {
+			// Hide the Submitter extension, as a wrapping result cache does:
+			// every job must flow through the lazy per-job submission path.
+			exec = struct{ sweep.Executor }{re}
+		}
+		var remote bytes.Buffer
+		if _, err := sweep.Run(context.Background(), jobs, sweep.Options{
+			Workers:  len(jobs),
+			Executor: exec,
+			Sinks:    []sweep.Sink{sweep.NewJSONL(&remote)},
+		}); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if remote.String() != local.String() {
+			t.Errorf("round %d rows differ from local:\n%s\nvs\n%s", round, remote.String(), local.String())
+		}
+		if err := re.Close(); err != nil {
+			t.Errorf("round %d close: %v", round, err)
+		}
+	}
+
+	s := server.Stats()
+	if s.Sweeps != 0 || s.Pending != 0 || s.Leased != 0 || s.Expired != 0 {
+		t.Errorf("server holds state after closed sweeps: %+v", s)
+	}
+	if want := uint64(3 * len(jobs)); s.Completed != want {
+		t.Errorf("completed %d jobs, want %d", s.Completed, want)
+	}
+	if s.SweepsSubmitted != 3 {
+		t.Errorf("sweeps submitted %d, want 3", s.SweepsSubmitted)
+	}
+}
+
+// TestServerAuth locks every /v1/* endpoint behind the bearer token: a
+// missing or wrong token gets 401 on lease, result, submit, poll, close and
+// stats alike, and the right token gets through.
+func TestServerAuth(t *testing.T) {
+	const token = "sekrit"
+	server := NewServer(ServerOptions{Token: token})
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	endpoints := []struct {
+		method, path string
+		body         any
+	}{
+		{http.MethodPost, "/v1/lease", LeaseRequest{Worker: "w"}},
+		{http.MethodPost, "/v1/result", ResultRequest{LeaseID: "x", Result: sweep.Result{Err: errors.New("e")}}},
+		{http.MethodGet, "/v1/stats", nil},
+		{http.MethodPost, "/v1/sweeps", SubmitRequest{}},
+		{http.MethodPost, "/v1/sweeps/s-1/jobs", JobRequest{}},
+		{http.MethodGet, "/v1/sweeps/s-1", nil},
+		{http.MethodDelete, "/v1/sweeps/s-1", nil},
+	}
+	for _, ep := range endpoints {
+		for name, tok := range map[string]string{"missing": "", "wrong": "not-" + token} {
+			status, err := doJSON(ctx, srv.Client(), ep.method, srv.URL+ep.path, tok, ep.body, nil)
+			if err != nil {
+				t.Fatalf("%s %s: %v", ep.method, ep.path, err)
+			}
+			if status != http.StatusUnauthorized {
+				t.Errorf("%s %s with %s token: got %d, want 401", ep.method, ep.path, name, status)
+			}
+		}
+		status, err := doJSON(ctx, srv.Client(), ep.method, srv.URL+ep.path, token, ep.body, nil)
+		if err != nil {
+			t.Fatalf("%s %s: %v", ep.method, ep.path, err)
+		}
+		if status == http.StatusUnauthorized {
+			t.Errorf("%s %s rejected the correct token", ep.method, ep.path)
+		}
+	}
+}
+
+// TestSweepAbandonedAfterTTL checks the server-side GC: a sweep whose
+// client vanished (no polls) is dropped after SweepTTL, its queued jobs are
+// withdrawn, and its id stops resolving.
+func TestSweepAbandonedAfterTTL(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	server := NewServer(ServerOptions{SweepTTL: time.Minute, now: clock})
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	var resp SubmitResponse
+	if _, err := doJSON(ctx, srv.Client(), http.MethodPost, srv.URL+"/v1/sweeps", "",
+		SubmitRequest{Jobs: smallJobs(t, "exchange2")[:1]}, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if s := server.Stats(); s.Sweeps != 1 || s.Pending != 1 {
+		t.Fatalf("sweep not queued: %+v", s)
+	}
+
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	var snap ServerSnapshot
+	if _, err := doJSON(ctx, srv.Client(), http.MethodGet, srv.URL+"/v1/stats", "", nil, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Sweeps != 0 || snap.Pending != 0 || snap.SweepsAbandoned != 1 {
+		t.Errorf("orphan sweep not collected: %+v", snap)
+	}
+	status, err := doJSON(ctx, srv.Client(), http.MethodGet, srv.URL+"/v1/sweeps/"+resp.SweepID, "", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != http.StatusNotFound {
+		t.Errorf("abandoned sweep still resolves: status %d", status)
+	}
+}
+
+// blockUntilCancel is a worker-side executor that parks every job until the
+// worker's own context dies, then fails with the context error — the shape
+// of a worker being shut down mid-job.
+type blockUntilCancel struct {
+	started chan struct{}
+	once    sync.Once
+}
+
+func (b *blockUntilCancel) Execute(ctx context.Context, _ int, _ sweep.Job) (*core.Results, error) {
+	b.once.Do(func() { close(b.started) })
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+// TestCancelledWorkerJobRequeued is the regression for the cancellation
+// bug: a worker killed mid-job must NOT report ctx.Err() as the job's final
+// result. The lease expires instead and a surviving worker completes the
+// job, so the sweep sees zero error rows.
+func TestCancelledWorkerJobRequeued(t *testing.T) {
+	jobs := smallJobs(t, "exchange2")[:1]
+	coord := NewCoordinator(Options{LeaseTTL: 100 * time.Millisecond})
+	srv := httptest.NewServer(coord.Handler())
+	defer srv.Close()
+
+	done := make(chan []sweep.Result, 1)
+	go func() {
+		results, err := sweep.Run(context.Background(), jobs, sweep.Options{Executor: coord})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- results
+	}()
+
+	// The doomed worker takes the job and is cancelled mid-execution.
+	blocker := &blockUntilCancel{started: make(chan struct{})}
+	doomedCtx, killDoomed := context.WithCancel(context.Background())
+	doomedDone := make(chan error, 1)
+	doomed := &Worker{Coordinator: srv.URL, ID: "doomed", Parallel: 1,
+		Poll: 5 * time.Millisecond, Exec: blocker}
+	go func() { doomedDone <- doomed.Run(doomedCtx) }()
+	select {
+	case <-blocker.started:
+	case <-time.After(10 * time.Second):
+		t.Fatal("doomed worker never leased the job")
+	}
+	killDoomed()
+	if err := <-doomedDone; err != nil {
+		t.Fatalf("cancelled worker must exit clean, got %v", err)
+	}
+
+	// A healthy worker joins; it must receive the job after the lease TTL
+	// and complete it successfully.
+	stop := startWorkers(t, srv.URL, 1)
+	defer stop()
+	select {
+	case results := <-done:
+		if results[0].Err != nil {
+			t.Fatalf("cancelled worker poisoned the sweep with an error row: %v", results[0].Err)
+		}
+		if results[0].Res == nil || results[0].Res.Committed == 0 {
+			t.Fatal("no simulation result after requeue")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("requeued job never completed")
+	}
+	if s := coord.Stats(); s.Requeued == 0 {
+		t.Errorf("lease loss not accounted: %+v", s)
+	}
+}
+
+// fakeClock drives the coordinator's lease clock by hand.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (f *fakeClock) Now() time.Time { f.mu.Lock(); defer f.mu.Unlock(); return f.now }
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.now = f.now.Add(d)
+	f.mu.Unlock()
+}
+
+// TestExpiredLeasesPurgedOnCompletion: the expired-lease index must shrink
+// back to zero when a job with timed-out leases finally completes.
+func TestExpiredLeasesPurgedOnCompletion(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000, 0)}
+	coord := NewCoordinator(Options{LeaseTTL: time.Minute, now: clk.Now})
+	ch := make(chan outcome, 1)
+	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, func(o outcome) { ch <- o })
+
+	crash, ok := coord.lease("crasher")
+	if !ok {
+		t.Fatal("no lease granted")
+	}
+	clk.Advance(2 * time.Minute)
+	release, ok := coord.lease("healthy") // triggers expiry + immediate re-grant
+	if !ok {
+		t.Fatal("expired job not re-leased")
+	}
+	if s := coord.Stats(); s.Expired != 1 || s.Requeued != 1 {
+		t.Fatalf("expiry not indexed: %+v", s)
+	}
+	if !coord.complete(release.LeaseID, sweep.Result{Res: &core.Results{Stats: &pipeline.Stats{Committed: 1}}}) {
+		t.Fatal("healthy completion rejected")
+	}
+	if s := coord.Stats(); s.Expired != 0 {
+		t.Errorf("expired entries leaked past completion: %+v", s)
+	}
+	select {
+	case out := <-ch:
+		if out.err != nil || out.res == nil {
+			t.Errorf("wrong outcome: %+v", out)
+		}
+	default:
+		t.Error("outcome never delivered")
+	}
+	// The crasher's stale lease is gone from the index too: its late report
+	// is rejected rather than double-completing the job.
+	if coord.complete(crash.LeaseID, sweep.Result{Res: &core.Results{Stats: &pipeline.Stats{Committed: 1}}}) {
+		t.Error("purged expired lease still accepted a result")
+	}
+}
+
+// TestExpiredLeasesPurgedOnFailure: lease exhaustion must clear the failed
+// job's expired entries along with delivering the error.
+func TestExpiredLeasesPurgedOnFailure(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000, 0)}
+	coord := NewCoordinator(Options{LeaseTTL: time.Minute, MaxAttempts: 2, now: clk.Now})
+	ch := make(chan outcome, 1)
+	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, func(o outcome) { ch <- o })
+
+	if _, ok := coord.lease("c1"); !ok {
+		t.Fatal("no first lease")
+	}
+	clk.Advance(2 * time.Minute)
+	if _, ok := coord.lease("c2"); !ok { // requeue + second (final) attempt
+		t.Fatal("no second lease")
+	}
+	clk.Advance(2 * time.Minute)
+	if _, ok := coord.lease("c3"); ok { // expiry exhausts the job; queue is empty
+		t.Fatal("exhausted job leased again")
+	}
+	select {
+	case out := <-ch:
+		if out.err == nil || !strings.Contains(out.err.Error(), "lease lost") {
+			t.Errorf("want lease-exhaustion error, got %v", out.err)
+		}
+	default:
+		t.Fatal("exhaustion outcome never delivered")
+	}
+	if s := coord.Stats(); s.Expired != 0 || s.Failed != 1 {
+		t.Errorf("expired entries leaked past failure: %+v", s)
+	}
+}
+
+// TestExpiredLeasesPurgedOnAbandon: cancelling an Execute whose job has a
+// timed-out lease must clear that lease from the expired index.
+func TestExpiredLeasesPurgedOnAbandon(t *testing.T) {
+	clk := &fakeClock{now: time.Unix(1_000, 0)}
+	coord := NewCoordinator(Options{LeaseTTL: time.Minute, now: clk.Now})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := coord.Execute(ctx, 0, sweep.Job{Bench: "exchange2", Mode: "baseline", Config: core.Baseline()})
+		errc <- err
+	}()
+	for coord.Stats().Pending == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := coord.lease("crasher"); !ok {
+		t.Fatal("no lease granted")
+	}
+	clk.Advance(2 * time.Minute)
+	if _, ok := coord.lease("w2"); !ok { // expiry + re-grant
+		t.Fatal("expired job not re-leased")
+	}
+	if s := coord.Stats(); s.Expired != 1 {
+		t.Fatalf("expiry not indexed: %+v", s)
+	}
+	cancel()
+	if err := <-errc; err != context.Canceled {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if s := coord.Stats(); s.Expired != 0 || s.Leased != 0 || s.Pending != 0 {
+		t.Errorf("abandoned job left coordinator state behind: %+v", s)
+	}
+}
+
+// TestReportTerminal4xx is the regression for the retry bug: a payload the
+// coordinator permanently rejects (400) must not be retried like a
+// transport fault, while 5xx keeps its transient retries.
+func TestReportTerminal4xx(t *testing.T) {
+	for _, tc := range []struct {
+		status    int
+		wantCalls int32
+		wantErr   string
+	}{
+		{http.StatusBadRequest, 1, "permanently rejected"},
+		{http.StatusConflict, 1, "no longer valid"},
+		{http.StatusInternalServerError, 3, "unexpected status 500"},
+	} {
+		var calls atomic.Int32
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+			calls.Add(1)
+			http.Error(w, "nope", tc.status)
+		}))
+		w := &Worker{Coordinator: srv.URL}
+		err := w.report(context.Background(), srv.Client(), "lease-1",
+			sweep.Result{Err: errors.New("job error")})
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("status %d: got error %v, want %q", tc.status, err, tc.wantErr)
+		}
+		if got := calls.Load(); got != tc.wantCalls {
+			t.Errorf("status %d: %d report attempts, want %d", tc.status, got, tc.wantCalls)
+		}
+		srv.Close()
+	}
+}
+
+// TestSubmitRetriesServerErrors: a coordinator answering 5xx (mid-restart,
+// fronting proxy) is retried, and a non-200 that persists is surfaced as an
+// error instead of silently yielding an empty sweep id.
+func TestSubmitRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int32
+	real := NewServer(ServerOptions{})
+	inner := real.Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "restarting", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, req)
+	}))
+	defer srv.Close()
+
+	re := &RemoteExecutor{URL: srv.URL}
+	if err := re.Submit(context.Background(), smallJobs(t, "exchange2")[:1]); err != nil {
+		t.Fatalf("submit did not ride out 503s: %v", err)
+	}
+	re.mu.Lock()
+	id := re.sweepID
+	re.mu.Unlock()
+	if id == "" {
+		t.Fatal("submit succeeded without a sweep id")
+	}
+
+	// A terminal non-200 (here 404 from a bogus base path) must error.
+	re2 := &RemoteExecutor{URL: srv.URL + "/nope"}
+	if err := re2.Submit(context.Background(), smallJobs(t, "exchange2")[:1]); err == nil {
+		t.Fatal("submit to a bogus path reported success")
+	}
+}
+
+// TestAddJobClosedSweep: a job racing a sweep's abandonment must be
+// refused, not silently dropped while the handler reports acceptance.
+func TestAddJobClosedSweep(t *testing.T) {
+	s := NewServer(ServerOptions{})
+	st := &sweepState{id: "s-x", slots: map[int]*slot{}}
+	st.closed = true
+	if s.addJob(st, 0, sweep.Job{Bench: "exchange2", Mode: "baseline"}) {
+		t.Fatal("closed sweep accepted a job")
+	}
+	if n := s.coord.Stats().Pending; n != 0 {
+		t.Fatalf("dropped job still queued: %d pending", n)
+	}
+}
+
+// TestSubmitNonceIdempotent: re-posting a submission whose response was
+// lost must return the existing sweep instead of double-running the matrix.
+func TestSubmitNonceIdempotent(t *testing.T) {
+	server := NewServer(ServerOptions{})
+	srv := httptest.NewServer(server.Handler())
+	defer srv.Close()
+	ctx := context.Background()
+
+	req := SubmitRequest{Jobs: smallJobs(t, "exchange2")[:1], Nonce: "retry-nonce-1"}
+	var first, second SubmitResponse
+	if _, err := doJSON(ctx, srv.Client(), http.MethodPost, srv.URL+"/v1/sweeps", "", req, &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := doJSON(ctx, srv.Client(), http.MethodPost, srv.URL+"/v1/sweeps", "", req, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.SweepID != second.SweepID {
+		t.Errorf("retried submission opened a second sweep: %s vs %s", first.SweepID, second.SweepID)
+	}
+	if s := server.Stats(); s.SweepsSubmitted != 1 || s.Pending != 1 {
+		t.Errorf("duplicate sweep state: %+v", s)
+	}
+	// Closing the sweep releases the nonce; the same nonce then opens a
+	// fresh sweep rather than resolving to a dead id.
+	if _, err := doJSON(ctx, srv.Client(), http.MethodDelete, srv.URL+"/v1/sweeps/"+first.SweepID, "", nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	var third SubmitResponse
+	if _, err := doJSON(ctx, srv.Client(), http.MethodPost, srv.URL+"/v1/sweeps", "", req, &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.SweepID == first.SweepID {
+		t.Error("nonce resolved to a closed sweep")
+	}
+}

@@ -1,11 +1,9 @@
 package grid
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"runtime"
 	"time"
@@ -21,6 +19,9 @@ type Worker struct {
 	Coordinator string
 	// ID names this worker in lease ids and logs.
 	ID string
+	// Token is the coordinator's shared bearer secret ("" sends no
+	// Authorization header; required when the coordinator enforces auth).
+	Token string
 	// Parallel is the number of concurrent lease loops (<=0 selects
 	// GOMAXPROCS).
 	Parallel int
@@ -41,7 +42,11 @@ type Worker struct {
 
 // Run polls until ctx is cancelled (or the coordinator stays unreachable
 // past MaxIdle). It returns nil on cancellation: being told to stop is the
-// normal end of a worker's life.
+// normal end of a worker's life. Shutdown is graceful, not immediate: the
+// local simulator does not observe ctx mid-job, so in-flight jobs run to
+// completion and their results are still reported (on a short detached
+// deadline); a ctx-honoring Exec that dies with the cancellation instead
+// has its job silently requeued via lease expiry.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Coordinator == "" {
 		return fmt.Errorf("grid: worker needs a coordinator URL")
@@ -87,6 +92,10 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 		}
 		lease, ok, err := w.lease(ctx, client, loop)
 		switch {
+		case errors.Is(err, errUnauthorized):
+			// A wrong token never becomes right; polling on would only spam
+			// the coordinator's auth log.
+			return err
 		case err != nil:
 			if unreachableSince.IsZero() {
 				unreachableSince = time.Now()
@@ -112,8 +121,26 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 
 		start := time.Now()
 		res, jobErr := exec.Execute(ctx, lease.Index, lease.Job)
+		if ctx.Err() != nil && (errors.Is(jobErr, context.Canceled) || errors.Is(jobErr, context.DeadlineExceeded)) {
+			// The job died with this worker's own shutdown, not on its own
+			// merits. Reporting ctx.Err() would turn a recoverable worker
+			// crash into a permanent error row in the sweep; stay silent and
+			// let the lease TTL hand the job to a live worker instead.
+			logf("worker %s/%d: %s abandoned on shutdown; lease TTL will requeue it", w.ID, loop, lease.Job)
+			return nil
+		}
 		r := sweep.Result{Index: lease.Index, Job: lease.Job, Res: res, Err: jobErr, Wall: time.Since(start)}
-		if err := w.report(ctx, client, lease.LeaseID, r); err != nil {
+		reportCtx, cancelReport := ctx, context.CancelFunc(func() {})
+		if ctx.Err() != nil {
+			// The worker is shutting down but the job finished anyway (the
+			// local simulator runs to completion): deliver the result on a
+			// short detached deadline instead of throwing the work away and
+			// making another worker wait out the lease TTL to redo it.
+			reportCtx, cancelReport = context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+		}
+		err = w.report(reportCtx, client, lease.LeaseID, r)
+		cancelReport()
+		if err != nil {
 			// The lease expired or the coordinator re-queued the job; the
 			// authoritative copy is theirs now.
 			logf("worker %s/%d: result for %s discarded: %v", w.ID, loop, lease.Job, err)
@@ -122,6 +149,11 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 		logf("worker %s/%d: %s done in %v", w.ID, loop, lease.Job, r.Wall.Round(time.Millisecond))
 	}
 }
+
+// errUnauthorized marks a coordinator 401 — a configuration error, not a
+// transient fault — so the worker exits (and the remote executor stops
+// retrying) instead of hammering the coordinator's auth log.
+var errUnauthorized = errors.New("coordinator rejected the bearer token (status 401); check -token/SAFESPEC_TOKEN")
 
 // lease requests one job; ok is false on an empty queue (204).
 func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (LeaseResponse, bool, error) {
@@ -136,6 +168,8 @@ func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (Leas
 		return resp, true, nil
 	case http.StatusNoContent:
 		return resp, false, nil
+	case http.StatusUnauthorized:
+		return resp, false, errUnauthorized
 	default:
 		return resp, false, fmt.Errorf("lease: unexpected status %d", status)
 	}
@@ -143,6 +177,9 @@ func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (Leas
 
 // report posts a finished lease, retrying transient transport errors a few
 // times before giving the job back to the coordinator via lease expiry.
+// Any 4xx other than 409 (stale lease, reported by the caller) is terminal:
+// the coordinator rejected the payload itself, and retrying the same bytes
+// can only fail the same way.
 func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string, r sweep.Result) error {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
@@ -154,11 +191,13 @@ func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string
 		if err != nil {
 			continue
 		}
-		switch status {
-		case http.StatusOK:
+		switch {
+		case status == http.StatusOK:
 			return nil
-		case http.StatusConflict:
+		case status == http.StatusConflict:
 			return fmt.Errorf("result: lease %s no longer valid", leaseID)
+		case status >= 400 && status < 500:
+			return fmt.Errorf("result: permanently rejected with status %d", status)
 		default:
 			err = fmt.Errorf("result: unexpected status %d", status)
 		}
@@ -169,29 +208,7 @@ func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string
 // post sends one JSON request and decodes a JSON body into out (when non-nil
 // and the status is 200).
 func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) (int, error) {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return 0, err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Coordinator+path, bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	defer func() {
-		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
-		resp.Body.Close()
-	}()
-	if out != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out); err != nil {
-			return resp.StatusCode, err
-		}
-	}
-	return resp.StatusCode, nil
+	return doJSON(ctx, client, http.MethodPost, w.Coordinator+path, w.Token, in, out)
 }
 
 // sleep waits d or until ctx is done, reporting whether the full wait

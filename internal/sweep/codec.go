@@ -87,6 +87,17 @@ type Executor interface {
 	Execute(ctx context.Context, index int, j Job) (*core.Results, error)
 }
 
+// Submitter is an optional Executor extension: when the executor of a Run
+// implements it, Run announces the complete job matrix once, before any
+// Execute call. A remote backend uses the announcement to enqueue the whole
+// sweep in a single request and start the fleet draining it immediately;
+// executors wrapping another executor (like the result cache) deliberately
+// do not forward the announcement, so only the jobs that actually reach the
+// inner executor are ever submitted.
+type Submitter interface {
+	Submit(ctx context.Context, jobs []Job) error
+}
+
 // LocalExecutor simulates jobs in-process. It is the default executor of
 // Run and the terminal executor of a grid worker.
 type LocalExecutor struct{}

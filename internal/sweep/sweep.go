@@ -135,6 +135,19 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 	}
 	ran := make([]bool, len(jobs))
 
+	exec := opts.Executor
+	if exec == nil {
+		exec = LocalExecutor{}
+	}
+	if sub, ok := exec.(Submitter); ok {
+		// Announce the matrix before the pool starts so a remote backend can
+		// enqueue the whole sweep in one request. A failed announcement fails
+		// the sweep outright, like any configuration error.
+		if err := sub.Submit(ctx, jobs); err != nil {
+			return results, fmt.Errorf("sweep: submit matrix: %w", err)
+		}
+	}
+
 	// The collector delivers finished results to the sinks in ascending job
 	// order, buffering out-of-order completions, so sink output is
 	// byte-identical for any worker count.
@@ -165,10 +178,6 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 		}()
 	}
 
-	exec := opts.Executor
-	if exec == nil {
-		exec = LocalExecutor{}
-	}
 	ctxErr := ForEach(ctx, len(jobs), opts.Workers, func(ctx context.Context, i int) error {
 		ran[i] = true
 		start := time.Now()

@@ -388,3 +388,70 @@ func TestSeedChangesProgram(t *testing.T) {
 		t.Error("seed override produced an identical run")
 	}
 }
+
+// recordingSubmitter is a LocalExecutor that also implements Submitter,
+// recording the matrix announcement.
+type recordingSubmitter struct {
+	LocalExecutor
+	mu        sync.Mutex
+	submits   int
+	announced []Job
+	executed  int
+	err       error
+}
+
+func (r *recordingSubmitter) Submit(ctx context.Context, jobs []Job) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.submits++
+	r.announced = jobs
+	if r.executed > 0 {
+		return errors.New("Submit arrived after an Execute call")
+	}
+	return r.err
+}
+
+func (r *recordingSubmitter) Execute(ctx context.Context, index int, j Job) (*core.Results, error) {
+	r.mu.Lock()
+	r.executed++
+	r.mu.Unlock()
+	return r.LocalExecutor.Execute(ctx, index, j)
+}
+
+// TestSubmitterAnnouncesMatrix checks the optional Submitter extension: Run
+// announces the complete job matrix exactly once, before any Execute call.
+func TestSubmitterAnnouncesMatrix(t *testing.T) {
+	jobs := smallMatrix(t)
+	rec := &recordingSubmitter{}
+	results, err := Run(context.Background(), jobs, Options{Executor: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := FirstErr(results); err != nil {
+		t.Fatal(err)
+	}
+	if rec.submits != 1 {
+		t.Errorf("matrix announced %d times, want 1", rec.submits)
+	}
+	if len(rec.announced) != len(jobs) {
+		t.Errorf("announced %d jobs, want %d", len(rec.announced), len(jobs))
+	}
+	for i := range rec.announced {
+		if rec.announced[i].String() != jobs[i].String() {
+			t.Errorf("announced job %d is %s, want %s", i, rec.announced[i], jobs[i])
+		}
+	}
+}
+
+// TestSubmitterErrorFailsSweep: a failed matrix announcement fails the run
+// outright, before any job executes.
+func TestSubmitterErrorFailsSweep(t *testing.T) {
+	rec := &recordingSubmitter{err: errors.New("coordinator unreachable")}
+	_, err := Run(context.Background(), smallMatrix(t), Options{Executor: rec})
+	if err == nil || !strings.Contains(err.Error(), "submit matrix") {
+		t.Fatalf("want submit error, got %v", err)
+	}
+	if rec.executed != 0 {
+		t.Errorf("%d jobs executed despite failed submission", rec.executed)
+	}
+}
