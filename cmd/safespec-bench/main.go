@@ -41,6 +41,7 @@ import (
 
 	"safespec/internal/figures"
 	"safespec/internal/grid"
+	"safespec/internal/perf"
 	"safespec/internal/resultcache"
 	"safespec/internal/sweep"
 )
@@ -58,18 +59,27 @@ type options struct {
 	json     bool
 	quick    bool
 	cacheDir string
+	cacheGC  string
 	remote   string
 	serve    string
 	token    string
 	leaseTTL time.Duration
 	retries  int
-	out      io.Writer // table / JSON output (stdout in main)
-	info     io.Writer // progress + accounting (stderr in main)
+
+	perf           bool
+	perfLabel      string
+	perfOut        string
+	perfRepeats    int
+	perfBaseline   string
+	perfMaxRegress float64
+
+	out  io.Writer // table / JSON output (stdout in main)
+	info io.Writer // progress + accounting (stderr in main)
 }
 
 func main() {
 	var o options
-	flag.StringVar(&o.figs, "figs", "all", "which outputs: all|sizing|perf|security|overhead|config")
+	flag.StringVar(&o.figs, "figs", "all", "which outputs: all|sizing|perf|security|overhead|config (none = run nothing, for a standalone -cache-gc pass)")
 	flag.Uint64Var(&o.instrs, "instrs", 0, "committed instructions per benchmark run (default: preset)")
 	flag.StringVar(&o.bench, "bench", "", "comma-separated benchmark subset (default: all 21)")
 	flag.BoolVar(&o.serial, "serial", false, "run benchmarks one at a time (same as -workers 1)")
@@ -84,6 +94,13 @@ func main() {
 	flag.StringVar(&o.token, "token", os.Getenv("SAFESPEC_TOKEN"), "coordinator bearer token for -remote, and the token enforced by -serve (default $SAFESPEC_TOKEN)")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "grid lease duration for -serve; size it above the slowest single job (default 2m)")
 	flag.IntVar(&o.retries, "lease-retries", 0, "grid lease grants per job before it fails as lost, for -serve (default 5)")
+	flag.StringVar(&o.cacheGC, "cache-gc", "", "prune the -cache-dir result cache to at most this many bytes, oldest entries first (accepts K/M/G suffixes; runs standalone when no sweep is requested)")
+	flag.BoolVar(&o.perf, "perf", false, "measure simulator throughput on the pinned workload matrix and emit a BENCH_<label>.json report instead of figures")
+	flag.StringVar(&o.perfLabel, "perf-label", "local", "label of the perf report (file becomes BENCH_<label>.json)")
+	flag.StringVar(&o.perfOut, "perf-out", ".", "directory receiving the BENCH_<label>.json report")
+	flag.IntVar(&o.perfRepeats, "perf-repeats", 3, "timed repeats of the matrix; the headline is the best repeat")
+	flag.StringVar(&o.perfBaseline, "perf-baseline", "", "compare against this BENCH_*.json and fail on regression (the CI gate)")
+	flag.Float64Var(&o.perfMaxRegress, "perf-max-regress", 0.15, "tolerated cells/sec regression vs -perf-baseline, as a fraction")
 	flag.Parse()
 	o.out, o.info = os.Stdout, os.Stderr
 
@@ -94,8 +111,25 @@ func main() {
 }
 
 func run(o options) error {
+	if o.perf {
+		return runPerf(o)
+	}
 	want := func(k string) bool { return o.figs == "all" || o.figs == k }
 	sweeps := want("sizing") || want("perf") || want("overhead")
+	if o.cacheGC != "" {
+		if o.cacheDir == "" {
+			return fmt.Errorf("-cache-gc prunes the result cache; it needs -cache-dir")
+		}
+		if !sweeps {
+			if o.figs != "none" {
+				// Refuse to silently skip requested non-sweep outputs
+				// (security/config run no sweep and never touch the cache).
+				return fmt.Errorf("-cache-gc with -figs %s runs no sweep; use -figs none for a standalone GC pass", o.figs)
+			}
+			// Standalone GC pass: prune and exit without running anything.
+			return runCacheGC(o)
+		}
+	}
 	if o.json {
 		switch o.figs {
 		case "sizing", "perf", "overhead":
@@ -107,7 +141,7 @@ func run(o options) error {
 	}
 
 	if (o.remote != "" || o.serve != "" || o.cacheDir != "") && !sweeps {
-		return fmt.Errorf("-remote/-serve/-cache-dir apply to sweeps; -figs %s runs none", o.figs)
+		return fmt.Errorf("-remote/-serve/-cache-dir apply to sweeps; -figs %s runs none (use -cache-gc for a standalone cache prune)", o.figs)
 	}
 	if o.remote != "" && o.serve != "" {
 		return fmt.Errorf("-remote submits to an external coordinator and -serve hosts one in-process; pick one")
@@ -159,6 +193,12 @@ func run(o options) error {
 			fmt.Fprintln(o.out, figures.FormatTableV(figures.TableVFromSizing(figures.Sizing(sweepRes))))
 		}
 	}
+	if o.cacheGC != "" {
+		// GC after the sweep so the entries it just wrote are the newest.
+		if err := runCacheGC(o); err != nil {
+			return err
+		}
+	}
 	if want("security") && !o.json {
 		fmt.Fprintln(o.out, "=== Tables III/IV: security evaluation ===")
 		rows, err := figures.Security()
@@ -195,18 +235,11 @@ func sweepConfig(o options) (figures.SweepConfig, error) {
 		sc.Benchmarks = strings.Split(o.bench, ",")
 	}
 	if o.seeds != "" {
-		seen := map[int64]bool{}
-		for _, f := range strings.Split(o.seeds, ",") {
-			s, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
-			if err != nil {
-				return sc, fmt.Errorf("-seeds: %w", err)
-			}
-			if seen[s] {
-				return sc, fmt.Errorf("-seeds: duplicate seed %d", s)
-			}
-			seen[s] = true
-			sc.Seeds = append(sc.Seeds, s)
+		seeds, err := parseSeeds(o.seeds)
+		if err != nil {
+			return sc, err
 		}
+		sc.Seeds = seeds
 	}
 	sc.Workers = o.workers
 	if (o.remote != "" || o.serve != "") && o.workers == 0 {
@@ -285,6 +318,140 @@ func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
 		}
 	}
 	return exec, finish, nil
+}
+
+// runPerf measures simulator throughput on the pinned matrix and emits a
+// BENCH_<label>.json report, optionally gating against a baseline report.
+func runPerf(o options) error {
+	if o.remote != "" || o.serve != "" || o.cacheDir != "" {
+		return fmt.Errorf("-perf measures the in-process simulator; -remote/-serve/-cache-dir would measure the distribution machinery instead")
+	}
+	if o.cacheGC != "" {
+		return fmt.Errorf("-perf runs no sweep and touches no result cache; run -cache-gc separately (with -figs none)")
+	}
+	if o.json {
+		return fmt.Errorf("-perf writes a BENCH_*.json report; it has no JSONL row form")
+	}
+
+	spec := sweep.Quick()
+	preset := "quick"
+	if o.instrs > 0 {
+		// Keep the safety cycle bound proportionate to the preset's
+		// cycles-per-instruction ratio, as the sweep path does: a raised
+		// -instrs must never be silently truncated by the preset's bound
+		// (the report would claim a matrix it did not measure).
+		q := sweep.Quick()
+		spec.Instructions = o.instrs
+		spec.MaxCycles = max(spec.MaxCycles, o.instrs*(q.MaxCycles/q.Instructions))
+		preset = "custom"
+	}
+	if o.bench != "" {
+		spec.Benchmarks = strings.Split(o.bench, ",")
+		preset = "custom"
+	}
+	if o.seeds != "" {
+		seeds, err := parseSeeds(o.seeds)
+		if err != nil {
+			return err
+		}
+		spec.Seeds = seeds
+		preset = "custom"
+	}
+	workers := o.workers
+	if o.serial {
+		workers = 1
+	}
+
+	fmt.Fprintf(o.info, "perf: measuring %s matrix, %d repeats...\n", preset, o.perfRepeats)
+	rep, err := perf.Run(context.Background(), perf.Options{
+		Label:   o.perfLabel,
+		Spec:    spec,
+		Preset:  preset,
+		Repeats: o.perfRepeats,
+		Workers: workers,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.out, rep.Summary())
+	path, err := rep.Write(o.perfOut)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.info, "perf: wrote %s\n", path)
+
+	if o.perfBaseline != "" {
+		base, err := perf.Load(o.perfBaseline)
+		if err != nil {
+			return err
+		}
+		if err := perf.Compare(base, rep, o.perfMaxRegress); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.info, "perf: within %.0f%% of baseline %s (%.1f vs %.1f cells/sec)\n",
+			100*o.perfMaxRegress, base.Label, rep.CellsPerSec, base.CellsPerSec)
+	}
+	return nil
+}
+
+// runCacheGC prunes the result cache to the -cache-gc byte budget.
+func runCacheGC(o options) error {
+	maxBytes, err := parseBytes(o.cacheGC)
+	if err != nil {
+		return fmt.Errorf("-cache-gc: %w", err)
+	}
+	cache, err := resultcache.Open(o.cacheDir)
+	if err != nil {
+		return err
+	}
+	st, err := cache.Prune(maxBytes)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(o.info, "cache-gc %s: kept %d entries (%d bytes), evicted %d (%d bytes), budget %d\n",
+		o.cacheDir, st.Kept, st.KeptBytes, st.Evicted, st.EvictedBytes, maxBytes)
+	return nil
+}
+
+// parseSeeds parses the -seeds fan, rejecting duplicates (a duplicate seed
+// would silently re-run identical cells, skewing fans and perf counts).
+func parseSeeds(s string) ([]int64, error) {
+	var out []int64
+	seen := map[int64]bool{}
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-seeds: %w", err)
+		}
+		if seen[v] {
+			return nil, fmt.Errorf("-seeds: duplicate seed %d", v)
+		}
+		seen[v] = true
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseBytes parses a byte budget with an optional K/M/G suffix (base 1024).
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "K"), strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "G"), strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative byte count %d", n)
+	}
+	return n * mult, nil
 }
 
 func printConfig(w io.Writer) {

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safespec/internal/perf"
+)
+
+// perfOpts returns a -perf option set on a tiny custom matrix.
+func perfOpts(out io.Writer, dir string) options {
+	o := testOpts(out)
+	o.perf = true
+	o.perfLabel = "t"
+	o.perfOut = dir
+	o.perfRepeats = 1
+	o.perfMaxRegress = 0.15
+	o.bench, o.instrs, o.serial = "exchange2", 1000, true
+	return o
+}
+
+func TestPerfModeWritesReport(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	if err := run(perfOpts(&out, dir)); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.Load(filepath.Join(dir, "BENCH_t.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Preset != "custom" || rep.Cells != 3 || rep.CellsPerSec <= 0 {
+		t.Errorf("report not populated: %+v", rep)
+	}
+	if !strings.Contains(out.String(), "cells/s") {
+		t.Errorf("summary line missing from output: %q", out.String())
+	}
+}
+
+func TestPerfBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	// First run becomes the baseline.
+	if err := run(perfOpts(io.Discard, dir)); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "BENCH_t.json")
+
+	// Deflate the baseline far below any plausible rerun: the gate passes
+	// regardless of machine noise.
+	rep, err := perf.Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := *rep
+	slow.CellsPerSec /= 1e6
+	if _, err := slow.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	o := perfOpts(io.Discard, t.TempDir())
+	o.perfBaseline = base
+	if err := run(o); err != nil {
+		t.Fatalf("comparison against a slow baseline failed the gate: %v", err)
+	}
+
+	// Inflate the baseline beyond reach: the gate must fail.
+	fast := *rep
+	fast.CellsPerSec *= 1e6
+	if _, err := fast.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	o = perfOpts(io.Discard, t.TempDir())
+	o.perfBaseline = base
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("unreachable baseline accepted (err=%v)", err)
+	}
+}
+
+func TestPerfRejectsDistributionFlags(t *testing.T) {
+	for _, set := range []func(*options){
+		func(o *options) { o.remote = "http://x" },
+		func(o *options) { o.serve = ":0" },
+		func(o *options) { o.cacheDir = "d" },
+		func(o *options) { o.json = true },
+	} {
+		o := perfOpts(io.Discard, t.TempDir())
+		set(&o)
+		if err := run(o); err == nil {
+			t.Errorf("invalid -perf flag combination accepted: %+v", o)
+		}
+	}
+}
+
+func TestCacheGCFlagValidation(t *testing.T) {
+	o := testOpts(io.Discard)
+	o.cacheGC = "10M"
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "-cache-dir") {
+		t.Errorf("-cache-gc without -cache-dir accepted (err=%v)", err)
+	}
+
+	o = testOpts(io.Discard)
+	o.figs = "none"
+	o.cacheDir = t.TempDir()
+	o.cacheGC = "not-a-size"
+	if err := run(o); err == nil {
+		t.Error("malformed -cache-gc size accepted")
+	}
+}
+
+func TestCacheGCStandalonePrunes(t *testing.T) {
+	dir := t.TempDir()
+	// Warm a tiny cache.
+	o := testOpts(io.Discard)
+	o.figs, o.instrs, o.bench, o.serial = "perf", 1000, "exchange2", true
+	o.cacheDir = dir
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	// Standalone GC to zero evicts everything but keeps the cache usable.
+	o = testOpts(io.Discard)
+	o.figs = "none"
+	o.cacheDir, o.cacheGC = dir, "0"
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := filepath.Glob(filepath.Join(dir, "*", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("%d cache entries survived a zero-budget GC", len(entries))
+	}
+	if _, err := os.Stat(filepath.Join(dir, "VERSION")); err != nil {
+		t.Errorf("VERSION marker lost: %v", err)
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false}, {"123", 123, false}, {"4K", 4096, false},
+		{"2M", 2 << 20, false}, {"1G", 1 << 30, false}, {"1g", 1 << 30, false},
+		{"", 0, true}, {"-5", 0, true}, {"x", 0, true}, {"5T", 0, true},
+	} {
+		got, err := parseBytes(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("parseBytes(%q) = %d, %v; want %d, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+	}
+}

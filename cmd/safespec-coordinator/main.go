@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"safespec/internal/grid"
+	"safespec/internal/pprofserve"
 )
 
 func main() {
@@ -41,11 +42,18 @@ func main() {
 		retries  = flag.Int("lease-retries", 0, "lease grants per job before it fails as lost (default 5)")
 		sweepTTL = flag.Duration("sweep-ttl", 0, "abandon a sweep whose client stopped polling this long ago (default 10m)")
 		quiet    = flag.Bool("quiet", false, "suppress per-sweep progress lines")
+		pprofA   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofA != "" {
+		if err := pprofserve.Serve(*pprofA); err != nil {
+			fmt.Fprintln(os.Stderr, "safespec-coordinator:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(ctx, *listen, *token, *leaseTTL, *retries, *sweepTTL, *quiet, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-coordinator:", err)
 		os.Exit(1)

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"safespec/internal/grid"
+	"safespec/internal/pprofserve"
 	"safespec/internal/resultcache"
 	"safespec/internal/sweep"
 )
@@ -40,11 +41,18 @@ func main() {
 		poll        = flag.Duration("poll", 250*time.Millisecond, "idle sleep between lease attempts")
 		maxIdle     = flag.Duration("max-idle", 0, "exit after the coordinator has been unreachable this long (0 = keep polling)")
 		quiet       = flag.Bool("quiet", false, "suppress per-job progress lines")
+		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if *pprofAddr != "" {
+		if err := pprofserve.Serve(*pprofAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "safespec-worker:", err)
+			os.Exit(1)
+		}
+	}
 	if err := run(ctx, *coordinator, *token, *id, *parallel, *cacheDir, *poll, *maxIdle, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-worker:", err)
 		os.Exit(1)

@@ -186,6 +186,14 @@ func (p *Predictor) RASSnapshot() (top int, entries []int) {
 	return p.rasTop, cp
 }
 
+// SnapshotRASInto copies the return-address stack into buf (len >= RAS
+// depth) and returns the current top. Unlike RASSnapshot it allocates
+// nothing; the pipeline recycles its snapshot buffers through a free list.
+func (p *Predictor) SnapshotRASInto(buf []int) (top int) {
+	copy(buf, p.ras)
+	return p.rasTop
+}
+
 // RestoreRAS rewinds the return-address stack (used on misprediction).
 func (p *Predictor) RestoreRAS(top int, entries []int) {
 	p.rasTop = top

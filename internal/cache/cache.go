@@ -79,6 +79,7 @@ type Cache struct {
 	cfg      Config
 	sets     [][]way
 	setMask  uint64
+	hitLat   int // cfg.HitLatency, denormalized off the Config struct
 	lruClock uint64
 	// Stats accumulates hit/miss counts. Exported for the harness to read.
 	Stats Stats
@@ -95,15 +96,19 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
-	return &Cache{cfg: cfg, sets: sets, setMask: uint64(cfg.Sets() - 1)}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint64(cfg.Sets() - 1), hitLat: cfg.HitLatency}
 }
 
 // Config returns the cache's configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
+// HitLatency returns the access time on a hit at this level. Precomputed so
+// hot paths avoid copying the whole Config struct per access.
+func (c *Cache) HitLatency() int { return c.hitLat }
+
 func (c *Cache) index(lineAddr uint64) (set uint64, tag uint64) {
 	idx := lineAddr >> LineBits
-	return idx & c.setMask, idx >> 0 // full line number as tag (simplicity)
+	return idx & c.setMask, idx // full line number as tag (simplicity)
 }
 
 // Lookup probes for the line containing addr. On a hit it updates LRU and
@@ -293,19 +298,16 @@ func (h *Hierarchy) AccessInstr(addr uint64) (latency int, level Level) {
 }
 
 func (h *Hierarchy) access(l1 *Cache, addr uint64) (int, Level) {
-	lat := l1.Config().HitLatency
 	if l1.Lookup(addr) {
-		return lat, LevelL1
+		return l1.hitLat, LevelL1
 	}
-	lat = h.L2.Config().HitLatency
 	if h.L2.Lookup(addr) {
-		return lat, LevelL2
+		return h.L2.hitLat, LevelL2
 	}
-	lat = h.L3.Config().HitLatency
 	if h.L3.Lookup(addr) {
-		return lat, LevelL3
+		return h.L3.hitLat, LevelL3
 	}
-	return h.L3.Config().HitLatency + h.cfg.MemLatency, LevelMem
+	return h.L3.hitLat + h.cfg.MemLatency, LevelMem
 }
 
 // FillData installs the line containing addr into L1D, L2 and L3 (the caches

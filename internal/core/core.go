@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"safespec/internal/isa"
+	"safespec/internal/mem"
 	"safespec/internal/pipeline"
 	"safespec/internal/shadow"
 )
@@ -86,19 +87,51 @@ type Results struct {
 }
 
 // Simulator is a configured core bound to a program. Use New + Run, or the
-// package-level Run convenience.
+// package-level Run convenience. A Simulator can be Reset and run again —
+// sweep executors keep one per goroutine and rebind it across cells, which
+// skips reconstructing the ROB, caches, TLBs, shadow structures, predictor
+// tables and (for an unchanged program) the loaded memory image.
 type Simulator struct {
 	cfg Config
 	cpu *pipeline.CPU
+	// prog/mem cache the loaded memory image: as long as the program stays
+	// the same, Reset rolls the journaled memory back to its post-load
+	// state instead of rebuilding page tables and data frames.
+	prog *isa.Program
+	mem  *mem.Memory
 }
 
 // New builds a Simulator for prog under cfg.
 func New(cfg Config, prog *isa.Program) *Simulator {
-	cpu := pipeline.New(cfg.Pipeline, prog)
-	if cfg.SampleOccupancy {
-		cpu.EnableOccupancySampling()
+	s := &Simulator{}
+	s.Reset(cfg, prog)
+	return s
+}
+
+// Reset rebinds the simulator to (cfg, prog) as if freshly built by New,
+// reusing previously allocated structures wherever the configuration allows.
+// Results of a run after Reset are identical to those of a fresh simulator.
+func (s *Simulator) Reset(cfg Config, prog *isa.Program) {
+	// Rollback replays one record per journaled write; a rebuild writes
+	// (roughly) one word per allocated backing word. Past that break-even
+	// point — store-heavy runs at large instruction budgets — rebuilding is
+	// cheaper and also returns the journal's memory.
+	if s.mem != nil && s.prog == prog && s.mem.JournalLen() <= 2*s.mem.Words() {
+		s.mem.Rollback()
+	} else {
+		s.mem = pipeline.BuildMemory(prog)
+		s.mem.StartJournal()
+		s.prog = prog
 	}
-	return &Simulator{cfg: cfg, cpu: cpu}
+	if s.cpu == nil {
+		s.cpu = pipeline.NewWith(cfg.Pipeline, prog, s.mem)
+	} else {
+		s.cpu.Reset(cfg.Pipeline, prog, s.mem)
+	}
+	if cfg.SampleOccupancy {
+		s.cpu.EnableOccupancySampling()
+	}
+	s.cfg = cfg
 }
 
 // CPU exposes the underlying core (attack helpers need the predictor and
@@ -114,6 +147,15 @@ func (s *Simulator) Run() *Results {
 // Run builds and runs a simulator in one call.
 func Run(cfg Config, prog *isa.Program) *Results {
 	return New(cfg, prog).Run()
+}
+
+// Detach returns a copy of r whose statistics no longer alias the
+// simulator's internal accumulator, so the simulator can be Reset and
+// reused while the results stay valid. The occupancy histograms are per-run
+// objects and transfer ownership to the copy.
+func (r *Results) Detach() *Results {
+	st := *r.Stats
+	return &Results{Stats: &st, Mode: r.Mode}
 }
 
 // Summary renders a one-line overview of the results.

@@ -1,0 +1,89 @@
+package core_test
+
+import (
+	"reflect"
+	"testing"
+
+	"safespec/internal/core"
+	"safespec/internal/isa"
+	"safespec/internal/workloads"
+)
+
+// buildKernel returns the named workload's kernel (fresh build; memoization
+// is irrelevant here, the test controls program identity explicitly).
+func buildKernel(t *testing.T, name string) *isa.Program {
+	t.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Build()
+}
+
+// TestResetDeterminism is the reuse gate behind the sweep executor's
+// simulator pool: one Simulator rebound across a sequence of (config,
+// program) cells — mode flips, program switches, occupancy sampling on and
+// off, stores dirtying memory — must reproduce, for every cell, results
+// deeply equal to a fresh simulator's. Byte-identical sweep output across
+// local, cached and distributed execution rests on exactly this property.
+func TestResetDeterminism(t *testing.T) {
+	// perlbench stores every 4th iteration (exercises the memory journal
+	// rollback); exchange2 is store-free compute (exercises the program
+	// switch). The sequence deliberately revisits cell 0 at the end so a
+	// state leak from any intermediate cell would surface.
+	perl := buildKernel(t, "perlbench")
+	exch := buildKernel(t, "exchange2")
+	withOcc := func(c core.Config) core.Config {
+		c.SampleOccupancy = true
+		return c
+	}
+	cells := []struct {
+		name string
+		cfg  core.Config
+		prog *isa.Program
+	}{
+		{"baseline/perl", core.Baseline().WithLimits(8_000, 2_000_000), perl},
+		{"wfc/perl", core.WFC().WithLimits(8_000, 2_000_000), perl},
+		{"wfc+occ/perl", withOcc(core.WFC().WithLimits(8_000, 2_000_000)), perl},
+		{"wfb/exch", core.WFB().WithLimits(8_000, 2_000_000), exch},
+		{"baseline/perl again", core.Baseline().WithLimits(8_000, 2_000_000), perl},
+	}
+
+	reused := core.New(cells[0].cfg, cells[0].prog)
+	for i, cell := range cells {
+		var got *core.Results
+		if i == 0 {
+			got = reused.Run().Detach()
+		} else {
+			reused.Reset(cell.cfg, cell.prog)
+			got = reused.Run().Detach()
+		}
+		want := core.Run(cell.cfg, cell.prog)
+		if got.Mode != want.Mode {
+			t.Fatalf("%s: mode %v, want %v", cell.name, got.Mode, want.Mode)
+		}
+		if !reflect.DeepEqual(got.Stats, want.Stats) {
+			t.Errorf("%s: reused simulator diverged from fresh run\nreused: %s\nfresh:  %s",
+				cell.name, got.Summary(), want.Summary())
+		}
+	}
+}
+
+// TestDetachIsolatesResults: results detached before a Reset must not change
+// when the simulator runs the next cell.
+func TestDetachIsolatesResults(t *testing.T) {
+	exch := buildKernel(t, "exchange2")
+	perl := buildKernel(t, "perlbench")
+	cfg := core.WFC().WithLimits(5_000, 2_000_000)
+
+	sim := core.New(cfg, exch)
+	first := sim.Run().Detach()
+	snapshot := *first.Stats
+
+	sim.Reset(core.Baseline().WithLimits(5_000, 2_000_000), perl)
+	sim.Run()
+
+	if !reflect.DeepEqual(snapshot, *first.Stats) {
+		t.Fatal("detached results changed when the simulator was reused")
+	}
+}

@@ -100,13 +100,40 @@ const (
 	entriesPerL = 1 << idxBits
 )
 
+// regionBytes is the bump-allocator granularity: page-table levels are
+// 4096 entries * 8 B, and every allocated region is addressed at this
+// stride so a physical address maps to its region by pure arithmetic.
+const regionBytes = entriesPerL * 8
+
+// writeRec is one journaled physical write (see StartJournal).
+type writeRec struct {
+	pa  uint64
+	old int64
+}
+
 // Memory is the simulated physical memory plus the page-table machinery.
 type Memory struct {
-	frames map[uint64][]int64 // frame base -> 512 words of 8 bytes
+	// frames holds the allocated regions in bump order: region i covers
+	// physical addresses [physBase+i*regionBytes, +len(frames[i])*8).
+	// Page-table regions are fully populated (entriesPerL words); data
+	// regions only back their first page, which is all a 4 KiB-page
+	// translation can reach. Indexing by arithmetic instead of a map keeps
+	// ReadPhys/WritePhys — the hottest memory-system calls (every PTE read
+	// of every page walk lands here) — map-free.
+	frames [][]int64
 	// rootPA is the physical base of the level-1 page table.
 	rootPA uint64
 	// nextFreePA is a bump allocator for frames (page tables and data).
 	nextFreePA uint64
+
+	// journal, when enabled, records the old value of every physical write
+	// so Rollback can restore the post-load image exactly. Sweep executors
+	// use it to reuse one loaded Memory across runs of the same program
+	// instead of rebuilding page tables and data frames per job.
+	journal    []writeRec
+	journaling bool
+	// words totals the allocated backing words across all frames.
+	words int
 }
 
 // physBase is where the bump allocator starts handing out frames.
@@ -116,37 +143,44 @@ const physBase = 1 << 40
 
 // New returns an empty memory with an allocated (empty) root page table.
 func New() *Memory {
-	m := &Memory{
-		frames:     make(map[uint64][]int64),
-		nextFreePA: physBase,
-	}
-	m.rootPA = m.allocFrame()
+	m := &Memory{nextFreePA: physBase}
+	m.rootPA = m.allocFrame(entriesPerL)
 	return m
 }
 
-// allocFrame reserves a zeroed physical frame and returns its base address.
-func (m *Memory) allocFrame() uint64 {
-	// Page-table levels are 4096 entries * 8B = 8 pages; allocate the worst
-	// case region for simplicity. Data frames use only the first page.
+// allocFrame reserves a zeroed physical region of the given word count and
+// returns its base address. The region occupies a full regionBytes slot of
+// the PA space regardless of words.
+func (m *Memory) allocFrame(words int) uint64 {
 	base := m.nextFreePA
-	m.nextFreePA += entriesPerL * 8
-	m.frames[base] = make([]int64, entriesPerL)
+	m.nextFreePA += regionBytes
+	m.frames = append(m.frames, make([]int64, words))
+	m.words += words
 	return base
 }
+
+// Words returns the total allocated backing words — a proxy for the cost
+// of rebuilding this memory from scratch, which callers weigh against the
+// journal length when deciding between Rollback and a rebuild.
+func (m *Memory) Words() int { return m.words }
+
+// JournalLen returns the number of journaled writes awaiting Rollback.
+func (m *Memory) JournalLen() int { return len(m.journal) }
 
 // RootPA returns the physical address of the root page table, which the
 // page walker dereferences.
 func (m *Memory) RootPA() uint64 { return m.rootPA }
 
-// frameOf locates the allocated region containing pa. Regions are allocated
-// at entriesPerL*8-byte granularity from physBase.
+// frameOf locates the allocated region containing pa.
 func (m *Memory) frameOf(pa uint64) ([]int64, uint64, bool) {
 	if pa < physBase {
 		return nil, 0, false
 	}
-	base := physBase + (pa-physBase)/(entriesPerL*8)*(entriesPerL*8)
-	f, ok := m.frames[base]
-	return f, base, ok
+	slot := (pa - physBase) / regionBytes
+	if slot >= uint64(len(m.frames)) {
+		return nil, 0, false
+	}
+	return m.frames[slot], physBase + slot*regionBytes, true
 }
 
 // ReadPhys reads the 64-bit word at physical address pa (8-byte aligned by
@@ -156,7 +190,11 @@ func (m *Memory) ReadPhys(pa uint64) (int64, error) {
 	if !ok {
 		return 0, ErrUnmapped
 	}
-	return f[(pa-base)/8], nil
+	i := (pa - base) / 8
+	if i >= uint64(len(f)) {
+		return 0, ErrUnmapped
+	}
+	return f[i], nil
 }
 
 // WritePhys writes the 64-bit word at physical address pa.
@@ -165,8 +203,34 @@ func (m *Memory) WritePhys(pa uint64, v int64) error {
 	if !ok {
 		return ErrUnmapped
 	}
-	f[(pa-base)/8] = v
+	i := (pa - base) / 8
+	if i >= uint64(len(f)) {
+		return ErrUnmapped
+	}
+	if m.journaling {
+		m.journal = append(m.journal, writeRec{pa: pa, old: f[i]})
+	}
+	f[i] = v
 	return nil
+}
+
+// StartJournal begins recording physical writes so Rollback can undo them.
+// Call it once the program image is fully loaded; mapping new pages while
+// journaling is not supported (Rollback restores content, not layout).
+func (m *Memory) StartJournal() {
+	m.journaling = true
+	m.journal = m.journal[:0]
+}
+
+// Rollback undoes every journaled write in reverse order, restoring memory
+// to its content at the matching StartJournal, and starts a fresh journal.
+func (m *Memory) Rollback() {
+	for i := len(m.journal) - 1; i >= 0; i-- {
+		rec := m.journal[i]
+		f, base, _ := m.frameOf(rec.pa)
+		f[(rec.pa-base)/8] = rec.old
+	}
+	m.journal = m.journal[:0]
 }
 
 // Map establishes a mapping for the virtual page containing va with the given
@@ -180,7 +244,7 @@ func (m *Memory) Map(va uint64, perm Perm) {
 	l1e, _ := m.ReadPhys(l1pa)
 	l1pte := PTE(l1e)
 	if !l1pte.Valid() {
-		tbl := m.allocFrame()
+		tbl := m.allocFrame(entriesPerL)
 		l1pte = MakePTE(tbl, PermUser|PermKernel)
 		_ = m.WritePhys(l1pa, int64(l1pte))
 	}
@@ -188,7 +252,10 @@ func (m *Memory) Map(va uint64, perm Perm) {
 	l2e, _ := m.ReadPhys(l2pa)
 	l2pte := PTE(l2e)
 	if !l2pte.Valid() {
-		frame := m.allocFrame()
+		// A data frame backs exactly one 4 KiB page: no translation can
+		// reach beyond it, so allocating the full region would only burn
+		// allocator time and cache footprint per mapped page.
+		frame := m.allocFrame(PageSize / 8)
 		l2pte = MakePTE(frame, perm)
 	} else {
 		l2pte = MakePTE(l2pte.Frame(), perm)

@@ -1,0 +1,147 @@
+package perf
+
+import (
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"safespec/internal/sweep"
+)
+
+// tinySpec is a one-benchmark matrix small enough for unit tests.
+func tinySpec() sweep.MatrixSpec {
+	return sweep.MatrixSpec{
+		Benchmarks:   []string{"exchange2"},
+		Instructions: 1_000,
+		MaxCycles:    1_000_000,
+	}
+}
+
+func TestRunMeasuresAndReports(t *testing.T) {
+	rep, err := Run(context.Background(), Options{
+		Label:   "test",
+		Spec:    tinySpec(),
+		Preset:  "tiny",
+		Repeats: 2,
+		Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema %q, want %q", rep.Schema, Schema)
+	}
+	if rep.Cells != 3 { // one benchmark, three standard modes
+		t.Errorf("cells = %d, want 3", rep.Cells)
+	}
+	if len(rep.Repeats) != 2 {
+		t.Fatalf("recorded %d repeats, want 2", len(rep.Repeats))
+	}
+	if rep.CellsPerSec <= 0 || rep.CyclesPerSec <= 0 || rep.NsPerCycle <= 0 {
+		t.Errorf("headline metrics not populated: %+v", rep)
+	}
+	for i, r := range rep.Repeats {
+		if r.SimCycles == 0 || r.SimInstrs == 0 || r.WallNS <= 0 {
+			t.Errorf("repeat %d incomplete: %+v", i, r)
+		}
+	}
+	// Headline must be the best repeat.
+	best := 0.0
+	for _, r := range rep.Repeats {
+		if v := r.CellsPerSec(rep.Cells); v > best {
+			best = v
+		}
+	}
+	if rep.CellsPerSec != best {
+		t.Errorf("headline %.2f cells/s is not the best repeat (%.2f)", rep.CellsPerSec, best)
+	}
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	rep, err := Run(context.Background(), Options{Label: "rt", Spec: tinySpec(), Preset: "tiny", Repeats: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path, err := rep.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_rt.json" {
+		t.Errorf("report file %s, want BENCH_rt.json", filepath.Base(path))
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Label != rep.Label || back.Cells != rep.Cells || back.CellsPerSec != rep.CellsPerSec {
+		t.Errorf("round trip changed the report: %+v vs %+v", back, rep)
+	}
+}
+
+func TestLoadRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{Schema: "other/v9", Label: "x"}
+	path, err := rep.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("foreign schema accepted (err=%v)", err)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := &Report{
+		Schema: Schema, Label: "base", Preset: "quick", Cells: 18,
+		Instructions: 15_000, Benchmarks: []string{"a", "b"}, CellsPerSec: 100,
+	}
+	same := func() *Report {
+		r := *base
+		r.Label = "cur"
+		return &r
+	}
+
+	cur := same()
+	cur.CellsPerSec = 90 // -10%: inside a 15% budget
+	if err := Compare(base, cur, 0.15); err != nil {
+		t.Errorf("10%% regression rejected under a 15%% budget: %v", err)
+	}
+	cur.CellsPerSec = 80 // -20%: outside
+	if err := Compare(base, cur, 0.15); err == nil {
+		t.Error("20% regression accepted under a 15% budget")
+	}
+	cur.CellsPerSec = 400 // faster is never an error
+	if err := Compare(base, cur, 0.15); err != nil {
+		t.Errorf("speedup rejected: %v", err)
+	}
+
+	foreign := same()
+	foreign.Preset = "custom"
+	if err := Compare(base, foreign, 0.15); err == nil {
+		t.Error("mismatched presets compared without error")
+	}
+	// Same preset and cell count but different work must also be refused:
+	// equal cell counts alone do not make equal matrices.
+	heavier := same()
+	heavier.Instructions = 150_000
+	if err := Compare(base, heavier, 0.15); err == nil {
+		t.Error("mismatched instruction budgets compared without error")
+	}
+	otherBench := same()
+	otherBench.Benchmarks = []string{"a", "c"}
+	if err := Compare(base, otherBench, 0.15); err == nil {
+		t.Error("mismatched benchmark sets compared without error")
+	}
+	seeded := same()
+	seeded.Seeds = []int64{1}
+	if err := Compare(base, seeded, 0.15); err == nil {
+		t.Error("mismatched seed fans compared without error")
+	}
+	empty := same()
+	empty.Label, empty.CellsPerSec = "empty", 0
+	if err := Compare(empty, same(), 0.15); err == nil {
+		t.Error("zero-throughput baseline accepted")
+	}
+}

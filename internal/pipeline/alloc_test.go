@@ -1,0 +1,59 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"safespec/internal/core"
+	"safespec/internal/pipeline"
+	"safespec/internal/workloads"
+)
+
+// steadyCPU builds a CPU for a realistic infinite kernel and warms it past
+// the transient phase: cold-start misses, RAS-pool growth and fetch-ring
+// fill all happen here, so the measured window below sees only steady-state
+// behaviour.
+func steadyCPU(t *testing.T, mode core.Mode) *pipeline.CPU {
+	t.Helper()
+	// gcc is the most demanding kernel shape: random loads over 1 MiB,
+	// stores, two data-dependent branches and 160 code blocks behind an
+	// indirect call — every allocation-prone pipeline path stays hot.
+	w, err := workloads.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(mode).Pipeline
+	cpu := pipeline.New(cfg, w.Build())
+	for i := 0; i < 30_000; i++ {
+		cpu.Step()
+	}
+	if cpu.Halted() {
+		t.Fatal("kernel halted during warmup; it must run forever")
+	}
+	return cpu
+}
+
+// TestZeroSteadyStateAllocsPerCycle is the allocation regression gate for
+// the hot loop: once warm, stepping the core must allocate nothing — the
+// fetch ring, the RAS snapshot pool, the inline shadow-handle arrays, the
+// shadow probe tables and the map-free physical memory together leave no
+// per-cycle allocation. Any future append/make/map on the cycle path shows
+// up here as a non-zero average.
+func TestZeroSteadyStateAllocsPerCycle(t *testing.T) {
+	for _, mode := range []core.Mode{core.ModeBaseline, core.ModeWFC, core.ModeWFB} {
+		t.Run(mode.String(), func(t *testing.T) {
+			cpu := steadyCPU(t, mode)
+			const cycles = 2_000
+			avg := testing.AllocsPerRun(10, func() {
+				for i := 0; i < cycles; i++ {
+					cpu.Step()
+				}
+			})
+			if cpu.Halted() {
+				t.Fatal("kernel halted mid-measurement")
+			}
+			if avg != 0 {
+				t.Fatalf("steady state allocates: %.2f allocs per %d cycles (want 0)", avg, cycles)
+			}
+		})
+	}
+}

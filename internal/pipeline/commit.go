@@ -24,11 +24,15 @@ func (c *CPU) commit() {
 		c.active = true
 
 		if e.fault != mem.FaultNone {
-			c.tracef("TRAP    %s fault=%v", traceEntry(e), e.fault)
+			if c.tracing() {
+				c.tracef("TRAP    %s fault=%v", traceEntry(e), e.fault)
+			}
 			c.trap(e)
 			return
 		}
-		c.tracef("commit  %s val=%d", traceEntry(e), e.val)
+		if c.tracing() {
+			c.tracef("commit  %s val=%d", traceEntry(e), e.val)
+		}
 
 		// Apply architectural effects.
 		if e.in.HasDest() {
@@ -82,6 +86,9 @@ func (c *CPU) commit() {
 			c.activeTags &^= e.tagBit
 			e.tagBit = 0
 		}
+		// Branch resolution already recycled the RAS snapshot; keep the
+		// free list exact if one ever survives to commit.
+		c.releaseRASSnap(e)
 
 		c.head = (c.head + 1) % len(c.rob)
 		c.count--
@@ -123,13 +130,13 @@ func (c *CPU) moveShadow(e *entry) {
 	if !c.cfg.Mode.SafeSpec() {
 		return
 	}
-	for _, h := range e.dHandles {
+	for _, h := range e.dhs() {
 		if ms.ShD.StillValid(h) {
 			line := ms.ShD.ForceFree(h, true)
 			ms.Hier.FillData(line)
 		}
 	}
-	e.dHandles = nil
+	e.nDH = 0
 	if e.dtlbHandle.Valid() && ms.ShDTLB.StillValid(e.dtlbHandle) {
 		pl := ms.ShDTLB.PayloadOf(e.dtlbHandle)
 		vpage := ms.ShDTLB.ForceFree(e.dtlbHandle, true)

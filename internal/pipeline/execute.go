@@ -106,7 +106,9 @@ func (c *CPU) tryIssue(idx int, e *entry) bool {
 	e.state = stExec
 	e.completeAt = c.cycle + lat
 	c.iqCount--
-	c.tracef("issue   %s", traceEntry(e))
+	if c.tracing() {
+		c.tracef("issue   %s", traceEntry(e))
+	}
 	c.wfbMoveIfSafe(e)
 	return true
 }
@@ -159,12 +161,14 @@ func (c *CPU) issueLoad(idx int, e *entry, v1 int64) bool {
 	e.val = res.value
 	e.pa = res.pa
 	e.fault = res.fault
-	e.dHandles = append(e.dHandles, res.dHandles...) // keep fetch-attributed PTE handles
+	e.addDHs(res.dhs()) // keep fetch-attributed PTE handles
 	e.dtlbHandle = res.dtlbHandle
 	e.state = stExec
 	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op)) + uint64(res.latency)
 	c.iqCount--
-	c.tracef("issue   %s va=%#x lat=%d fault=%v", traceEntry(e), va, res.latency, res.fault)
+	if c.tracing() {
+		c.tracef("issue   %s va=%#x lat=%d fault=%v", traceEntry(e), va, res.latency, res.fault)
+	}
 	c.wfbMoveIfSafe(e)
 	return true
 }
@@ -182,7 +186,7 @@ func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) bool {
 	e.fault = res.fault
 	e.sdata = v2
 	e.addrReady = true
-	e.dHandles = append(e.dHandles, res.dHandles...)
+	e.addDHs(res.dhs())
 	e.dtlbHandle = res.dtlbHandle
 	e.state = stExec
 	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op))
@@ -239,17 +243,21 @@ func (c *CPU) resolveBranch(idx int, e *entry) bool {
 	}
 
 	if correct {
+		c.releaseRASSnap(e)
 		c.clearTag(e)
 		return false
 	}
 
 	// Mispredict: squash everything younger, restore predictor state, and
 	// redirect the front end to the actual target.
-	c.tracef("MISPRED %s predicted=%d actual=%d", traceEntry(e), e.predTarget, e.actualTarget)
+	if c.tracing() {
+		c.tracef("MISPRED %s predicted=%d actual=%d", traceEntry(e), e.predTarget, e.actualTarget)
+	}
 	c.St.Mispredicts++
 	c.squashYounger(idx)
 	c.bp.RestoreHistory(e.histSnap)
 	c.bp.RestoreRAS(e.rasTop, e.rasSnap)
+	c.releaseRASSnap(e)
 	switch isa.ClassOf(op) {
 	case isa.ClassBranch:
 		c.bp.SpeculateHistory(e.actualTaken)
@@ -327,6 +335,7 @@ func (c *CPU) squashEntry(e *entry) {
 	if e.in.Op == isa.OpFence {
 		c.fenceActive--
 	}
+	c.releaseRASSnap(e)
 	c.releaseShadow(e, false)
 }
 
@@ -334,13 +343,13 @@ func (c *CPU) squashEntry(e *entry) {
 func (c *CPU) releaseShadow(e *entry, committed bool) {
 	ms := c.ms
 	if ms.ShD != nil {
-		for _, h := range e.dHandles {
+		for _, h := range e.dhs() {
 			if ms.ShD.StillValid(h) {
 				ms.ShD.Release(h, committed)
 			}
 		}
 	}
-	e.dHandles = nil
+	e.nDH = 0
 	if ms.ShDTLB != nil && e.dtlbHandle.Valid() && ms.ShDTLB.StillValid(e.dtlbHandle) {
 		ms.ShDTLB.Release(e.dtlbHandle, committed)
 	}

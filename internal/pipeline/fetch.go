@@ -15,7 +15,7 @@ func (c *CPU) fetch() {
 		return
 	}
 	// Bounded fetch buffer (two dispatch groups).
-	if len(c.fetchBuf) >= 2*c.cfg.DispatchWidth {
+	if c.fbLen >= 2*c.cfg.DispatchWidth {
 		return
 	}
 	for fetched := 0; fetched < c.cfg.FetchWidth; fetched++ {
@@ -46,7 +46,9 @@ func (c *CPU) fetch() {
 		}
 		if lineVA != c.lastFetchLine {
 			c.active = true
-			c.tracef("ifetch  pc=%d line=%#x", c.fetchPC, lineVA)
+			if c.tracing() {
+				c.tracef("ifetch  pc=%d line=%#x", c.fetchPC, lineVA)
+			}
 			res := c.ms.FetchAccess(lineVA, c.seqCtr, c.activeTags)
 			if res.blocked {
 				// Shadow structure full under the Block policy: retry.
@@ -72,9 +74,9 @@ func (c *CPU) fetch() {
 				c.releasePendingITLBH()
 				c.pendingITLBH = res.itlbHandle
 			}
-			if len(res.dHandles) > 0 {
+			if res.nDH > 0 {
 				c.releasePendingDH()
-				c.pendingDH = res.dHandles
+				c.pendingDH, c.nPendingDH = res.dHandles, res.nDH
 			}
 			if res.stall > 0 {
 				c.fetchStallUntil = c.cycle + uint64(res.stall)
@@ -91,8 +93,9 @@ func (c *CPU) fetch() {
 		if c.pendingITLBH.Valid() {
 			rec.itlbHandle, c.pendingITLBH = c.pendingITLBH, shadow.Handle{}
 		}
-		if len(c.pendingDH) > 0 {
-			rec.dHandles, c.pendingDH = c.pendingDH, nil
+		if c.nPendingDH > 0 {
+			rec.dHandles, rec.nDH = c.pendingDH, c.nPendingDH
+			c.nPendingDH = 0
 		}
 
 		redirected := false
@@ -100,7 +103,8 @@ func (c *CPU) fetch() {
 		case isa.ClassBranch:
 			rec.predicted = true
 			rec.histSnap = c.bp.HistorySnapshot()
-			rec.rasTop, rec.rasSnap = c.bp.RASSnapshot()
+			rec.rasSnap = c.getRASBuf()
+			rec.rasTop = c.bp.SnapshotRASInto(rec.rasSnap)
 			pred := c.bp.PredictCond(rec.pc, in.Target)
 			rec.predTaken = pred.Taken
 			rec.predTarget = pred.Target
@@ -123,7 +127,8 @@ func (c *CPU) fetch() {
 		case isa.ClassJumpInd:
 			rec.predicted = true
 			rec.histSnap = c.bp.HistorySnapshot()
-			rec.rasTop, rec.rasSnap = c.bp.RASSnapshot()
+			rec.rasSnap = c.getRASBuf()
+			rec.rasTop = c.bp.SnapshotRASInto(rec.rasSnap)
 			pred := c.bp.PredictIndirect(rec.pc)
 			rec.predTaken = true
 			if pred.HasTarget {
@@ -141,7 +146,8 @@ func (c *CPU) fetch() {
 		case isa.ClassRet:
 			rec.predicted = true
 			rec.histSnap = c.bp.HistorySnapshot()
-			rec.rasTop, rec.rasSnap = c.bp.RASSnapshot()
+			rec.rasSnap = c.getRASBuf()
+			rec.rasTop = c.bp.SnapshotRASInto(rec.rasSnap)
 			pred := c.bp.PredictReturn()
 			rec.predTaken = true
 			if pred.HasTarget {
@@ -153,14 +159,14 @@ func (c *CPU) fetch() {
 			redirected = true
 		case isa.ClassHalt:
 			c.fetchValid = false
-			c.fetchBuf = append(c.fetchBuf, rec)
+			c.fbPush(rec)
 			c.active = true
 			return
 		default:
 			c.fetchPC++
 		}
 
-		c.fetchBuf = append(c.fetchBuf, rec)
+		c.fbPush(rec)
 		c.active = true
 		if redirected {
 			// A taken transfer ends the fetch group and invalidates the
@@ -174,14 +180,14 @@ func (c *CPU) fetch() {
 // dispatch moves instructions from the fetch buffer into the ROB, renaming
 // their operands and allocating IQ/LDQ/STQ capacity and branch tags.
 func (c *CPU) dispatch() {
-	for n := 0; n < c.cfg.DispatchWidth && len(c.fetchBuf) > 0; n++ {
+	for n := 0; n < c.cfg.DispatchWidth && c.fbLen > 0; n++ {
 		if c.fenceActive > 0 {
 			return
 		}
 		if c.count == len(c.rob) || c.iqCount == c.cfg.IQSize {
 			return
 		}
-		rec := &c.fetchBuf[0]
+		rec := c.fbFront()
 		class := isa.ClassOf(rec.in.Op)
 		isLoad := class == isa.ClassLoad
 		isStore := class == isa.ClassStore
@@ -219,8 +225,8 @@ func (c *CPU) dispatch() {
 			isStore:    isStore,
 			iHandle:    rec.iHandle,
 			itlbHandle: rec.itlbHandle,
-			dHandles:   rec.dHandles,
 		}
+		e.addDHs(rec.dHandles[:rec.nDH])
 		if tagBit != 0 {
 			c.activeTags |= tagBit
 		}
@@ -245,7 +251,7 @@ func (c *CPU) dispatch() {
 		}
 		c.St.Dispatched++
 		c.active = true
-		c.fetchBuf = c.fetchBuf[1:]
+		c.fbPop()
 	}
 }
 
@@ -307,32 +313,34 @@ func (c *CPU) releasePendingITLBH() {
 }
 
 func (c *CPU) releasePendingDH() {
-	for _, h := range c.pendingDH {
+	for _, h := range c.pendingDH[:c.nPendingDH] {
 		if c.ms.ShD != nil && c.ms.ShD.StillValid(h) {
 			c.ms.ShD.Release(h, false)
 		}
 	}
-	c.pendingDH = nil
+	c.nPendingDH = 0
 }
 
 // flushFetch clears the fetch buffer and any pending shadow handles, then
 // redirects the front end to pc.
 func (c *CPU) flushFetch(pc int) {
-	for i := range c.fetchBuf {
-		rec := &c.fetchBuf[i]
+	for i := 0; i < c.fbLen; i++ {
+		rec := &c.fetchBuf[(c.fbHead+i)%len(c.fetchBuf)]
 		if rec.iHandle.Valid() && c.ms.ShI != nil && c.ms.ShI.StillValid(rec.iHandle) {
 			c.ms.ShI.Release(rec.iHandle, false)
 		}
 		if rec.itlbHandle.Valid() && c.ms.ShITLB != nil && c.ms.ShITLB.StillValid(rec.itlbHandle) {
 			c.ms.ShITLB.Release(rec.itlbHandle, false)
 		}
-		for _, h := range rec.dHandles {
+		for _, h := range rec.dHandles[:rec.nDH] {
 			if c.ms.ShD != nil && c.ms.ShD.StillValid(h) {
 				c.ms.ShD.Release(h, false)
 			}
 		}
+		c.putRASBuf(rec.rasSnap)
+		*rec = fetchRec{}
 	}
-	c.fetchBuf = c.fetchBuf[:0]
+	c.fbHead, c.fbLen = 0, 0
 	c.releasePendingIH()
 	c.releasePendingITLBH()
 	c.releasePendingDH()
@@ -340,5 +348,7 @@ func (c *CPU) flushFetch(pc int) {
 	c.fetchValid = pc >= 0 && pc < len(c.prog.Code)
 	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
 	c.lastFetchLine = ^uint64(0)
-	c.tracef("redirect fetch -> pc=%d valid=%v", pc, c.fetchValid)
+	if c.tracing() {
+		c.tracef("redirect fetch -> pc=%d valid=%v", pc, c.fetchValid)
+	}
 }

@@ -65,6 +65,12 @@ type MemSystem struct {
 	WalkerLatency int
 }
 
+// maxAccessDH bounds the shadow D-cache handles one access can acquire: one
+// per page-walk level (PTE reads) plus the data line itself. The inline
+// arrays below are sized by it so the per-access result carries no heap
+// slices — the access path runs allocation-free.
+const maxAccessDH = 3
+
 // loadResult is the outcome of a data-side access.
 type loadResult struct {
 	latency int
@@ -75,11 +81,22 @@ type loadResult struct {
 	// l1Hit / shadowHit classify where the *data line* lookup hit
 	// (for the Figure 12/13 statistics).
 	l1Hit, shadowHit, anyMiss bool
-	// dHandles are shadow D-cache handles acquired (data line + PTE lines).
-	dHandles []shadow.Handle
+	// dHandles[:nDH] are shadow D-cache handles acquired (data line + PTE
+	// lines).
+	dHandles [maxAccessDH]shadow.Handle
+	nDH      int
 	// dtlbHandle is the shadow dTLB handle acquired, if any.
 	dtlbHandle shadow.Handle
 }
+
+// addDH records an acquired shadow D-cache handle.
+func (r *loadResult) addDH(h shadow.Handle) {
+	r.dHandles[r.nDH] = h
+	r.nDH++
+}
+
+// dhs returns the acquired handles as a slice view.
+func (r *loadResult) dhs() []shadow.Handle { return r.dHandles[:r.nDH] }
 
 // translateData translates va on the data side, charging PTE reads to the
 // D-cache path. owner tags shadow allocations with the requesting
@@ -134,13 +151,12 @@ func (ms *MemSystem) translateData(va uint64, owner, part uint64, res *loadResul
 func (ms *MemSystem) pteRead(pa uint64, owner, part uint64, res *loadResult) (latency int, blocked bool) {
 	line := cache.LineAddr(pa)
 	if ms.Mode.SafeSpec() {
-		if h, hit := ms.ShD.Lookup(line); hit {
+		if _, hit := ms.ShD.Lookup(line); hit {
 			// Shadow access time is conservatively the L1 hit time.
-			_ = h
 			if hh, ok, _ := ms.ShD.Alloc(line, owner, part, shadow.Payload{}); ok {
-				res.dHandles = append(res.dHandles, hh)
+				res.addDH(hh)
 			}
-			return ms.Hier.L1D.Config().HitLatency, false
+			return ms.Hier.L1D.HitLatency(), false
 		}
 	}
 	lat, level := ms.Hier.AccessData(pa)
@@ -153,7 +169,7 @@ func (ms *MemSystem) pteRead(pa uint64, owner, part uint64, res *loadResult) (la
 			return 0, true
 		}
 		if ok {
-			res.dHandles = append(res.dHandles, h)
+			res.addDH(h)
 		}
 	} else {
 		ms.Hier.FillData(pa)
@@ -173,7 +189,7 @@ func (ms *MemSystem) LoadAccess(va uint64, owner, part uint64) loadResult {
 	}
 	if !ok {
 		// Unmapped (or walk fault): charge the wasted lookup time.
-		res.latency += ms.Hier.L1D.Config().HitLatency
+		res.latency += ms.Hier.L1D.HitLatency()
 		res.anyMiss = true
 		return res
 	}
@@ -190,10 +206,10 @@ func (ms *MemSystem) LoadAccess(va uint64, owner, part uint64) loadResult {
 	line := cache.LineAddr(res.pa)
 	if ms.Mode.SafeSpec() {
 		if _, hit := ms.ShD.Lookup(line); hit {
-			res.latency += ms.Hier.L1D.Config().HitLatency
+			res.latency += ms.Hier.L1D.HitLatency()
 			res.shadowHit = true
 			if h, ok, _ := ms.ShD.Alloc(line, owner, part, shadow.Payload{}); ok {
-				res.dHandles = append(res.dHandles, h)
+				res.addDH(h)
 			}
 			return res
 		}
@@ -211,7 +227,7 @@ func (ms *MemSystem) LoadAccess(va uint64, owner, part uint64) loadResult {
 			return res
 		}
 		if ok {
-			res.dHandles = append(res.dHandles, h)
+			res.addDH(h)
 		}
 		return res
 	}
@@ -247,12 +263,12 @@ func (ms *MemSystem) StoreAccess(va uint64, owner, part uint64) loadResult {
 // releaseAll frees handles acquired by a blocked access so the retry starts
 // clean.
 func (ms *MemSystem) releaseAll(res *loadResult) {
-	for _, h := range res.dHandles {
+	for _, h := range res.dhs() {
 		if ms.ShD.StillValid(h) {
 			ms.ShD.Release(h, false)
 		}
 	}
-	res.dHandles = res.dHandles[:0]
+	res.nDH = 0
 	if res.dtlbHandle.Valid() && ms.ShDTLB.StillValid(res.dtlbHandle) {
 		ms.ShDTLB.Release(res.dtlbHandle, false)
 		res.dtlbHandle = shadow.Handle{}
@@ -267,9 +283,11 @@ type fetchResult struct {
 	l1Hit, shadowHit, miss bool
 	iHandle                shadow.Handle
 	itlbHandle             shadow.Handle
-	// dHandles are shadow D-cache entries allocated by the iTLB walk's PTE
-	// reads; they follow the same ownership path as the I-side handles.
-	dHandles []shadow.Handle
+	// dHandles[:nDH] are shadow D-cache entries allocated by the iTLB
+	// walk's PTE reads; they follow the same ownership path as the I-side
+	// handles.
+	dHandles [maxAccessDH]shadow.Handle
+	nDH      int
 	// paLine is the physical line address fetched (0 on fault), used by
 	// the front end to classify same-line reuse fetches.
 	paLine uint64
@@ -284,11 +302,11 @@ func (ms *MemSystem) FetchAccess(lineVA uint64, owner, part uint64) fetchResult 
 
 	frame, _, ok := ms.translateInstr(lineVA, owner, part, &dres, &fres)
 	fres.stall += dres.latency
-	fres.dHandles = dres.dHandles
+	fres.dHandles, fres.nDH = dres.dHandles, dres.nDH
 	if fres.blocked || dres.blocked {
 		fres.blocked = true
 		ms.releaseAll(&dres)
-		fres.dHandles = nil
+		fres.nDH = 0
 		return fres
 	}
 	if !ok {

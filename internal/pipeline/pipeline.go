@@ -180,11 +180,22 @@ type entry struct {
 	// Fault raised at commit.
 	fault mem.Fault
 
-	// Shadow handles owned by this instruction.
-	dHandles   []shadow.Handle
+	// Shadow handles owned by this instruction: dHandles[:nDH] holds at
+	// most one fetch-transferred set (iTLB-walk PTE lines) plus one data
+	// access's worth, inline so dispatch/issue never allocate.
+	dHandles   [2 * maxAccessDH]shadow.Handle
+	nDH        int
 	dtlbHandle shadow.Handle
 	iHandle    shadow.Handle
 	itlbHandle shadow.Handle
+}
+
+// dhs returns the owned shadow D-cache handles as a slice view.
+func (e *entry) dhs() []shadow.Handle { return e.dHandles[:e.nDH] }
+
+// addDHs appends acquired shadow D-cache handles to the entry's inline set.
+func (e *entry) addDHs(hs []shadow.Handle) {
+	e.nDH += copy(e.dHandles[e.nDH:], hs)
 }
 
 // fetchRec is one fetched-but-not-dispatched instruction.
@@ -199,9 +210,10 @@ type fetchRec struct {
 	rasSnap    []int
 	iHandle    shadow.Handle
 	itlbHandle shadow.Handle
-	// dHandles holds shadow D-cache entries from the line's iTLB-walk PTE
-	// reads; they transfer to the first dispatched instruction.
-	dHandles []shadow.Handle
+	// dHandles[:nDH] holds shadow D-cache entries from the line's iTLB-walk
+	// PTE reads; they transfer to the first dispatched instruction.
+	dHandles [maxAccessDH]shadow.Handle
+	nDH      int
 }
 
 // CPU is the simulated core bound to one program.
@@ -228,12 +240,21 @@ type CPU struct {
 	fetchPC         int
 	fetchValid      bool
 	fetchStallUntil uint64
+	// fetchBuf is a fixed-capacity ring (fbHead/fbLen) sized at build time:
+	// the front end holds at most two dispatch groups plus one fetch group,
+	// so the buffer never reallocates.
 	fetchBuf        []fetchRec
+	fbHead, fbLen   int
 	lastFetchLine   uint64
 	lastFetchPALine uint64
 	pendingIH       shadow.Handle
 	pendingITLBH    shadow.Handle
-	pendingDH       []shadow.Handle
+	pendingDH       [maxAccessDH]shadow.Handle
+	nPendingDH      int
+
+	// rasFree recycles RAS snapshot buffers (one live per in-flight
+	// predicted branch), so prediction allocates nothing in steady state.
+	rasFree [][]int
 
 	cycle  uint64
 	halted bool
@@ -258,9 +279,16 @@ type CPU struct {
 // program image (code pages, data segments, declared regions) into a fresh
 // memory.
 func New(cfg Config, prog *isa.Program) *CPU {
-	cfg = cfg.Normalize()
-	m := mem.New()
+	return NewWith(cfg, prog, BuildMemory(prog))
+}
 
+// BuildMemory loads prog's image (code pages, data segments, declared
+// regions) into a fresh architectural memory. Callers that reuse one
+// simulator across runs build the memory once, enable its write journal,
+// and roll it back between runs instead of rebuilding page tables and data
+// frames per run.
+func BuildMemory(prog *isa.Program) *mem.Memory {
+	m := mem.New()
 	// Map the code region (user-readable: fetch is a user access).
 	codeBytes := uint64(len(prog.Code)) * isa.BytesPerInstr
 	for va := isa.CodeBase; va < isa.CodeBase+codeBytes+mem.PageSize; va += mem.PageSize {
@@ -276,42 +304,131 @@ func New(cfg Config, prog *isa.Program) *CPU {
 		}
 	}
 	m.LoadImage(prog.Data, prog.KernelData)
+	return m
+}
 
-	ms := &MemSystem{
-		Mode:             cfg.Mode,
-		Mem:              m,
-		Hier:             cache.NewHierarchy(cfg.Hier),
-		ITLB:             tlb.New(cfg.ITLB),
-		DTLB:             tlb.New(cfg.DTLB),
-		Walk:             &tlb.Walker{Mem: m, BaseLatency: cfg.WalkerLatency},
-		FaultsReturnData: cfg.FaultsReturnData,
-		WalkerLatency:    cfg.WalkerLatency,
+// NewWith builds a CPU for prog around a preloaded memory (see BuildMemory).
+func NewWith(cfg Config, prog *isa.Program, m *mem.Memory) *CPU {
+	c := &CPU{}
+	c.Reset(cfg, prog, m)
+	return c
+}
+
+// Reset rebinds the CPU to (cfg, prog, m) as if freshly constructed,
+// reusing every allocated structure whose geometry is unchanged: the ROB
+// and fetch ring, the cache hierarchy, TLBs, branch predictor and shadow
+// structures are cleared in place rather than reallocated. m must be a
+// memory holding prog's loaded image (a fresh BuildMemory result, or a
+// journaled one rolled back to its post-load state). A reset CPU produces
+// results identical to a new one; sweep executors rely on that to reuse one
+// simulator per goroutine across cells.
+func (c *CPU) Reset(cfg Config, prog *isa.Program, m *mem.Memory) {
+	cfg = cfg.Normalize()
+	old := c.cfg // zero value on first use
+
+	if c.ms == nil {
+		c.ms = &MemSystem{}
 	}
+	ms := c.ms
+	ms.Mode = cfg.Mode
+	ms.Mem = m
+	if ms.Hier != nil && old.Hier == cfg.Hier {
+		ms.Hier.Reset()
+	} else {
+		ms.Hier = cache.NewHierarchy(cfg.Hier)
+	}
+	if ms.ITLB != nil && old.ITLB == cfg.ITLB {
+		ms.ITLB.Reset()
+	} else {
+		ms.ITLB = tlb.New(cfg.ITLB)
+	}
+	if ms.DTLB != nil && old.DTLB == cfg.DTLB {
+		ms.DTLB.Reset()
+	} else {
+		ms.DTLB = tlb.New(cfg.DTLB)
+	}
+	if ms.Walk == nil {
+		ms.Walk = &tlb.Walker{}
+	}
+	*ms.Walk = tlb.Walker{Mem: m, BaseLatency: cfg.WalkerLatency}
+	ms.FaultsReturnData = cfg.FaultsReturnData
+	ms.WalkerLatency = cfg.WalkerLatency
 	if cfg.Mode.SafeSpec() {
-		ms.ShD = shadow.New(cfg.ShadowD)
-		ms.ShI = shadow.New(cfg.ShadowI)
-		ms.ShDTLB = shadow.New(cfg.ShadowDTLB)
-		ms.ShITLB = shadow.New(cfg.ShadowITLB)
+		ms.ShD = resetShadow(ms.ShD, cfg.ShadowD)
+		ms.ShI = resetShadow(ms.ShI, cfg.ShadowI)
+		ms.ShDTLB = resetShadow(ms.ShDTLB, cfg.ShadowDTLB)
+		ms.ShITLB = resetShadow(ms.ShITLB, cfg.ShadowITLB)
+	} else {
+		ms.ShD, ms.ShI, ms.ShDTLB, ms.ShITLB = nil, nil, nil, nil
 	}
 
-	c := &CPU{
-		cfg:           cfg,
-		prog:          prog,
-		ms:            ms,
-		bp:            bpred.New(cfg.Bpred),
-		rob:           make([]entry, cfg.ROBSize),
-		fetchPC:       prog.Entry,
-		fetchValid:    true,
-		lastFetchLine: ^uint64(0),
+	if c.bp != nil && old.Bpred == cfg.Bpred {
+		c.bp.Reset()
+	} else {
+		c.bp = bpred.New(cfg.Bpred)
 	}
+
+	// Recycle RAS snapshots still held by in-flight state from a previous
+	// run, then drop the pool if the buffer size changed.
+	for i := range c.rob {
+		c.putRASBuf(c.rob[i].rasSnap)
+		c.rob[i] = entry{}
+	}
+	for i := range c.fetchBuf {
+		c.putRASBuf(c.fetchBuf[i].rasSnap)
+		c.fetchBuf[i] = fetchRec{}
+	}
+	if old.Bpred.RASEntries != cfg.Bpred.RASEntries {
+		c.rasFree = nil
+	}
+	if len(c.rob) != cfg.ROBSize {
+		c.rob = make([]entry, cfg.ROBSize)
+	}
+	if fbCap := 2*cfg.DispatchWidth + cfg.FetchWidth; len(c.fetchBuf) != fbCap {
+		c.fetchBuf = make([]fetchRec, fbCap)
+	}
+
+	c.cfg = cfg
+	c.prog = prog
+	c.regs = [isa.RegCount]int64{}
+	c.renm = [isa.RegCount]renameRef{}
+	c.head, c.count = 0, 0
+	c.seqCtr, c.iqCount, c.ldqCount, c.stqCount = 0, 0, 0, 0
+	c.activeTags, c.fenceActive = 0, 0
+	c.fetchPC = prog.Entry
+	c.fetchValid = true
+	c.fetchStallUntil = 0
+	c.fbHead, c.fbLen = 0, 0
+	c.lastFetchLine = ^uint64(0)
+	c.lastFetchPALine = 0
+	c.pendingIH, c.pendingITLBH = shadow.Handle{}, shadow.Handle{}
+	c.nPendingDH = 0
+	c.cycle, c.halted, c.active = 0, false, false
+	c.trace = nil
+	c.St = Stats{}
+	c.sampleOcc = false
+
 	if cfg.DetectAnomalies && cfg.Mode.SafeSpec() {
 		// Floors at 1/4 of capacity: benign 99.99th-percentile occupancy
 		// sits well below that (Figures 6-9), a contention attack must
 		// exceed it.
 		c.detD = shadow.NewDetector(cfg.ShadowD.Entries/4, 4, 1024)
 		c.detDTLB = shadow.NewDetector(cfg.ShadowDTLB.Entries/4, 4, 1024)
+	} else {
+		c.detD, c.detDTLB = nil, nil
 	}
-	return c
+}
+
+// resetShadow clears s in place when its policy matches, detaching any
+// occupancy histogram so each run samples into a fresh one; otherwise it
+// builds a new structure.
+func resetShadow(s *shadow.Structure, policy shadow.Policy) *shadow.Structure {
+	if s != nil && s.Policy() == policy {
+		s.Reset()
+		s.Occupancy = nil
+		return s
+	}
+	return shadow.New(policy)
 }
 
 // Detectors returns the anomaly detectors (nil when disabled).
@@ -383,7 +500,7 @@ func (c *CPU) Step() {
 	}
 	// Deadlock backstop: an empty pipeline with nowhere to fetch from means
 	// the program ran off the end of its code.
-	if c.count == 0 && len(c.fetchBuf) == 0 && !c.fetchValid {
+	if c.count == 0 && c.fbLen == 0 && !c.fetchValid {
 		c.halted = true
 		return
 	}
@@ -430,6 +547,48 @@ func (c *CPU) fastForward() {
 func attach(s *shadow.Structure) {
 	if s.Occupancy == nil {
 		s.Occupancy = newOccHist(s.Policy().Entries)
+	}
+}
+
+// fbPush appends rec to the fetch-buffer ring. The ring is sized so the
+// front end can never overflow it.
+func (c *CPU) fbPush(rec fetchRec) {
+	c.fetchBuf[(c.fbHead+c.fbLen)%len(c.fetchBuf)] = rec
+	c.fbLen++
+}
+
+// fbFront returns the oldest buffered fetch record.
+func (c *CPU) fbFront() *fetchRec { return &c.fetchBuf[c.fbHead] }
+
+// fbPop discards the oldest buffered fetch record.
+func (c *CPU) fbPop() {
+	c.fetchBuf[c.fbHead] = fetchRec{}
+	c.fbHead = (c.fbHead + 1) % len(c.fetchBuf)
+	c.fbLen--
+}
+
+// getRASBuf returns a snapshot buffer of RAS depth, recycling released ones.
+func (c *CPU) getRASBuf() []int {
+	if n := len(c.rasFree); n > 0 {
+		buf := c.rasFree[n-1]
+		c.rasFree = c.rasFree[:n-1]
+		return buf
+	}
+	return make([]int, c.cfg.Bpred.RASEntries)
+}
+
+// putRASBuf recycles a snapshot buffer; nil is ignored.
+func (c *CPU) putRASBuf(buf []int) {
+	if buf != nil {
+		c.rasFree = append(c.rasFree, buf)
+	}
+}
+
+// releaseRASSnap recycles an entry's RAS snapshot after its branch resolved.
+func (c *CPU) releaseRASSnap(e *entry) {
+	if e.rasSnap != nil {
+		c.putRASBuf(e.rasSnap)
+		e.rasSnap = nil
 	}
 }
 

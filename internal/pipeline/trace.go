@@ -11,6 +11,10 @@ import (
 // wrong path flows through the machine.
 func (c *CPU) SetTrace(w io.Writer) { c.trace = w }
 
+// tracef formats one trace line. Call sites must guard with `c.trace != nil`
+// (or the tracing() helper): building the variadic argument slice — and the
+// traceEntry string — costs real allocations per pipeline event, which
+// profiling showed dominating untraced runs when evaluated eagerly.
 func (c *CPU) tracef(format string, args ...any) {
 	if c.trace == nil {
 		return
@@ -19,6 +23,10 @@ func (c *CPU) tracef(format string, args ...any) {
 	fmt.Fprintf(c.trace, format, args...)
 	fmt.Fprintln(c.trace)
 }
+
+// tracing reports whether trace output is enabled; hot paths check it before
+// computing any trace arguments.
+func (c *CPU) tracing() bool { return c.trace != nil }
 
 // traceEntry renders an entry identity for trace lines.
 func traceEntry(e *entry) string {

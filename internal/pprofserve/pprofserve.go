@@ -1,0 +1,31 @@
+// Package pprofserve backs the -pprof flag of the fleet binaries
+// (safespec-worker, safespec-coordinator): it exposes net/http/pprof on a
+// dedicated listener so a live fleet member can be profiled
+// (`go tool pprof http://host:port/debug/pprof/profile`) without ever
+// mounting the debug handlers on the authenticated /v1/* API mux.
+package pprofserve
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
+	"os"
+	"time"
+)
+
+// Serve binds addr and serves the pprof handlers in the background. It
+// returns once the listener is bound (so a bad address fails startup), and
+// prints the resolved endpoint to stderr.
+func Serve(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("-pprof %s: %w", addr, err)
+	}
+	fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	go func() {
+		srv := &http.Server{ReadHeaderTimeout: 10 * time.Second}
+		_ = srv.Serve(ln) // DefaultServeMux carries the pprof handlers
+	}()
+	return nil
+}

@@ -1,0 +1,101 @@
+package resultcache
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"safespec/internal/core"
+	"safespec/internal/pipeline"
+)
+
+// putAged stores a result under key and backdates its file by age.
+func putAged(t *testing.T, c *Cache, key string, age time.Duration) int64 {
+	t.Helper()
+	res := &core.Results{Stats: &pipeline.Stats{Cycles: 42, Committed: 7}, Mode: core.ModeWFC}
+	if err := c.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	when := time.Now().Add(-age)
+	if err := os.Chtimes(c.path(key), when, when); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(c.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info.Size()
+}
+
+func TestPruneEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four entries, oldest to newest; every entry encodes identically so
+	// sizes are equal and the byte budget maps to an entry count.
+	keys := []string{"aa11", "bb22", "cc33", "dd44"}
+	var size int64
+	for i, k := range keys {
+		size = putAged(t, c, k, time.Duration(len(keys)-i)*time.Hour)
+	}
+
+	st, err := c.Prune(2*size + size/2) // room for two entries
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 2 || st.Kept != 2 {
+		t.Fatalf("prune evicted %d / kept %d, want 2 / 2", st.Evicted, st.Kept)
+	}
+	for _, k := range keys[:2] {
+		if _, ok, _ := c.Get(k); ok {
+			t.Errorf("oldest entry %s survived the prune", k)
+		}
+	}
+	for _, k := range keys[2:] {
+		if _, ok, err := c.Get(k); !ok || err != nil {
+			t.Errorf("newest entry %s was evicted (ok=%v err=%v)", k, ok, err)
+		}
+	}
+	// The VERSION marker must survive any budget.
+	if _, err := os.Stat(filepath.Join(dir, "VERSION")); err != nil {
+		t.Fatalf("VERSION marker gone after prune: %v", err)
+	}
+}
+
+func TestPruneZeroBudgetClearsCache(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putAged(t, c, "aa11", time.Hour)
+	putAged(t, c, "bb22", 2*time.Hour)
+	st, err := c.Prune(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Kept != 0 || st.Evicted != 2 {
+		t.Fatalf("prune kept %d / evicted %d, want 0 / 2", st.Kept, st.Evicted)
+	}
+	// The cache directory still opens and accepts new entries.
+	if _, err := Open(c.Dir()); err != nil {
+		t.Fatalf("cache unusable after full prune: %v", err)
+	}
+}
+
+func TestPruneNoopUnderBudget(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	putAged(t, c, "aa11", time.Hour)
+	st, err := c.Prune(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evicted != 0 || st.Kept != 1 {
+		t.Fatalf("prune under budget evicted %d, want 0", st.Evicted)
+	}
+}

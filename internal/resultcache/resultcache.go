@@ -25,9 +25,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"safespec/internal/core"
 	"safespec/internal/sweep"
@@ -164,6 +166,86 @@ func writeAtomic(dir, dst string, data []byte) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), dst)
+}
+
+// PruneStats reports one Prune pass.
+type PruneStats struct {
+	// Kept / KeptBytes count the entries surviving the pass.
+	Kept      int
+	KeptBytes int64
+	// Evicted / EvictedBytes count the entries removed.
+	Evicted      int
+	EvictedBytes int64
+}
+
+// pruneEntry is one cache file considered for eviction.
+type pruneEntry struct {
+	path  string
+	size  int64
+	mtime time.Time
+}
+
+// Prune evicts entries oldest-first (by modification time; a cache hit does
+// not refresh it, so age means "time since simulated") until the entries'
+// total size fits maxBytes. The VERSION marker is never removed. Concurrent
+// readers are safe: eviction is a plain unlink, and a reader that loses the
+// race simply misses and re-simulates. It is the size-based GC behind
+// `safespec-bench -cache-gc`.
+func (c *Cache) Prune(maxBytes int64) (PruneStats, error) {
+	var st PruneStats
+	var entries []pruneEntry
+	shards, err := os.ReadDir(c.dir)
+	if err != nil {
+		return st, fmt.Errorf("resultcache: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(c.dir, sh.Name()))
+		if err != nil {
+			continue // shard vanished under us: nothing to evict there
+		}
+		for _, f := range files {
+			if f.IsDir() || !strings.HasSuffix(f.Name(), ".json") {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			entries = append(entries, pruneEntry{
+				path:  filepath.Join(c.dir, sh.Name(), f.Name()),
+				size:  info.Size(),
+				mtime: info.ModTime(),
+			})
+		}
+	}
+	// Oldest first; ties break on path so a pass is deterministic.
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mtime.Equal(entries[j].mtime) {
+			return entries[i].mtime.Before(entries[j].mtime)
+		}
+		return entries[i].path < entries[j].path
+	})
+	var total int64
+	for _, e := range entries {
+		total += e.size
+	}
+	for _, e := range entries {
+		if total <= maxBytes {
+			st.Kept++
+			st.KeptBytes += e.size
+			continue
+		}
+		if err := os.Remove(e.path); err != nil && !os.IsNotExist(err) {
+			return st, fmt.Errorf("resultcache: prune %s: %w", e.path, err)
+		}
+		total -= e.size
+		st.Evicted++
+		st.EvictedBytes += e.size
+	}
+	return st, nil
 }
 
 // CacheStats snapshots the counters.

@@ -1,0 +1,82 @@
+package shadow
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIndexConsistencyUnderChurn cross-checks the O(1) probe-table index
+// against a ground-truth scan of the entry array through a long random
+// Alloc/Release/ForceFree/InvalidateKey/Reset churn, covering the
+// backward-shift deletion path that keeps probe clusters intact.
+func TestIndexConsistencyUnderChurn(t *testing.T) {
+	for _, full := range []OnFull{Drop, Replace} {
+		t.Run(full.String(), func(t *testing.T) {
+			s := New(Policy{Name: "churn", Entries: 13, WhenFull: full})
+			rng := rand.New(rand.NewSource(7))
+			live := map[uint64]Handle{}
+			// Few distinct keys relative to capacity so hashes collide and
+			// clusters form and shrink constantly.
+			key := func() uint64 { return uint64(rng.Intn(40)) * 64 }
+
+			verify := func(step int) {
+				t.Helper()
+				truth := map[uint64]bool{}
+				for _, k := range s.Keys() {
+					truth[k] = true
+				}
+				for k := uint64(0); k < 40*64; k += 64 {
+					if got := s.Contains(k); got != truth[k] {
+						t.Fatalf("step %d: Contains(%#x) = %v, scan says %v", step, k, got, truth[k])
+					}
+					h, hit := s.Lookup(k)
+					if hit != truth[k] {
+						t.Fatalf("step %d: Lookup(%#x) hit=%v, scan says %v", step, k, hit, truth[k])
+					}
+					if hit && s.Key(h) != k {
+						t.Fatalf("step %d: Lookup(%#x) handle resolves to %#x", step, k, s.Key(h))
+					}
+				}
+			}
+
+			for step := 0; step < 4000; step++ {
+				switch op := rng.Intn(10); {
+				case op < 5: // alloc
+					k := key()
+					if h, ok, _ := s.Alloc(k, uint64(step), 0, Payload{}); ok {
+						if old, exists := live[k]; !exists || !s.StillValid(old) {
+							live[k] = h
+						}
+					}
+				case op < 7: // release one live handle
+					for k, h := range live {
+						if s.StillValid(h) {
+							s.Release(h, step%2 == 0)
+						}
+						delete(live, k)
+						break
+					}
+				case op < 8: // force-free one live handle
+					for k, h := range live {
+						if s.StillValid(h) {
+							s.ForceFree(h, true)
+						}
+						delete(live, k)
+						break
+					}
+				case op < 9: // invalidate by key
+					s.InvalidateKey(key())
+				default:
+					if rng.Intn(50) == 0 {
+						s.Reset()
+						live = map[uint64]Handle{}
+					}
+				}
+				if step%37 == 0 {
+					verify(step)
+				}
+			}
+			verify(4000)
+		})
+	}
+}

@@ -168,6 +168,13 @@ type Structure struct {
 	free    []int
 	nValid  int
 	genCtr  uint64
+	// index is an open-addressed (linear probing) key -> entry-slot table
+	// accelerating the fully associative match: valid entries have unique
+	// keys, so every Lookup/Contains/Alloc/InvalidateKey resolves in O(1)
+	// instead of scanning all Entries slots. Slots hold the entry index, or
+	// idxEmpty. The table never allocates after New.
+	index   []int32
+	idxMask uint64
 	// Stats accumulates activity counters.
 	Stats Stats
 	// Occupancy is sampled per cycle by the pipeline into this histogram
@@ -175,21 +182,90 @@ type Structure struct {
 	Occupancy *stats.Histogram
 }
 
+// idxEmpty marks a free probe-table slot.
+const idxEmpty = int32(-1)
+
 // New builds a shadow structure; it panics on an invalid policy.
 func New(policy Policy) *Structure {
 	if err := policy.Validate(); err != nil {
 		panic(err)
+	}
+	// Probe table sized to keep load factor <= 1/4.
+	tbl := 8
+	for tbl < 4*policy.Entries {
+		tbl *= 2
 	}
 	s := &Structure{
 		policy:  policy,
 		entries: make([]entry, policy.Entries),
 		gens:    make([]uint64, policy.Entries),
 		free:    make([]int, policy.Entries),
+		index:   make([]int32, tbl),
+		idxMask: uint64(tbl - 1),
 	}
 	for i := range s.free {
 		s.free[i] = policy.Entries - 1 - i
 	}
+	for i := range s.index {
+		s.index[i] = idxEmpty
+	}
 	return s
+}
+
+// idxHome returns the preferred probe-table slot for key.
+func (s *Structure) idxHome(key uint64) uint64 {
+	return (key * 0x9e3779b97f4a7c15) >> 32 & s.idxMask
+}
+
+// idxFind returns the entry slot holding key, or -1.
+func (s *Structure) idxFind(key uint64) int {
+	for i := s.idxHome(key); ; i = (i + 1) & s.idxMask {
+		slot := s.index[i]
+		if slot == idxEmpty {
+			return -1
+		}
+		if s.entries[slot].key == key {
+			return int(slot)
+		}
+	}
+}
+
+// idxInsert records that entry slot holds key.
+func (s *Structure) idxInsert(key uint64, slot int) {
+	i := s.idxHome(key)
+	for s.index[i] != idxEmpty {
+		i = (i + 1) & s.idxMask
+	}
+	s.index[i] = int32(slot)
+}
+
+// idxDelete removes key from the probe table, backward-shifting the
+// displaced tail of its probe cluster so future probes stay correct.
+func (s *Structure) idxDelete(key uint64) {
+	i := s.idxHome(key)
+	for {
+		slot := s.index[i]
+		if slot == idxEmpty {
+			return // not present (already removed)
+		}
+		if s.entries[slot].key == key {
+			break
+		}
+		i = (i + 1) & s.idxMask
+	}
+	s.index[i] = idxEmpty
+	// Re-slot everything in the cluster after the hole.
+	for j := (i + 1) & s.idxMask; s.index[j] != idxEmpty; j = (j + 1) & s.idxMask {
+		slot := s.index[j]
+		home := s.idxHome(s.entries[slot].key)
+		// Move slot back into the hole unless its home lies strictly after
+		// the hole (cyclically between hole and current position).
+		if (j-home)&s.idxMask >= (j-i)&s.idxMask {
+			s.index[i] = slot
+			s.index[j] = idxEmpty
+			i = j
+		}
+	}
 }
 
 // Policy returns the structure's policy.
@@ -219,25 +295,16 @@ func (s *Structure) SampleN(n uint64) {
 // hit-rate statistics.
 func (s *Structure) Lookup(key uint64) (Handle, bool) {
 	s.Stats.Lookups++
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.key == key {
-			s.Stats.Hits++
-			return Handle{idx: i, gen: s.gens[i]}, true
-		}
+	if i := s.idxFind(key); i >= 0 {
+		s.Stats.Hits++
+		return Handle{idx: i, gen: s.gens[i]}, true
 	}
 	return Handle{}, false
 }
 
 // Contains reports presence without touching statistics.
 func (s *Structure) Contains(key uint64) bool {
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.key == key {
-			return true
-		}
-	}
-	return false
+	return s.idxFind(key) >= 0
 }
 
 // Alloc reserves an entry for key on behalf of instruction owner. If an
@@ -252,12 +319,9 @@ func (s *Structure) Contains(key uint64) bool {
 //
 // partition is the speculative-path key (ignored unless Partitioned).
 func (s *Structure) Alloc(key uint64, owner uint64, partition uint64, payload Payload) (h Handle, ok, blocked bool) {
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.key == key {
-			e.refs++
-			return Handle{idx: i, gen: s.gens[i]}, true, false
-		}
+	if i := s.idxFind(key); i >= 0 {
+		s.entries[i].refs++
+		return Handle{idx: i, gen: s.gens[i]}, true, false
 	}
 	if s.nValid == len(s.entries) {
 		switch s.policy.WhenFull {
@@ -287,6 +351,7 @@ func (s *Structure) Alloc(key uint64, owner uint64, partition uint64, payload Pa
 				s.Stats.DroppedFull++
 				return Handle{}, false, false
 			}
+			s.idxDelete(s.entries[victim].key)
 			s.entries[victim].valid = false
 			s.gens[victim]++
 			s.free = append(s.free, victim)
@@ -299,6 +364,7 @@ func (s *Structure) Alloc(key uint64, owner uint64, partition uint64, payload Pa
 	s.genCtr++
 	s.gens[idx] = s.genCtr
 	s.entries[idx] = entry{valid: true, key: key, owner: owner, partition: partition, refs: 1, payload: payload}
+	s.idxInsert(key, idx)
 	s.nValid++
 	s.Stats.Allocs++
 	return Handle{idx: idx, gen: s.genCtr}, true, false
@@ -338,6 +404,7 @@ func (s *Structure) Release(h Handle, committed bool) (key uint64, freed bool) {
 		// referencing instruction; intermediate releases only drop refs.
 		return key, false
 	}
+	s.idxDelete(key)
 	e.valid = false
 	s.gens[h.idx]++
 	s.free = append(s.free, h.idx)
@@ -360,6 +427,7 @@ func (s *Structure) ForceFree(h Handle, committed bool) uint64 {
 	s.check(h)
 	e := &s.entries[h.idx]
 	key := e.key
+	s.idxDelete(key)
 	e.valid = false
 	s.gens[h.idx]++
 	s.free = append(s.free, h.idx)
@@ -377,18 +445,17 @@ func (s *Structure) ForceFree(h Handle, committed bool) uint64 {
 // shadow state too). Instructions holding handles discover the eviction via
 // stale-handle checks by calling StillValid.
 func (s *Structure) InvalidateKey(key uint64) bool {
-	for i := range s.entries {
-		e := &s.entries[i]
-		if e.valid && e.key == key {
-			e.valid = false
-			s.gens[i]++
-			s.free = append(s.free, i)
-			s.nValid--
-			s.Stats.Flushes++
-			return true
-		}
+	i := s.idxFind(key)
+	if i < 0 {
+		return false
 	}
-	return false
+	s.idxDelete(key)
+	s.entries[i].valid = false
+	s.gens[i]++
+	s.free = append(s.free, i)
+	s.nValid--
+	s.Stats.Flushes++
+	return true
 }
 
 // StillValid reports whether h still refers to a live entry (false after
@@ -408,6 +475,9 @@ func (s *Structure) Reset() {
 	s.free = s.free[:0]
 	for i := len(s.entries) - 1; i >= 0; i-- {
 		s.free = append(s.free, i)
+	}
+	for i := range s.index {
+		s.index[i] = idxEmpty
 	}
 	s.nValid = 0
 	s.Stats = Stats{}

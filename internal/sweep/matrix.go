@@ -26,17 +26,12 @@ type Job struct {
 	Config core.Config
 }
 
-// Program builds the job's kernel. Each call returns a fresh program, so
-// concurrent jobs never share mutable state.
+// Program returns the job's kernel via the workloads memoization cache:
+// every job with the same (bench, seed) shares one immutable *isa.Program,
+// so seed/config fans never re-assemble the same kernel and simulator reuse
+// can detect an unchanged program by pointer identity.
 func (j Job) Program() (*isa.Program, error) {
-	w, err := workloads.ByName(j.Bench)
-	if err != nil {
-		return nil, err
-	}
-	if j.Seed != 0 {
-		w.Spec.Seed = j.Seed
-	}
-	return w.Build(), nil
+	return workloads.Program(j.Bench, j.Seed)
 }
 
 // String labels the job in errors and logs.

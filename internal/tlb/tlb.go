@@ -99,8 +99,8 @@ func New(cfg Config) *TLB {
 func (t *TLB) Config() Config { return t.cfg }
 
 func (t *TLB) index(va uint64) (set uint64, vpage uint64) {
-	vpage = va >> mem.PageBits << mem.PageBits
-	return (va >> mem.PageBits) & t.setMask, vpage
+	vpn := va >> mem.PageBits
+	return vpn & t.setMask, vpn << mem.PageBits
 }
 
 // Lookup probes the TLB for va. On a hit it returns the cached translation.

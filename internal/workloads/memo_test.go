@@ -1,0 +1,53 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestProgramMemoization: every caller of the same (bench, seed) must
+// observe one canonical *isa.Program — the stable pointer is what lets the
+// sweep executor detect "same program" and roll its memory back instead of
+// rebuilding — and the memoized build must equal a fresh one exactly.
+func TestProgramMemoization(t *testing.T) {
+	a, err := Program("gcc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Program("gcc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same (bench, seed) returned distinct programs")
+	}
+
+	w, err := ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh := w.Build(); !reflect.DeepEqual(a, fresh) {
+		t.Error("memoized program differs from a fresh build")
+	}
+
+	// A seed override is a different program; the default seed requested
+	// explicitly is the same entry as seed 0.
+	seeded, err := Program("gcc", 12345)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seeded == a {
+		t.Error("seed override returned the default-seed program")
+	}
+	explicit, err := Program("gcc", w.Spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit != a {
+		t.Error("explicitly-passed default seed missed the seed-0 cache entry")
+	}
+
+	if _, err := Program("no-such-bench", 0); err == nil {
+		t.Error("unknown benchmark did not error")
+	}
+}

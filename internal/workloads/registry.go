@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"fmt"
+	"sync"
 
 	"safespec/internal/isa"
 )
@@ -94,6 +95,44 @@ func ByName(name string) (Workload, error) {
 		}
 	}
 	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
+}
+
+// progKey identifies one memoized program build.
+type progKey struct {
+	name string
+	seed int64
+}
+
+// progCache memoizes assembled programs per (benchmark, seed): generation
+// and assembly of the larger kernels costs more than a short simulation, and
+// sweep matrices run the same kernel under several modes and instruction
+// budgets. Programs are immutable after Build (the simulator loads their
+// image into its own memory and never writes back), so sharing one
+// *isa.Program across concurrent jobs is safe — and the stable pointer is
+// what lets simulator reuse detect "same program" and roll back its memory
+// instead of rebuilding it. The cache holds one entry per (benchmark, seed)
+// ever requested; seed fans are small in practice.
+var progCache sync.Map
+
+// Program returns the memoized kernel for the named benchmark under the
+// given generator seed (0 selects the workload's per-name default). All
+// callers of the same (name, seed) observe the same *isa.Program.
+func Program(name string, seed int64) (*isa.Program, error) {
+	w, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if seed != 0 {
+		w.Spec.Seed = seed
+	}
+	key := progKey{name: name, seed: w.Spec.Seed}
+	if p, ok := progCache.Load(key); ok {
+		return p.(*isa.Program), nil
+	}
+	// Concurrent builders may race; LoadOrStore keeps the first, so every
+	// caller still agrees on one canonical program per key.
+	p, _ := progCache.LoadOrStore(key, w.Build())
+	return p.(*isa.Program), nil
 }
 
 // Names returns the benchmark names in figure order.
