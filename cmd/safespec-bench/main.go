@@ -20,6 +20,8 @@
 //	safespec-bench -serve :9090         # host an in-process coordinator for a worker fleet
 //	safespec-bench -remote http://host:9090 -token SECRET
 //	                                    # submit the sweep to a persistent safespec-coordinator
+//	safespec-bench -perf                # throughput report on the pinned Quick matrix
+//	safespec-bench -perf -preset full   # ... on the pinned all-benchmark matrix
 //
 // The per-job rows emitted by -json are deterministic and arrive in job
 // order for any -workers value, so outputs are byte-identical across worker
@@ -66,12 +68,14 @@ type options struct {
 	leaseTTL time.Duration
 	retries  int
 
-	perf           bool
-	perfLabel      string
-	perfOut        string
-	perfRepeats    int
-	perfBaseline   string
-	perfMaxRegress float64
+	perf            bool
+	perfPreset      string
+	perfLabel       string
+	perfOut         string
+	perfRepeats     int
+	perfBaseline    string
+	perfMaxRegress  float64
+	perfMaxAllocReg float64
 
 	out  io.Writer // table / JSON output (stdout in main)
 	info io.Writer // progress + accounting (stderr in main)
@@ -96,11 +100,13 @@ func main() {
 	flag.IntVar(&o.retries, "lease-retries", 0, "grid lease grants per job before it fails as lost, for -serve (default 5)")
 	flag.StringVar(&o.cacheGC, "cache-gc", "", "prune the -cache-dir result cache to at most this many bytes, oldest entries first (accepts K/M/G suffixes; runs standalone when no sweep is requested)")
 	flag.BoolVar(&o.perf, "perf", false, "measure simulator throughput on the pinned workload matrix and emit a BENCH_<label>.json report instead of figures")
+	flag.StringVar(&o.perfPreset, "preset", "", "pinned matrix for -perf: quick (6-bench CI smoke) or full (all 21 benchmarks); default quick. Incompatible with -bench/-instrs/-seeds, which define a custom matrix")
 	flag.StringVar(&o.perfLabel, "perf-label", "local", "label of the perf report (file becomes BENCH_<label>.json)")
 	flag.StringVar(&o.perfOut, "perf-out", ".", "directory receiving the BENCH_<label>.json report")
 	flag.IntVar(&o.perfRepeats, "perf-repeats", 3, "timed repeats of the matrix; the headline is the best repeat")
 	flag.StringVar(&o.perfBaseline, "perf-baseline", "", "compare against this BENCH_*.json and fail on regression (the CI gate)")
-	flag.Float64Var(&o.perfMaxRegress, "perf-max-regress", 0.15, "tolerated cells/sec regression vs -perf-baseline, as a fraction")
+	flag.Float64Var(&o.perfMaxRegress, "perf-max-regress", 0.15, "tolerated cells/sec regression vs -perf-baseline, as a fraction (aggregate, and per benchmark when both reports carry rows)")
+	flag.Float64Var(&o.perfMaxAllocReg, "perf-max-alloc-regress", 0.01, "tolerated allocs-per-sim-cycle increase vs -perf-baseline, absolute (negative disables the allocation gate)")
 	flag.Parse()
 	o.out, o.info = os.Stdout, os.Stderr
 
@@ -113,6 +119,9 @@ func main() {
 func run(o options) error {
 	if o.perf {
 		return runPerf(o)
+	}
+	if o.perfPreset != "" {
+		return fmt.Errorf("-preset selects a -perf matrix; figure sweeps are shaped by -quick/-bench/-instrs/-seeds")
 	}
 	want := func(k string) bool { return o.figs == "all" || o.figs == k }
 	sweeps := want("sizing") || want("perf") || want("overhead")
@@ -333,8 +342,22 @@ func runPerf(o options) error {
 		return fmt.Errorf("-perf writes a BENCH_*.json report; it has no JSONL row form")
 	}
 
+	custom := o.instrs > 0 || o.bench != "" || o.seeds != ""
 	spec := sweep.Quick()
 	preset := "quick"
+	switch o.perfPreset {
+	case "":
+	case "quick", "full":
+		if custom {
+			return fmt.Errorf("-preset %s names a pinned matrix; -bench/-instrs/-seeds define a custom one — pick one", o.perfPreset)
+		}
+		if o.perfPreset == "full" {
+			spec = sweep.Full()
+			preset = "full"
+		}
+	default:
+		return fmt.Errorf("-preset %q: want quick or full", o.perfPreset)
+	}
 	if o.instrs > 0 {
 		// Keep the safety cycle bound proportionate to the preset's
 		// cycles-per-instruction ratio, as the sweep path does: a raised
@@ -385,11 +408,12 @@ func runPerf(o options) error {
 		if err != nil {
 			return err
 		}
-		if err := perf.Compare(base, rep, o.perfMaxRegress); err != nil {
+		if err := perf.Compare(base, rep, o.perfMaxRegress, o.perfMaxAllocReg); err != nil {
 			return err
 		}
-		fmt.Fprintf(o.info, "perf: within %.0f%% of baseline %s (%.1f vs %.1f cells/sec)\n",
-			100*o.perfMaxRegress, base.Label, rep.CellsPerSec, base.CellsPerSec)
+		fmt.Fprintf(o.info, "perf: within %.0f%% of baseline %s (%.1f vs %.1f cells/sec, %.4f vs %.4f allocs/cycle)\n",
+			100*o.perfMaxRegress, base.Label, rep.CellsPerSec, base.CellsPerSec,
+			rep.AllocsPerCycle, base.AllocsPerCycle)
 	}
 	return nil
 }

@@ -19,8 +19,78 @@ func perfOpts(out io.Writer, dir string) options {
 	o.perfOut = dir
 	o.perfRepeats = 1
 	o.perfMaxRegress = 0.15
+	o.perfMaxAllocReg = 0.01
 	o.bench, o.instrs, o.serial = "exchange2", 1000, true
 	return o
+}
+
+// deflateRows scales a baseline's per-benchmark throughput far below any
+// plausible rerun, so doctored baselines keep the per-bench gate as
+// machine-noise-proof as the deflated aggregate.
+func deflateRows(rows []perf.BenchRow) []perf.BenchRow {
+	out := make([]perf.BenchRow, len(rows))
+	for i, r := range rows {
+		r.CellsPerSec /= 1e6
+		out[i] = r
+	}
+	return out
+}
+
+func TestPerfPresetValidation(t *testing.T) {
+	// A pinned preset and a custom matrix are contradictory — for quick
+	// just as for full.
+	for _, preset := range []string{"quick", "full"} {
+		o := perfOpts(io.Discard, t.TempDir())
+		o.perfPreset = preset
+		if err := run(o); err == nil || !strings.Contains(err.Error(), "-preset") {
+			t.Errorf("-preset %s with -bench/-instrs accepted (err=%v)", preset, err)
+		}
+	}
+	o := perfOpts(io.Discard, t.TempDir())
+	o.perfPreset = "weekly"
+	o.bench, o.instrs = "", 0
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "quick or full") {
+		t.Errorf("unknown -preset accepted (err=%v)", err)
+	}
+	// -preset outside -perf has nothing to select.
+	o = testOpts(io.Discard)
+	o.figs = "config"
+	o.perfPreset = "full"
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "-preset") {
+		t.Errorf("-preset without -perf accepted (err=%v)", err)
+	}
+}
+
+func TestPerfAllocGate(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(perfOpts(io.Discard, dir)); err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Join(dir, "BENCH_t.json")
+	rep, err := perf.Load(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An impossibly lean baseline fails any rerun through the allocation
+	// gate — unless the gate is disabled with a negative budget.
+	lean := *rep
+	lean.CellsPerSec /= 1e6 // keep the throughput gates out of the way
+	lean.BenchRows = deflateRows(rep.BenchRows)
+	lean.AllocsPerCycle = -1e9
+	if _, err := lean.Write(dir); err != nil {
+		t.Fatal(err)
+	}
+	o := perfOpts(io.Discard, t.TempDir())
+	o.perfBaseline = base
+	if err := run(o); err == nil || !strings.Contains(err.Error(), "allocs/cycle") {
+		t.Fatalf("allocation creep vs an impossibly lean baseline accepted (err=%v)", err)
+	}
+	o = perfOpts(io.Discard, t.TempDir())
+	o.perfBaseline = base
+	o.perfMaxAllocReg = -1
+	if err := run(o); err != nil {
+		t.Fatalf("negative budget must disable the allocation gate: %v", err)
+	}
 }
 
 func TestPerfModeWritesReport(t *testing.T) {
@@ -49,14 +119,15 @@ func TestPerfBaselineGate(t *testing.T) {
 	}
 	base := filepath.Join(dir, "BENCH_t.json")
 
-	// Deflate the baseline far below any plausible rerun: the gate passes
-	// regardless of machine noise.
+	// Deflate the baseline — aggregate and per-benchmark rows — far below
+	// any plausible rerun: the gate passes regardless of machine noise.
 	rep, err := perf.Load(base)
 	if err != nil {
 		t.Fatal(err)
 	}
 	slow := *rep
 	slow.CellsPerSec /= 1e6
+	slow.BenchRows = deflateRows(rep.BenchRows)
 	if _, err := slow.Write(dir); err != nil {
 		t.Fatal(err)
 	}

@@ -31,8 +31,14 @@ import (
 )
 
 // Schema identifies the report format. Bump it when fields change meaning
-// so trajectory tooling never silently misreads an old report.
-const Schema = "safespec/perf/v1"
+// so trajectory tooling never silently misreads an old report. v2 adds
+// per-benchmark rows (bench_rows) measured in a dedicated serial-by-bench
+// pass; Load still accepts v1 reports so committed baselines keep gating
+// the aggregate metrics, but per-benchmark gating needs two v2 reports.
+const (
+	Schema   = "safespec/perf/v2"
+	SchemaV1 = "safespec/perf/v1"
+)
 
 // Options configures a measurement.
 type Options struct {
@@ -73,6 +79,24 @@ func (r Repeat) CellsPerSec(cells int) float64 {
 	return float64(cells) / (float64(r.WallNS) / 1e9)
 }
 
+// BenchRow is one benchmark's share of the matrix, measured in its own
+// timed pass: the matrix's cells for that benchmark (all modes × seeds) run
+// together, serially with respect to the other benchmarks, so wall time and
+// the process-wide allocation delta are attributable to the benchmark.
+// Within-row parallelism is bounded by the row's cell count, so row
+// throughput is not comparable to the full-matrix headline — rows compare
+// against the same row in another report.
+type BenchRow struct {
+	Bench     string `json:"bench"`
+	Cells     int    `json:"cells"`
+	WallNS    int64  `json:"wall_ns"`
+	SimCycles uint64 `json:"sim_cycles"`
+
+	CellsPerSec    float64 `json:"cells_per_sec"`
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+}
+
 // Report is one BENCH_<label>.json document.
 type Report struct {
 	Schema     string `json:"schema"`
@@ -102,6 +126,10 @@ type Report struct {
 
 	// Repeats records every timed run, first to last.
 	Repeats []Repeat `json:"repeats"`
+
+	// BenchRows breaks the matrix down per benchmark (absent in v1
+	// reports).
+	BenchRows []BenchRow `json:"bench_rows,omitempty"`
 }
 
 // Run measures the matrix and assembles the report.
@@ -162,6 +190,12 @@ func Run(ctx context.Context, opts Options) (*Report, error) {
 		rep.Repeats = append(rep.Repeats, r)
 	}
 
+	rows, err := benchRows(ctx, jobs, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	rep.BenchRows = rows
+
 	best := rep.Repeats[0]
 	for _, r := range rep.Repeats[1:] {
 		if r.CellsPerSec(rep.Cells) > best.CellsPerSec(rep.Cells) {
@@ -208,6 +242,39 @@ func runOnce(ctx context.Context, jobs []sweep.Job, workers int) (Repeat, error)
 	return r, nil
 }
 
+// benchRows measures the per-benchmark breakdown: each benchmark's cells
+// (contiguous in the bench-major matrix) run as one timed, allocation-
+// metered group, serially with respect to the other benchmarks. The
+// repeats above already warmed the program and simulator pools, so rows
+// see steady-state throughput.
+func benchRows(ctx context.Context, jobs []sweep.Job, workers int) ([]BenchRow, error) {
+	var rows []BenchRow
+	for lo := 0; lo < len(jobs); {
+		hi := lo + 1
+		for hi < len(jobs) && jobs[hi].Bench == jobs[lo].Bench {
+			hi++
+		}
+		r, err := runOnce(ctx, jobs[lo:hi], workers)
+		if err != nil {
+			return nil, err
+		}
+		row := BenchRow{
+			Bench:       jobs[lo].Bench,
+			Cells:       hi - lo,
+			WallNS:      r.WallNS,
+			SimCycles:   r.SimCycles,
+			CellsPerSec: r.CellsPerSec(hi - lo),
+		}
+		if r.SimCycles > 0 {
+			row.NsPerCycle = float64(r.WallNS) / float64(r.SimCycles)
+			row.AllocsPerCycle = float64(r.Allocs) / float64(r.SimCycles)
+		}
+		rows = append(rows, row)
+		lo = hi
+	}
+	return rows, nil
+}
+
 // FileName returns the report's on-disk name, BENCH_<label>.json.
 func (r *Report) FileName() string { return "BENCH_" + r.Label + ".json" }
 
@@ -231,7 +298,9 @@ func (r *Report) Write(dir string) (string, error) {
 	return path, nil
 }
 
-// Load reads a report back, verifying its schema.
+// Load reads a report back, verifying its schema. Both the current v2
+// schema and v1 (no bench_rows) are accepted: committed v1 baselines keep
+// gating the aggregate metrics.
 func Load(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
@@ -241,17 +310,31 @@ func Load(path string) (*Report, error) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return nil, fmt.Errorf("perf: %s: %w", path, err)
 	}
-	if r.Schema != Schema {
-		return nil, fmt.Errorf("perf: %s holds schema %q, this binary reads %q", path, r.Schema, Schema)
+	if r.Schema != Schema && r.Schema != SchemaV1 {
+		return nil, fmt.Errorf("perf: %s holds schema %q, this binary reads %q (or %q baselines)", path, r.Schema, Schema, SchemaV1)
+	}
+	if r.Schema == SchemaV1 {
+		// bench_rows is a v2 concept; a v1 document carrying one is corrupt.
+		r.BenchRows = nil
 	}
 	return &r, nil
 }
 
-// Compare gates cur against base: an error is returned when cur's cell
-// throughput fell more than maxRegress (a fraction, e.g. 0.15) below the
-// baseline, or the two reports measured different matrices. Faster is
-// never an error.
-func Compare(base, cur *Report, maxRegress float64) error {
+// Compare gates cur against base and returns an error when:
+//
+//   - the two reports measured different matrices (equal cell counts are
+//     not equal work);
+//   - cur's cell throughput fell more than maxRegress (a fraction, e.g.
+//     0.15) below the baseline — in aggregate, or for any benchmark when
+//     both reports carry per-benchmark rows (a v1 baseline gates only the
+//     aggregate);
+//   - maxAllocRegress is non-negative and cur's allocations per simulated
+//     cycle exceed the baseline's by more than it. The bound is absolute
+//     (allocs/cycle), not relative: the repository's steady state is zero
+//     allocations per cycle, where a relative gate is vacuous.
+//
+// Faster or leaner is never an error.
+func Compare(base, cur *Report, maxRegress, maxAllocRegress float64) error {
 	if base.Preset != cur.Preset || base.Cells != cur.Cells ||
 		base.Instructions != cur.Instructions ||
 		!slices.Equal(base.Benchmarks, cur.Benchmarks) ||
@@ -268,6 +351,27 @@ func Compare(base, cur *Report, maxRegress float64) error {
 		return fmt.Errorf("perf: %.1f cells/sec is a %.1f%% regression vs baseline %s (%.1f cells/sec; floor %.1f at -%.0f%%)",
 			cur.CellsPerSec, 100*(1-cur.CellsPerSec/base.CellsPerSec),
 			base.Label, base.CellsPerSec, floor, 100*maxRegress)
+	}
+	if maxAllocRegress >= 0 && cur.AllocsPerCycle > base.AllocsPerCycle+maxAllocRegress {
+		return fmt.Errorf("perf: %.4f allocs/cycle exceeds baseline %s (%.4f) by more than %.4f — allocation creep on the cycle path",
+			cur.AllocsPerCycle, base.Label, base.AllocsPerCycle, maxAllocRegress)
+	}
+	if len(base.BenchRows) > 0 && len(cur.BenchRows) > 0 {
+		curRows := make(map[string]BenchRow, len(cur.BenchRows))
+		for _, row := range cur.BenchRows {
+			curRows[row.Bench] = row
+		}
+		for _, b := range base.BenchRows {
+			c, ok := curRows[b.Bench]
+			if !ok || b.CellsPerSec <= 0 {
+				continue // matrix identity matched above; tolerate partial rows
+			}
+			if c.CellsPerSec < b.CellsPerSec*(1-maxRegress) {
+				return fmt.Errorf("perf: %s: %.1f cells/sec is a %.1f%% regression vs baseline %s (%.1f cells/sec at -%.0f%%)",
+					b.Bench, c.CellsPerSec, 100*(1-c.CellsPerSec/b.CellsPerSec),
+					base.Label, b.CellsPerSec, 100*maxRegress)
+			}
+		}
 	}
 	return nil
 }

@@ -105,43 +105,150 @@ func TestCompareGate(t *testing.T) {
 
 	cur := same()
 	cur.CellsPerSec = 90 // -10%: inside a 15% budget
-	if err := Compare(base, cur, 0.15); err != nil {
+	if err := Compare(base, cur, 0.15, 0.01); err != nil {
 		t.Errorf("10%% regression rejected under a 15%% budget: %v", err)
 	}
 	cur.CellsPerSec = 80 // -20%: outside
-	if err := Compare(base, cur, 0.15); err == nil {
+	if err := Compare(base, cur, 0.15, 0.01); err == nil {
 		t.Error("20% regression accepted under a 15% budget")
 	}
 	cur.CellsPerSec = 400 // faster is never an error
-	if err := Compare(base, cur, 0.15); err != nil {
+	if err := Compare(base, cur, 0.15, 0.01); err != nil {
 		t.Errorf("speedup rejected: %v", err)
 	}
 
 	foreign := same()
 	foreign.Preset = "custom"
-	if err := Compare(base, foreign, 0.15); err == nil {
+	if err := Compare(base, foreign, 0.15, 0.01); err == nil {
 		t.Error("mismatched presets compared without error")
 	}
 	// Same preset and cell count but different work must also be refused:
 	// equal cell counts alone do not make equal matrices.
 	heavier := same()
 	heavier.Instructions = 150_000
-	if err := Compare(base, heavier, 0.15); err == nil {
+	if err := Compare(base, heavier, 0.15, 0.01); err == nil {
 		t.Error("mismatched instruction budgets compared without error")
 	}
 	otherBench := same()
 	otherBench.Benchmarks = []string{"a", "c"}
-	if err := Compare(base, otherBench, 0.15); err == nil {
+	if err := Compare(base, otherBench, 0.15, 0.01); err == nil {
 		t.Error("mismatched benchmark sets compared without error")
 	}
 	seeded := same()
 	seeded.Seeds = []int64{1}
-	if err := Compare(base, seeded, 0.15); err == nil {
+	if err := Compare(base, seeded, 0.15, 0.01); err == nil {
 		t.Error("mismatched seed fans compared without error")
 	}
 	empty := same()
 	empty.Label, empty.CellsPerSec = "empty", 0
-	if err := Compare(empty, same(), 0.15); err == nil {
+	if err := Compare(empty, same(), 0.15, 0.01); err == nil {
 		t.Error("zero-throughput baseline accepted")
+	}
+}
+
+func TestCompareAllocGate(t *testing.T) {
+	base := &Report{
+		Schema: Schema, Label: "base", Preset: "quick", Cells: 18,
+		Instructions: 15_000, Benchmarks: []string{"a"}, CellsPerSec: 100,
+		AllocsPerCycle: 0,
+	}
+	crept := *base
+	crept.Label, crept.AllocsPerCycle = "cur", 0.5
+	if err := Compare(base, &crept, 0.15, 0.01); err == nil {
+		t.Error("allocation creep passed the gate: 0 -> 0.5 allocs/cycle under a 0.01 budget")
+	} else if !strings.Contains(err.Error(), "allocs/cycle") {
+		t.Errorf("allocation-creep error does not name the metric: %v", err)
+	}
+	slight := *base
+	slight.Label, slight.AllocsPerCycle = "cur", 0.005
+	if err := Compare(base, &slight, 0.15, 0.01); err != nil {
+		t.Errorf("in-budget allocation noise rejected: %v", err)
+	}
+	if err := Compare(base, &crept, 0.15, -1); err != nil {
+		t.Errorf("negative budget must disable the allocation gate: %v", err)
+	}
+	leaner := *base
+	leaner.Label = "cur"
+	base.AllocsPerCycle = 1
+	if err := Compare(base, &leaner, 0.15, 0.01); err != nil {
+		t.Errorf("fewer allocations rejected: %v", err)
+	}
+}
+
+func TestComparePerBenchRows(t *testing.T) {
+	mk := func(label string, perBench map[string]float64) *Report {
+		r := &Report{
+			Schema: Schema, Label: label, Preset: "quick", Cells: 6,
+			Instructions: 15_000, Benchmarks: []string{"a", "b"}, CellsPerSec: 100,
+		}
+		for _, b := range r.Benchmarks {
+			r.BenchRows = append(r.BenchRows, BenchRow{Bench: b, Cells: 3, CellsPerSec: perBench[b]})
+		}
+		return r
+	}
+	base := mk("base", map[string]float64{"a": 50, "b": 50})
+
+	ok := mk("cur", map[string]float64{"a": 48, "b": 52})
+	if err := Compare(base, ok, 0.15, 0.01); err != nil {
+		t.Errorf("in-budget per-bench variation rejected: %v", err)
+	}
+	// Aggregate holds but one benchmark collapsed: the v2 gate must catch it.
+	skewed := mk("cur", map[string]float64{"a": 20, "b": 80})
+	if err := Compare(base, skewed, 0.15, 0.01); err == nil {
+		t.Error("per-benchmark collapse passed the gate behind a healthy aggregate")
+	} else if !strings.Contains(err.Error(), "a:") {
+		t.Errorf("per-bench error does not name the benchmark: %v", err)
+	}
+	// v1 baselines carry no rows: only the aggregate gates.
+	v1 := mk("base", nil)
+	v1.BenchRows = nil
+	if err := Compare(v1, skewed, 0.15, 0.01); err != nil {
+		t.Errorf("v1 baseline must gate the aggregate only: %v", err)
+	}
+}
+
+func TestRunEmitsBenchRows(t *testing.T) {
+	spec := tinySpec()
+	spec.Benchmarks = []string{"exchange2", "mcf"}
+	rep, err := Run(context.Background(), Options{Label: "rows", Spec: spec, Preset: "tiny", Repeats: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.BenchRows) != 2 {
+		t.Fatalf("bench rows: %d, want one per benchmark (2)", len(rep.BenchRows))
+	}
+	var cells int
+	for _, row := range rep.BenchRows {
+		if row.Bench != "exchange2" && row.Bench != "mcf" {
+			t.Errorf("unexpected row bench %q", row.Bench)
+		}
+		if row.CellsPerSec <= 0 || row.NsPerCycle <= 0 || row.SimCycles == 0 {
+			t.Errorf("row %s incomplete: %+v", row.Bench, row)
+		}
+		cells += row.Cells
+	}
+	if cells != rep.Cells {
+		t.Errorf("rows cover %d cells, matrix has %d", cells, rep.Cells)
+	}
+}
+
+func TestLoadAcceptsV1Baseline(t *testing.T) {
+	dir := t.TempDir()
+	v1 := &Report{
+		Schema: SchemaV1, Label: "old", Preset: "quick", Cells: 18,
+		Instructions: 15_000, CellsPerSec: 44,
+		// A v1 document cannot carry rows; Load must drop them if present.
+		BenchRows: []BenchRow{{Bench: "bogus"}},
+	}
+	path, err := v1.Write(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("v1 baseline rejected: %v", err)
+	}
+	if back.CellsPerSec != 44 || len(back.BenchRows) != 0 {
+		t.Errorf("v1 load: cells/sec %.1f rows %d, want 44 and no rows", back.CellsPerSec, len(back.BenchRows))
 	}
 }

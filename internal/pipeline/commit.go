@@ -78,6 +78,7 @@ func (c *CPU) commit() {
 		}
 		if e.isStore {
 			c.stqCount--
+			clearBit(c.storeMask, idx)
 		}
 		if e.tagBit != 0 {
 			// A correctly-resolved branch already released its tag in

@@ -8,8 +8,19 @@ import (
 // execute runs the issue and writeback logic for one cycle: finished
 // instructions write back (resolving branches, possibly squashing), and
 // waiting instructions with ready operands issue subject to the issue width
-// and port limits.
+// and port limits. The event-driven scheduler (sched.go) touches only the
+// entries that act this cycle; the reference scan rediscovers them by
+// walking the whole window and is kept for differential testing.
 func (c *CPU) execute() {
+	if c.refSched {
+		c.executeScan()
+		return
+	}
+	c.executeEvent()
+}
+
+// executeScan is the reference O(ROB-entries) issue/writeback stage.
+func (c *CPU) executeScan() {
 	issued, loads, stores := 0, 0, 0
 	for i := 0; i < c.count; i++ {
 		idx := c.slot(i)
@@ -32,7 +43,7 @@ func (c *CPU) execute() {
 			if e.isStore && stores >= 1 {
 				continue
 			}
-			if !c.tryIssue(idx, e) {
+			if c.tryIssue(idx, e) != issueOK {
 				continue
 			}
 			c.active = true
@@ -47,14 +58,27 @@ func (c *CPU) execute() {
 	}
 }
 
-// tryIssue attempts to begin execution of e. It returns false if operands
-// are not ready, a structural condition blocks, or the memory system asked
-// for a retry (shadow Block policy, unresolved older store address).
-func (c *CPU) tryIssue(idx int, e *entry) bool {
+// issueOutcome classifies a failed (or successful) issue attempt so the
+// event scheduler knows whether to drop the entry from the ready queue
+// (issueOperands: a producer wakeup will re-enqueue it) or keep retrying it
+// every cycle (issueBlocked), exactly as the reference scan would.
+type issueOutcome uint8
+
+const (
+	issueOK       issueOutcome = iota // entry began executing
+	issueOperands                     // an operand's producer has not finished
+	issueBlocked                      // structural retry: blocked memory, CSR serialization, unresolved older store
+)
+
+// tryIssue attempts to begin execution of e. It reports failure when
+// operands are not ready, a structural condition blocks, or the memory
+// system asked for a retry (shadow Block policy, unresolved older store
+// address).
+func (c *CPU) tryIssue(idx int, e *entry) issueOutcome {
 	v1, ok1 := c.resolveSrc(e.reg1, e.src1)
 	v2, ok2 := c.resolveSrc(e.reg2, e.src2)
 	if !ok1 || !ok2 {
-		return false
+		return issueOperands
 	}
 	op := e.in.Op
 	lat := uint64(isa.Latency(op))
@@ -68,7 +92,7 @@ func (c *CPU) tryIssue(idx int, e *entry) bool {
 		// rdcycle is serializing: it issues only from the ROB head, after
 		// everything older has committed, so it observes a stable time.
 		if idx != c.head {
-			return false
+			return issueBlocked
 		}
 		e.val = int64(c.cycle)
 	case isa.ClassLoad:
@@ -106,48 +130,43 @@ func (c *CPU) tryIssue(idx int, e *entry) bool {
 	e.state = stExec
 	e.completeAt = c.cycle + lat
 	c.iqCount--
+	c.schedIssued(idx, e)
 	if c.tracing() {
 		c.tracef("issue   %s", traceEntry(e))
 	}
 	c.wfbMoveIfSafe(e)
-	return true
+	return issueOK
 }
 
 // issueLoad performs the memory access for a load: store-to-load forwarding
 // against older stores, else a full dTLB + D-cache access.
-func (c *CPU) issueLoad(idx int, e *entry, v1 int64) bool {
+func (c *CPU) issueLoad(idx int, e *entry, v1 int64) issueOutcome {
 	va := uint64(v1 + e.in.Imm)
 	e.va = va
 
-	// Scan older stores, youngest-first. An older store with an unresolved
-	// address blocks the load (no memory-dependence speculation).
-	myOrd := c.ordinal(idx)
-	for i := myOrd - 1; i >= 0; i-- {
-		s := &c.rob[c.slot(i)]
-		if !s.isStore {
-			continue
+	// Walk older stores, youngest-first, over the store bitmap. An older
+	// store with an unresolved address blocks the load (no
+	// memory-dependence speculation).
+	if s, blocked := c.olderStoreScan(idx, va); blocked {
+		return issueBlocked
+	} else if s != nil {
+		if s.fault != mem.FaultNone {
+			// Forwarding from a faulting store: the load will be
+			// squashed by the store's trap anyway; treat as stall.
+			return issueBlocked
 		}
-		if !s.addrReady {
-			return false
-		}
-		if s.va>>3 == va>>3 {
-			if s.fault != mem.FaultNone {
-				// Forwarding from a faulting store: the load will be
-				// squashed by the store's trap anyway; treat as stall.
-				return false
-			}
-			e.val = s.sdata
-			e.state = stExec
-			e.completeAt = c.cycle + uint64(c.cfg.StoreForwardLatency)
-			c.iqCount--
-			c.St.StoreForwards++
-			return true
-		}
+		e.val = s.sdata
+		e.state = stExec
+		e.completeAt = c.cycle + uint64(c.cfg.StoreForwardLatency)
+		c.iqCount--
+		c.schedIssued(idx, e)
+		c.St.StoreForwards++
+		return issueOK
 	}
 
 	res := c.ms.LoadAccess(va, e.seq, e.mask)
 	if res.blocked {
-		return false
+		return issueBlocked
 	}
 	c.St.DReads++
 	switch {
@@ -166,20 +185,21 @@ func (c *CPU) issueLoad(idx int, e *entry, v1 int64) bool {
 	e.state = stExec
 	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op)) + uint64(res.latency)
 	c.iqCount--
+	c.schedIssued(idx, e)
 	if c.tracing() {
 		c.tracef("issue   %s va=%#x lat=%d fault=%v", traceEntry(e), va, res.latency, res.fault)
 	}
 	c.wfbMoveIfSafe(e)
-	return true
+	return issueOK
 }
 
 // issueStore resolves a store's address and captures its data. The write
 // itself happens at commit (TSO).
-func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) bool {
+func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) issueOutcome {
 	va := uint64(v1 + e.in.Imm)
 	res := c.ms.StoreAccess(va, e.seq, e.mask)
 	if res.blocked {
-		return false
+		return issueBlocked
 	}
 	e.va = va
 	e.pa = res.pa
@@ -191,14 +211,17 @@ func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) bool {
 	e.state = stExec
 	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op))
 	c.iqCount--
+	c.schedIssued(idx, e)
 	c.wfbMoveIfSafe(e)
-	return true
+	return issueOK
 }
 
-// writeback finishes e: marks it done and resolves control flow. It
-// reports whether a squash occurred.
+// writeback finishes e: marks it done, wakes its register dependents, and
+// resolves control flow. It reports whether a squash occurred.
 func (c *CPU) writeback(idx int, e *entry) bool {
+	c.schedRetire(idx)
 	e.state = stDone
+	c.wakeWaiters(idx)
 	if isa.IsBranchLike(e.in.Op) {
 		if squashed := c.resolveBranch(idx, e); squashed {
 			return true
@@ -301,7 +324,7 @@ func (c *CPU) clearTag(e *entry) {
 func (c *CPU) squashYounger(idx int) {
 	keep := c.ordinal(idx) + 1
 	for i := c.count - 1; i >= keep; i-- {
-		c.squashEntry(&c.rob[c.slot(i)])
+		c.squashEntry(c.slot(i))
 	}
 	c.count = keep
 	c.rebuildRename()
@@ -310,15 +333,18 @@ func (c *CPU) squashYounger(idx int) {
 // squashAll removes every ROB entry (trap flush).
 func (c *CPU) squashAll() {
 	for i := c.count - 1; i >= 0; i-- {
-		c.squashEntry(&c.rob[c.slot(i)])
+		c.squashEntry(c.slot(i))
 	}
 	c.count = 0
 	c.rebuildRename()
 }
 
-// squashEntry annuls one entry: shadow state is released in place (the
-// SafeSpec "annul update to the shadow state" arrow in Figure 3).
-func (c *CPU) squashEntry(e *entry) {
+// squashEntry annuls the entry in ROB slot idx: shadow state is released in
+// place (the SafeSpec "annul update to the shadow state" arrow in Figure 3)
+// and the scheduler drops any queued work for it.
+func (c *CPU) squashEntry(idx int) {
+	e := &c.rob[idx]
+	c.schedSquash(idx)
 	c.St.Squashed++
 	if e.state == stWait {
 		c.iqCount--

@@ -1,0 +1,6 @@
+package pipeline
+
+// SetReferenceScheduler switches c between the event-driven scheduler
+// (default) and the original O(ROB)-scan reference scheduler. Test-only:
+// the differential tests pin both schedulers to identical statistics.
+func (c *CPU) SetReferenceScheduler(on bool) { c.refSched = on }

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"safespec/internal/cache"
 	"safespec/internal/isa"
+	"safespec/internal/mem"
 	"safespec/internal/shadow"
 )
 
@@ -84,7 +85,11 @@ func (c *CPU) fetch() {
 			}
 		}
 		in := c.prog.Code[c.fetchPC]
-		rec := fetchRec{pc: c.fetchPC, in: in}
+		// Build the record directly in the (pre-zeroed) ring slot; fbCommit
+		// publishes it. No abort path runs between here and the commit.
+		rec := c.fbNext()
+		rec.pc = c.fetchPC
+		rec.in = in
 		// The first instruction fetched after a line fill owns that line's
 		// shadow entries.
 		if c.pendingIH.Valid() {
@@ -159,14 +164,14 @@ func (c *CPU) fetch() {
 			redirected = true
 		case isa.ClassHalt:
 			c.fetchValid = false
-			c.fbPush(rec)
+			c.fbCommit()
 			c.active = true
 			return
 		default:
 			c.fetchPC++
 		}
 
-		c.fbPush(rec)
+		c.fbCommit()
 		c.active = true
 		if redirected {
 			// A taken transfer ends the fetch group and invalidates the
@@ -209,23 +214,36 @@ func (c *CPU) dispatch() {
 		c.count++
 		c.seqCtr++
 		e := &c.rob[idx]
-		*e = entry{
-			seq:        c.seqCtr,
-			pc:         rec.pc,
-			in:         rec.in,
-			state:      stWait,
-			mask:       c.activeTags,
-			tagBit:     tagBit,
-			predTaken:  rec.predTaken,
-			predTarget: rec.predTarget,
-			histSnap:   rec.histSnap,
-			rasTop:     rec.rasTop,
-			rasSnap:    rec.rasSnap,
-			isLoad:     isLoad,
-			isStore:    isStore,
-			iHandle:    rec.iHandle,
-			itlbHandle: rec.itlbHandle,
-		}
+		// Field-by-field reset instead of `*e = entry{...}`: the composite
+		// literal zero-fills the whole slot — dominated by the 96-byte
+		// inline handle array — on every dispatch. Stale dHandles contents
+		// are unreachable behind nDH = 0; every other field is (re)assigned
+		// here or below.
+		e.seq = c.seqCtr
+		e.pc = rec.pc
+		e.in = rec.in
+		e.state = stWait
+		e.completeAt = 0
+		e.val = 0
+		e.mask = c.activeTags
+		e.tagBit = tagBit
+		e.predTaken = rec.predTaken
+		e.predTarget = rec.predTarget
+		e.actualTaken = false
+		e.actualTarget = 0
+		e.histSnap = rec.histSnap
+		e.rasTop = rec.rasTop
+		e.rasSnap = rec.rasSnap
+		e.isLoad = isLoad
+		e.isStore = isStore
+		e.addrReady = false
+		e.va, e.pa = 0, 0
+		e.sdata = 0
+		e.fault = mem.FaultNone
+		e.nDH = 0
+		e.dtlbHandle = shadowZero
+		e.iHandle = rec.iHandle
+		e.itlbHandle = rec.itlbHandle
 		e.addDHs(rec.dHandles[:rec.nDH])
 		if tagBit != 0 {
 			c.activeTags |= tagBit
@@ -238,6 +256,7 @@ func (c *CPU) dispatch() {
 		if rec.in.HasDest() {
 			c.renm[rec.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
 		}
+		c.schedDispatch(idx, e)
 
 		c.iqCount++
 		if isLoad {

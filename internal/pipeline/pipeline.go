@@ -256,6 +256,24 @@ type CPU struct {
 	// predicted branch), so prediction allocates nothing in steady state.
 	rasFree [][]int
 
+	// Event-driven scheduler state (sched.go): slot bitmaps for ready and
+	// completed work, per-producer wakeup rows, the in-flight store bitmap,
+	// and the completion timing wheel. refSched selects the reference
+	// O(ROB) scan scheduler instead (differential-testing hook).
+	schedWords  int
+	readyMask   []uint64
+	compMask    []uint64
+	storeMask   []uint64
+	waiters     []uint64
+	bucketHead  []int32
+	bucketOcc   []uint64
+	wheelNext   []int32
+	wheelPrev   []int32
+	wheelBucket []int32
+	wheelCount  int
+	overflow    []int32
+	refSched    bool
+
 	cycle  uint64
 	halted bool
 	// active records whether any stage changed state this cycle; when
@@ -389,6 +407,7 @@ func (c *CPU) Reset(cfg Config, prog *isa.Program, m *mem.Memory) {
 	}
 
 	c.cfg = cfg
+	c.schedReset()
 	c.prog = prog
 	c.regs = [isa.RegCount]int64{}
 	c.renm = [isa.RegCount]renameRef{}
@@ -512,8 +531,18 @@ func (c *CPU) Step() {
 // fastForward jumps the clock to just before the next scheduled event when
 // the current cycle saw no state change: the very same stage outcomes would
 // repeat every cycle until an execution completes or the front-end stall
-// expires.
+// expires. The event scheduler peeks the completion wheel; the reference
+// scheduler re-scans the window.
 func (c *CPU) fastForward() {
+	if c.refSched {
+		c.fastForwardScan()
+		return
+	}
+	c.fastForwardEvent()
+}
+
+// fastForwardScan derives the next event by scanning every in-flight entry.
+func (c *CPU) fastForwardScan() {
 	next := c.cfg.MaxCycles
 	for i := 0; i < c.count; i++ {
 		e := &c.rob[c.slot(i)]
@@ -524,6 +553,12 @@ func (c *CPU) fastForward() {
 	if c.fetchValid && c.fetchStallUntil > c.cycle && c.fetchStallUntil < next {
 		next = c.fetchStallUntil
 	}
+	c.skipTo(next)
+}
+
+// skipTo advances the clock to just before cycle `next`, charging the
+// skipped cycles to the occupancy samplers and anomaly detectors in bulk.
+func (c *CPU) skipTo(next uint64) {
 	if next <= c.cycle+1 {
 		return
 	}
@@ -537,10 +572,10 @@ func (c *CPU) fastForward() {
 		c.ms.ShITLB.SampleN(skipped)
 	}
 	if c.detD != nil {
-		for i := uint64(0); i < skipped; i++ {
-			c.detD.Observe(c.ms.ShD.Len())
-			c.detDTLB.Observe(c.ms.ShDTLB.Len())
-		}
+		// Occupancy cannot change across skipped cycles, so the detectors
+		// take the span in one bulk observation instead of a call per cycle.
+		c.detD.ObserveN(c.ms.ShD.Len(), skipped)
+		c.detDTLB.ObserveN(c.ms.ShDTLB.Len(), skipped)
 	}
 }
 
@@ -550,12 +585,19 @@ func attach(s *shadow.Structure) {
 	}
 }
 
-// fbPush appends rec to the fetch-buffer ring. The ring is sized so the
-// front end can never overflow it.
-func (c *CPU) fbPush(rec fetchRec) {
-	c.fetchBuf[(c.fbHead+c.fbLen)%len(c.fetchBuf)] = rec
-	c.fbLen++
+// fbNext returns the next free fetch-buffer ring slot (zeroed by the pop
+// that vacated it) for in-place construction; fbCommit publishes it. The
+// ring is sized so the front end can never overflow it.
+func (c *CPU) fbNext() *fetchRec {
+	s := c.fbHead + c.fbLen
+	if n := len(c.fetchBuf); s >= n {
+		s -= n
+	}
+	return &c.fetchBuf[s]
 }
+
+// fbCommit appends the record built in the fbNext slot to the ring.
+func (c *CPU) fbCommit() { c.fbLen++ }
 
 // fbFront returns the oldest buffered fetch record.
 func (c *CPU) fbFront() *fetchRec { return &c.fetchBuf[c.fbHead] }
@@ -595,7 +637,10 @@ func (c *CPU) releaseRASSnap(e *entry) {
 // ordinal returns the position of ROB slot idx relative to head, or -1 if
 // the slot is not live.
 func (c *CPU) ordinal(idx int) int {
-	o := (idx - c.head + len(c.rob)) % len(c.rob)
+	o := idx - c.head
+	if o < 0 {
+		o += len(c.rob)
+	}
 	if o >= c.count {
 		return -1
 	}
@@ -608,10 +653,22 @@ func (c *CPU) live(idx int, seq uint64) bool {
 }
 
 // slot returns the ROB index of the i-th oldest live entry.
-func (c *CPU) slot(i int) int { return (c.head + i) % len(c.rob) }
+func (c *CPU) slot(i int) int {
+	s := c.head + i
+	if n := len(c.rob); s >= n {
+		s -= n
+	}
+	return s
+}
 
 // tail returns the ROB index one past the youngest live entry.
-func (c *CPU) tail() int { return (c.head + c.count) % len(c.rob) }
+func (c *CPU) tail() int {
+	t := c.head + c.count
+	if n := len(c.rob); t >= n {
+		t -= n
+	}
+	return t
+}
 
 // resolveSrc reads an operand: from the committed register file, or from an
 // in-flight producer if the rename reference is still live.

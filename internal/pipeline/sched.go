@@ -1,0 +1,457 @@
+package pipeline
+
+import "math/bits"
+
+// This file is the event-driven core scheduler. The original implementation
+// (kept as executeScan/fastForwardScan, selectable through a test hook)
+// rediscovers work by walking every in-flight ROB entry each cycle; with a
+// 224-entry window that walk dominates simulation time even though only a
+// handful of entries change state per cycle. The event-driven scheduler
+// keeps three kinds of derived state so each cycle touches only the entries
+// that act:
+//
+//   - readyMask: a slot bitmap of stWait entries worth attempting to issue —
+//     entries whose operands were ready at dispatch, plus entries woken when
+//     a producer wrote back, plus entries that failed for a structural
+//     reason (blocked memory, CSR serialization) and must retry. Iterating
+//     set bits from the ROB head preserves the scan's oldest-first issue
+//     priority exactly.
+//   - waiters: per-producer slot bitmaps. A dispatched entry whose operand
+//     names an unfinished producer registers in that producer's row; the
+//     producer's writeback ORs the row into readyMask. Spurious wakeups
+//     (stale bits surviving a squash of the waiter) are harmless: the
+//     attempt fails operand resolution without side effects and the bit is
+//     dropped again.
+//   - a completion timing wheel keyed on completeAt: issuing schedules the
+//     entry in bucket completeAt mod span, where span is a power of two
+//     sized at Reset to exceed the largest latency the denormalized
+//     cache/TLB/memory configuration can compose. Because every scheduled
+//     entry completes within span cycles, each occupied bucket holds exactly
+//     one completion time, so draining due buckets and peeking the next
+//     event both cost O(occupied buckets) — in practice the handful of
+//     distinct latencies in flight. fastForward becomes that peek instead of
+//     an O(ROB) re-scan.
+//
+// The bitmaps are indexed by ROB slot, not ordinal, so squash and commit
+// clear state in O(1) per entry and iteration order falls out of starting
+// at the head. All structures are preallocated at Reset: the scheduler adds
+// no steady-state allocations (TestZeroSteadyStateAllocsPerCycle covers
+// it). Both schedulers share tryIssue/writeback/squash bookkeeping, so the
+// reference scan can run against identical state for differential testing.
+
+const (
+	wheelNone     = -1 // entry is not scheduled in the wheel
+	wheelOverflow = -2 // entry parked in the overflow list (completeAt beyond the horizon)
+)
+
+// schedReset (re)builds the scheduler state for the current config. Called
+// from Reset after the ROB geometry is final.
+func (c *CPU) schedReset() {
+	words := (len(c.rob) + 63) >> 6
+	if len(c.readyMask) != words || len(c.waiters) != len(c.rob)*words {
+		c.schedWords = words
+		c.readyMask = make([]uint64, words)
+		c.compMask = make([]uint64, words)
+		c.storeMask = make([]uint64, words)
+		c.waiters = make([]uint64, len(c.rob)*words)
+	} else {
+		clearWords(c.readyMask)
+		clearWords(c.compMask)
+		clearWords(c.storeMask)
+		clearWords(c.waiters)
+	}
+
+	span := wheelSpan(c.cfg)
+	if len(c.bucketHead) != span {
+		c.bucketHead = make([]int32, span)
+		c.bucketOcc = make([]uint64, span>>6)
+	} else {
+		clearWords(c.bucketOcc)
+	}
+	for i := range c.bucketHead {
+		c.bucketHead[i] = wheelNone
+	}
+	if len(c.wheelNext) != len(c.rob) {
+		c.wheelNext = make([]int32, len(c.rob))
+		c.wheelPrev = make([]int32, len(c.rob))
+		c.wheelBucket = make([]int32, len(c.rob))
+		c.overflow = make([]int32, 0, len(c.rob))
+	}
+	for i := range c.wheelBucket {
+		c.wheelBucket[i] = wheelNone
+	}
+	c.overflow = c.overflow[:0]
+	c.wheelCount = 0
+}
+
+// wheelSpan sizes the completion wheel: a power of two strictly above the
+// largest latency one issue can compose (op latency, walker overhead, two
+// PTE reads and the data access each missing to memory). Anything larger —
+// only possible under exotic configurations — goes to the overflow list,
+// which stays correct at linear cost.
+func wheelSpan(cfg Config) int {
+	h := cfg.Hier
+	worstAccess := h.L1D.HitLatency + h.L2.HitLatency + h.L3.HitLatency + h.MemLatency
+	worst := 64 + cfg.WalkerLatency + cfg.StoreForwardLatency + 3*worstAccess
+	span := 64
+	for span <= 2*worst {
+		span <<= 1
+	}
+	return span
+}
+
+func clearWords(w []uint64) {
+	for i := range w {
+		w[i] = 0
+	}
+}
+
+func setBit(mask []uint64, idx int)   { mask[idx>>6] |= 1 << uint(idx&63) }
+func clearBit(mask []uint64, idx int) { mask[idx>>6] &^= 1 << uint(idx&63) }
+
+// schedDispatch wires a freshly dispatched entry into the scheduler: stale
+// bits from the slot's previous occupant are dropped, the entry registers
+// with every unfinished producer, and an entry with no unfinished producer
+// enters the ready queue immediately.
+func (c *CPU) schedDispatch(idx int, e *entry) {
+	// The slot's waiter row belongs to the previous occupant (whose waiters,
+	// being younger, died with it); clear it before this entry can complete.
+	row := idx * c.schedWords
+	for w := 0; w < c.schedWords; w++ {
+		c.waiters[row+w] = 0
+	}
+	clearBit(c.readyMask, idx)
+	clearBit(c.compMask, idx)
+	if e.isStore {
+		setBit(c.storeMask, idx)
+	}
+
+	ready := true
+	if e.src1.has && c.rob[e.src1.idx].state != stDone {
+		setBit(c.waiters[e.src1.idx*c.schedWords:], idx)
+		ready = false
+	}
+	if e.src2.has && c.rob[e.src2.idx].state != stDone {
+		setBit(c.waiters[e.src2.idx*c.schedWords:], idx)
+		ready = false
+	}
+	if ready {
+		setBit(c.readyMask, idx)
+	}
+}
+
+// wakeWaiters moves every entry registered on producer idx into the ready
+// queue. Stale registrations (waiters squashed since they registered) wake
+// slots that are dead or reused; both cases are filtered at attempt time.
+func (c *CPU) wakeWaiters(idx int) {
+	row := idx * c.schedWords
+	for w := 0; w < c.schedWords; w++ {
+		if bits := c.waiters[row+w]; bits != 0 {
+			c.readyMask[w] |= bits
+			c.waiters[row+w] = 0
+		}
+	}
+}
+
+// schedIssued records a stWait -> stExec transition: the entry leaves the
+// ready queue and is scheduled for completion at e.completeAt.
+func (c *CPU) schedIssued(idx int, e *entry) {
+	clearBit(c.readyMask, idx)
+	if e.completeAt <= c.cycle {
+		// Degenerate zero-latency issue: the scan discovers it next cycle,
+		// so park it as already due rather than in a lapped bucket.
+		setBit(c.compMask, idx)
+		return
+	}
+	c.wheelAdd(idx, e.completeAt)
+}
+
+// schedRetire drops an entry from all scheduler structures when it writes
+// back (the wheel link is already gone if the wheel drain surfaced it).
+func (c *CPU) schedRetire(idx int) {
+	c.wheelRemove(idx)
+	clearBit(c.readyMask, idx)
+	clearBit(c.compMask, idx)
+}
+
+// schedSquash drops an annulled entry from all scheduler structures.
+func (c *CPU) schedSquash(idx int) {
+	c.wheelRemove(idx)
+	clearBit(c.readyMask, idx)
+	clearBit(c.compMask, idx)
+	clearBit(c.storeMask, idx)
+}
+
+// wheelAdd schedules slot idx to complete at cycle `at` (> c.cycle).
+func (c *CPU) wheelAdd(idx int, at uint64) {
+	span := uint64(len(c.bucketHead))
+	if at-c.cycle >= span {
+		c.wheelBucket[idx] = wheelOverflow
+		c.overflow = append(c.overflow, int32(idx)) // within preallocated cap
+		return
+	}
+	b := int(at & (span - 1))
+	head := c.bucketHead[b]
+	c.wheelNext[idx] = head
+	c.wheelPrev[idx] = wheelNone
+	if head != wheelNone {
+		c.wheelPrev[head] = int32(idx)
+	}
+	c.bucketHead[b] = int32(idx)
+	c.wheelBucket[idx] = int32(b)
+	setBit(c.bucketOcc, b)
+	c.wheelCount++
+}
+
+// wheelRemove unschedules slot idx if it is scheduled (squash, or a
+// writeback under the reference scheduler, which never drains buckets).
+func (c *CPU) wheelRemove(idx int) {
+	b := c.wheelBucket[idx]
+	switch b {
+	case wheelNone:
+		return
+	case wheelOverflow:
+		for i, s := range c.overflow {
+			if s == int32(idx) {
+				c.overflow[i] = c.overflow[len(c.overflow)-1]
+				c.overflow = c.overflow[:len(c.overflow)-1]
+				break
+			}
+		}
+		c.wheelBucket[idx] = wheelNone
+		return
+	}
+	next, prev := c.wheelNext[idx], c.wheelPrev[idx]
+	if next != wheelNone {
+		c.wheelPrev[next] = prev
+	}
+	if prev != wheelNone {
+		c.wheelNext[prev] = next
+	} else {
+		c.bucketHead[b] = next
+		if next == wheelNone {
+			clearBit(c.bucketOcc, int(b))
+		}
+	}
+	c.wheelBucket[idx] = wheelNone
+	c.wheelCount--
+}
+
+// drainWheel moves every scheduled entry whose completeAt has passed into
+// compMask. Each occupied bucket holds exactly one completion time (every
+// entry completes within one wheel revolution of its issue), so testing the
+// bucket head decides the whole bucket.
+func (c *CPU) drainWheel() {
+	if c.wheelCount > 0 {
+		for w := range c.bucketOcc {
+			occ := c.bucketOcc[w]
+			for occ != 0 {
+				b := w<<6 + bits.TrailingZeros64(occ)
+				occ &= occ - 1
+				if c.rob[c.bucketHead[b]].completeAt <= c.cycle {
+					c.drainBucket(b)
+				}
+			}
+		}
+	}
+	for i := 0; i < len(c.overflow); {
+		idx := int(c.overflow[i])
+		if c.rob[idx].completeAt <= c.cycle {
+			setBit(c.compMask, idx)
+			c.wheelBucket[idx] = wheelNone
+			c.overflow[i] = c.overflow[len(c.overflow)-1]
+			c.overflow = c.overflow[:len(c.overflow)-1]
+			continue
+		}
+		i++
+	}
+}
+
+// drainBucket empties bucket b into compMask.
+func (c *CPU) drainBucket(b int) {
+	for idx := c.bucketHead[b]; idx != wheelNone; {
+		next := c.wheelNext[idx]
+		setBit(c.compMask, int(idx))
+		c.wheelBucket[idx] = wheelNone
+		c.wheelCount--
+		idx = next
+	}
+	c.bucketHead[b] = wheelNone
+	clearBit(c.bucketOcc, b)
+}
+
+// wheelPeek returns the earliest scheduled completion strictly after the
+// current cycle (every due entry was drained and written back before an
+// idle cycle can reach fastForward).
+func (c *CPU) wheelPeek() (next uint64, ok bool) {
+	if c.wheelCount > 0 {
+		for w := range c.bucketOcc {
+			occ := c.bucketOcc[w]
+			for occ != 0 {
+				b := w<<6 + bits.TrailingZeros64(occ)
+				occ &= occ - 1
+				if at := c.rob[c.bucketHead[b]].completeAt; !ok || at < next {
+					next, ok = at, true
+				}
+			}
+		}
+	}
+	for _, s := range c.overflow {
+		if at := c.rob[s].completeAt; !ok || at < next {
+			next, ok = at, true
+		}
+	}
+	return next, ok
+}
+
+// executeEvent is the event-driven issue/writeback stage: one pass over the
+// set bits of readyMask|compMask in oldest-first ROB order, exactly the
+// entries the reference scan would have acted on. Bits set mid-pass by a
+// writeback's wakeup belong to younger entries and are reached by the same
+// pass, preserving same-cycle issue of woken dependents.
+func (c *CPU) executeEvent() {
+	c.drainWheel()
+	issued, loads, stores := 0, 0, 0
+	n := len(c.rob)
+	if c.head+c.count <= n {
+		c.executeRange(c.head, c.head+c.count, &issued, &loads, &stores)
+		return
+	}
+	if c.executeRange(c.head, n, &issued, &loads, &stores) {
+		return
+	}
+	c.executeRange(0, c.head+c.count-n, &issued, &loads, &stores)
+}
+
+// executeRange processes scheduler bits for slots in [lo, hi), oldest
+// first. It reports whether a squash ended the cycle.
+func (c *CPU) executeRange(lo, hi int, issued, loads, stores *int) bool {
+	for cur := lo; cur < hi; {
+		w := cur >> 6
+		rem := (c.readyMask[w] | c.compMask[w]) >> uint(cur&63)
+		if rem == 0 {
+			cur = (w + 1) << 6
+			continue
+		}
+		cur += bits.TrailingZeros64(rem)
+		if cur >= hi {
+			return false
+		}
+		idx := cur
+		cur++
+
+		// Stale bits (a squashed waiter's registration waking a dead or
+		// reused slot) are filtered here, exactly like entries the scan
+		// would skip or fail without side effects.
+		ord := idx - c.head
+		if ord < 0 {
+			ord += len(c.rob)
+		}
+		if ord >= c.count {
+			clearBit(c.readyMask, idx)
+			clearBit(c.compMask, idx)
+			continue
+		}
+		e := &c.rob[idx]
+		switch e.state {
+		case stExec:
+			if e.completeAt > c.cycle {
+				clearBit(c.readyMask, idx) // stale wakeup of an issued entry
+				continue
+			}
+			c.active = true
+			if squashed := c.writeback(idx, e); squashed {
+				return true // younger entries are gone; resume next cycle
+			}
+		case stWait:
+			if *issued >= c.cfg.IssueWidth {
+				continue
+			}
+			if e.isLoad && *loads >= 2 {
+				continue
+			}
+			if e.isStore && *stores >= 1 {
+				continue
+			}
+			switch c.tryIssue(idx, e) {
+			case issueOperands:
+				// Not ready after all: drop the bit; the registration with
+				// the unfinished producer re-wakes it.
+				clearBit(c.readyMask, idx)
+			case issueBlocked:
+				// Structural retry (blocked memory, CSR serialization,
+				// unresolved older store): keep the bit, as the scan keeps
+				// re-attempting every cycle.
+			case issueOK:
+				c.active = true
+				*issued++
+				if e.isLoad {
+					*loads++
+				}
+				if e.isStore {
+					*stores++
+				}
+			}
+		default:
+			clearBit(c.readyMask, idx) // stale wakeup of a finished entry
+		}
+	}
+	return false
+}
+
+// fastForwardEvent jumps the clock to just before the next scheduled event:
+// the wheel peek replaces the reference scheduler's O(ROB) re-scan.
+func (c *CPU) fastForwardEvent() {
+	next := c.cfg.MaxCycles
+	if at, ok := c.wheelPeek(); ok && at < next {
+		next = at
+	}
+	if c.fetchValid && c.fetchStallUntil > c.cycle && c.fetchStallUntil < next {
+		next = c.fetchStallUntil
+	}
+	c.skipTo(next)
+}
+
+// olderStoreScan walks the in-flight stores older than the load at idx,
+// youngest first, via the store bitmap — the event-driven replacement for
+// scanning every older ROB entry. found is the youngest older store whose
+// resolved address matches the load's doubleword; blocked reports an older
+// store with an unresolved address encountered first (no memory-dependence
+// speculation).
+func (c *CPU) olderStoreScan(idx int, va uint64) (found *entry, blocked bool) {
+	n := len(c.rob)
+	if idx >= c.head {
+		if e, blk := c.storeScanRange(c.head, idx, va); e != nil || blk {
+			return e, blk
+		}
+		return nil, false
+	}
+	if e, blk := c.storeScanRange(0, idx, va); e != nil || blk {
+		return e, blk
+	}
+	return c.storeScanRange(c.head, n, va)
+}
+
+// storeScanRange scans store slots in [lo, hi) youngest-first.
+func (c *CPU) storeScanRange(lo, hi int, va uint64) (found *entry, blocked bool) {
+	for cur := hi; cur > lo; {
+		w := (cur - 1) >> 6
+		rem := c.storeMask[w] << uint(63-(cur-1)&63) // bits strictly below cur, MSB-aligned
+		if rem == 0 {
+			cur = w << 6
+			continue
+		}
+		cur -= 1 + bits.LeadingZeros64(rem)
+		if cur < lo {
+			return nil, false
+		}
+		s := &c.rob[cur]
+		if !s.addrReady {
+			return nil, true
+		}
+		if s.va>>3 == va>>3 {
+			return s, false
+		}
+	}
+	return nil, false
+}

@@ -1,5 +1,7 @@
 package shadow
 
+import "math"
+
 // Detector implements the attack-detection idea the paper sketches in
 // Section VII: "it is possible to use abnormal growth of the structures as
 // an indicator of a possible attack and introduce mitigations".
@@ -58,6 +60,60 @@ func (d *Detector) Observe(occupancy int) bool {
 		return true
 	}
 	return false
+}
+
+// ObserveN feeds n cycles of a constant occupancy in one call — the bulk
+// path idle-cycle fast-forward uses, so detection-enabled runs skip dead
+// time as cheaply as occupancy sampling (Structure.SampleN) does. It is the
+// closed-form equivalent of n successive Observe calls: with occupancy
+// fixed at x, the moving average after i steps is x + (avg0-x)*(1-alpha)^i,
+// which approaches x monotonically, so the alarm predicate flips at most
+// once across the span and a binary search (O(log n), not O(n)) counts the
+// alarmed cycles. The average lands within floating-point rounding of the
+// iterated value; an alarm count can differ from the per-cycle loop by one
+// cycle at the exact crossing.
+func (d *Detector) ObserveN(occupancy int, n uint64) {
+	if n == 0 {
+		return
+	}
+	d.cycles += n
+	x := float64(occupancy)
+	alpha := 0.6931 / d.HalfLife
+	r := 1 - alpha
+	avgAt := func(i uint64) float64 { return x + (d.avg-x)*math.Pow(r, float64(i)) }
+	if occupancy > d.Floor {
+		alarmed := func(i uint64) bool { return x >= d.Ratio*avgAt(i) }
+		first, last := alarmed(1), alarmed(n)
+		switch {
+		case first == last:
+			if first {
+				d.alarms += n
+			}
+		case first:
+			// Alarmed early, quiet late: count the prefix (largest alarmed i).
+			lo, hi := uint64(1), n
+			for hi-lo > 1 {
+				if mid := lo + (hi-lo)/2; alarmed(mid) {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			d.alarms += lo
+		default:
+			// Quiet early, alarmed late: count the suffix (smallest alarmed i).
+			lo, hi := uint64(1), n
+			for hi-lo > 1 {
+				if mid := lo + (hi-lo)/2; alarmed(mid) {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			d.alarms += n - hi + 1
+		}
+	}
+	d.avg = avgAt(n)
 }
 
 // Alarms returns the number of anomalous cycles seen.

@@ -66,3 +66,64 @@ func TestDetectorDefaults(t *testing.T) {
 		t.Error("empty detector alarm rate != 0")
 	}
 }
+
+// TestObserveNMatchesLoop: the bulk path must agree with n individual
+// Observe calls — exactly on cycle and (within one crossing cycle) on alarm
+// counts, and within floating-point rounding on the moving average — across
+// spans that decay toward, away from, across and under the alarm threshold.
+func TestObserveNMatchesLoop(t *testing.T) {
+	cases := []struct {
+		name    string
+		warm    int // cycles of warm occupancy before the span
+		warmOcc int
+		occ     int // constant occupancy during the span
+		n       uint64
+	}{
+		{"idle-under-floor", 200, 30, 2, 500},
+		{"quiet-high-average", 500, 40, 45, 1000},
+		{"alarm-throughout", 50, 1, 60, 300},
+		{"alarm-then-adapt", 10, 2, 40, 5000}, // average catches up mid-span: alarmed prefix
+		{"decay-to-zero", 300, 50, 0, 2000},
+		{"single-cycle", 100, 8, 9, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *Detector {
+				d := NewDetector(4, 4, 256)
+				for i := 0; i < tc.warm; i++ {
+					d.Observe(tc.warmOcc)
+				}
+				return d
+			}
+			loop, bulk := mk(), mk()
+			for i := uint64(0); i < tc.n; i++ {
+				loop.Observe(tc.occ)
+			}
+			bulk.ObserveN(tc.occ, tc.n)
+			if loop.Cycles() != bulk.Cycles() {
+				t.Fatalf("cycles: loop %d, bulk %d", loop.Cycles(), bulk.Cycles())
+			}
+			da := loop.Alarms() - bulk.Alarms()
+			if bulk.Alarms() > loop.Alarms() {
+				da = bulk.Alarms() - loop.Alarms()
+			}
+			if da > 1 {
+				t.Errorf("alarms: loop %d, bulk %d (tolerance 1 at the crossing)", loop.Alarms(), bulk.Alarms())
+			}
+			if diff := loop.Average() - bulk.Average(); diff > 1e-6 || diff < -1e-6 {
+				t.Errorf("average: loop %g, bulk %g", loop.Average(), bulk.Average())
+			}
+		})
+	}
+}
+
+// TestObserveNZero: a zero-length span is a no-op.
+func TestObserveNZero(t *testing.T) {
+	d := NewDetector(4, 4, 256)
+	d.Observe(10)
+	avg, cycles, alarms := d.Average(), d.Cycles(), d.Alarms()
+	d.ObserveN(50, 0)
+	if d.Average() != avg || d.Cycles() != cycles || d.Alarms() != alarms {
+		t.Fatal("ObserveN(_, 0) mutated the detector")
+	}
+}
