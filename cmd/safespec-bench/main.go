@@ -20,6 +20,8 @@
 //	safespec-bench -serve :9090         # host an in-process coordinator for a worker fleet
 //	safespec-bench -remote http://host:9090 -token SECRET
 //	                                    # submit the sweep to a persistent safespec-coordinator
+//	safespec-bench -remote https://host:9443 -token SECRET -tls-ca cert.pem
+//	                                    # ... over TLS, trusting a self-signed coordinator cert
 //	safespec-bench -perf                # throughput report on the pinned Quick matrix
 //	safespec-bench -perf -preset full   # ... on the pinned all-benchmark matrix
 //
@@ -65,6 +67,7 @@ type options struct {
 	remote   string
 	serve    string
 	token    string
+	tlsCA    string
 	leaseTTL time.Duration
 	retries  int
 
@@ -96,6 +99,7 @@ func main() {
 	flag.StringVar(&o.remote, "remote", "", "submit the sweep to a persistent safespec-coordinator at this base URL (e.g. http://host:9090)")
 	flag.StringVar(&o.serve, "serve", "", "host an in-process grid coordinator on this listen address and run the sweep through it (the degenerate -remote; lets safespec-worker processes join)")
 	flag.StringVar(&o.token, "token", os.Getenv("SAFESPEC_TOKEN"), "coordinator bearer token for -remote, and the token enforced by -serve (default $SAFESPEC_TOKEN)")
+	flag.StringVar(&o.tlsCA, "tls-ca", "", "PEM bundle to trust for an https:// -remote coordinator (e.g. its self-signed -tls-cert); empty uses the system roots")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", 0, "grid lease duration for -serve; size it above the slowest single job (default 2m)")
 	flag.IntVar(&o.retries, "lease-retries", 0, "grid lease grants per job before it fails as lost, for -serve (default 5)")
 	flag.StringVar(&o.cacheGC, "cache-gc", "", "prune the -cache-dir result cache to at most this many bytes, oldest entries first (accepts K/M/G suffixes; runs standalone when no sweep is requested)")
@@ -154,6 +158,9 @@ func run(o options) error {
 	}
 	if o.remote != "" && o.serve != "" {
 		return fmt.Errorf("-remote submits to an external coordinator and -serve hosts one in-process; pick one")
+	}
+	if o.tlsCA != "" && o.remote == "" {
+		return fmt.Errorf("-tls-ca pins the certificate of an https:// -remote coordinator; -serve is plain http on a trusted network")
 	}
 	if (o.leaseTTL != 0 || o.retries != 0) && o.serve == "" {
 		return fmt.Errorf("-lease-ttl/-lease-retries configure the in-process coordinator (-serve); an external coordinator owns its lease policy (set them on safespec-coordinator)")
@@ -300,7 +307,11 @@ func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
 			srv.Close()
 		}
 	case o.remote != "":
-		re := &grid.RemoteExecutor{URL: o.remote, Token: o.token}
+		client, cerr := grid.NewHTTPClient(o.tlsCA, 0)
+		if cerr != nil {
+			return nil, nil, cerr
+		}
+		re := &grid.RemoteExecutor{URL: o.remote, Token: o.token, Client: client}
 		exec = re
 		finish = func() {
 			re.Close()

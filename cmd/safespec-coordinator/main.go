@@ -10,12 +10,25 @@
 //	safespec-worker -coordinator http://host:9090 -token SECRET   # on each machine
 //	safespec-bench -figs perf -remote http://host:9090 -token SECRET
 //
-// Every /v1/* endpoint requires `Authorization: Bearer SECRET` when a
-// token is configured (-token or $SAFESPEC_TOKEN); an empty token disables
-// auth and should only be used on loopback. Jobs are leased with a TTL
-// (-lease-ttl): a crashed worker's jobs are requeued to the surviving
-// fleet. A sweep whose submitting bench process disappears is abandoned
-// after -sweep-ttl, so coordinator memory holds steady over days.
+// Across trust boundaries, serve TLS natively and split clients into
+// tenants:
+//
+//	safespec-coordinator -listen 0.0.0.0:9443 \
+//	    -tls-cert cert.pem -tls-key key.pem \
+//	    -token-file tenants.json -pprof 127.0.0.1:6060
+//
+// The token file maps per-client bearer tokens to named tenants, each with
+// an optional concurrent-sweep quota (over-quota submissions get 403) and
+// request rate limit (excess requests get 429); the single -token flag
+// remains as a shorthand for one unlimited tenant named "default". An
+// empty token configuration disables auth and should only be used on
+// loopback. Jobs are leased with a TTL (-lease-ttl): a crashed worker's
+// jobs are requeued to the surviving fleet. A sweep whose submitting bench
+// process disappears is abandoned after -sweep-ttl, so coordinator memory
+// holds steady over days. The -pprof listener additionally serves
+// Prometheus-style metrics on /metrics and a live read-only HTML results
+// page on /status — unauthenticated by design, so keep it on loopback or
+// an operations network.
 package main
 
 import (
@@ -34,59 +47,101 @@ import (
 	"safespec/internal/pprofserve"
 )
 
+// config carries the flag surface (kept as a struct so tests can drive run
+// directly).
+type config struct {
+	listen    string
+	token     string
+	tokenFile string
+	tlsCert   string
+	tlsKey    string
+	leaseTTL  time.Duration
+	retries   int
+	sweepTTL  time.Duration
+	quiet     bool
+	pprofAddr string
+
+	info io.Writer // progress + accounting (stderr in main)
+}
+
 func main() {
-	var (
-		listen   = flag.String("listen", "127.0.0.1:9090", "listen address (host:port; :0 for an ephemeral port, printed to stderr)")
-		token    = flag.String("token", os.Getenv("SAFESPEC_TOKEN"), "shared bearer token required on every /v1/* request (default $SAFESPEC_TOKEN; empty disables auth)")
-		leaseTTL = flag.Duration("lease-ttl", 0, "job lease duration; size it above the slowest single job (default 2m)")
-		retries  = flag.Int("lease-retries", 0, "lease grants per job before it fails as lost (default 5)")
-		sweepTTL = flag.Duration("sweep-ttl", 0, "abandon a sweep whose client stopped polling this long ago (default 10m)")
-		quiet    = flag.Bool("quiet", false, "suppress per-sweep progress lines")
-		pprofA   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling")
-	)
+	var c config
+	flag.StringVar(&c.listen, "listen", "127.0.0.1:9090", "listen address (host:port; :0 for an ephemeral port, printed to stderr)")
+	flag.StringVar(&c.token, "token", os.Getenv("SAFESPEC_TOKEN"), "single-tenant shorthand: one unlimited tenant with this bearer token (default $SAFESPEC_TOKEN; empty with no -token-file disables auth)")
+	flag.StringVar(&c.tokenFile, "token-file", "", "JSON file mapping per-client tokens to named tenants with sweep quotas and rate limits (overrides -token)")
+	flag.StringVar(&c.tlsCert, "tls-cert", "", "serve native TLS with this PEM certificate (requires -tls-key)")
+	flag.StringVar(&c.tlsKey, "tls-key", "", "PEM private key for -tls-cert")
+	flag.DurationVar(&c.leaseTTL, "lease-ttl", 0, "job lease duration; size it above the slowest single job (default 2m)")
+	flag.IntVar(&c.retries, "lease-retries", 0, "lease grants per job before it fails as lost (default 5)")
+	flag.DurationVar(&c.sweepTTL, "sweep-ttl", 0, "abandon a sweep whose client stopped polling this long ago (default 10m)")
+	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-sweep progress lines")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof plus /metrics (Prometheus text) and /status (live HTML) on this unauthenticated address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
+	c.info = os.Stderr
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *pprofA != "" {
-		if err := pprofserve.Serve(*pprofA); err != nil {
-			fmt.Fprintln(os.Stderr, "safespec-coordinator:", err)
-			os.Exit(1)
-		}
-	}
-	if err := run(ctx, *listen, *token, *leaseTTL, *retries, *sweepTTL, *quiet, os.Stderr); err != nil {
+	if err := run(ctx, c); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-coordinator:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, token string, leaseTTL time.Duration,
-	retries int, sweepTTL time.Duration, quiet bool, info io.Writer) error {
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(info, format+"\n", args...)
+func run(ctx context.Context, c config) error {
+	if (c.tlsCert == "") != (c.tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key go together (got cert=%q key=%q)", c.tlsCert, c.tlsKey)
 	}
-	if quiet {
+	var tenants []grid.Tenant
+	if c.tokenFile != "" {
+		var err error
+		if tenants, err = grid.LoadTenants(c.tokenFile); err != nil {
+			return err
+		}
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(c.info, format+"\n", args...)
+	}
+	if c.quiet {
 		logf = nil
 	}
 	server := grid.NewServer(grid.ServerOptions{
-		Token:    token,
-		Lease:    grid.Options{LeaseTTL: leaseTTL, MaxAttempts: retries},
-		SweepTTL: sweepTTL,
+		Token:    c.token,
+		Tenants:  tenants,
+		Lease:    grid.Options{LeaseTTL: c.leaseTTL, MaxAttempts: c.retries},
+		SweepTTL: c.sweepTTL,
 		Logf:     logf,
 	})
-	ln, err := net.Listen("tcp", listen)
+	if c.pprofAddr != "" {
+		if err := pprofserve.Serve(c.pprofAddr, server.OpsHandler()); err != nil {
+			return err
+		}
+	}
+	ln, err := net.Listen("tcp", c.listen)
 	if err != nil {
 		return err
 	}
 	auth := "auth enabled"
-	if token == "" {
-		auth = "auth DISABLED; set -token or $SAFESPEC_TOKEN for anything beyond loopback"
+	switch {
+	case len(tenants) > 0:
+		auth = fmt.Sprintf("auth enabled, %d tenants", len(tenants))
+	case c.token == "":
+		auth = "auth DISABLED; set -token, $SAFESPEC_TOKEN or -token-file for anything beyond loopback"
 	}
-	fmt.Fprintf(info, "safespec-coordinator listening on http://%s (%s)\n", ln.Addr(), auth)
+	scheme := "http"
+	if c.tlsCert != "" {
+		scheme = "https"
+	}
+	fmt.Fprintf(c.info, "safespec-coordinator listening on %s://%s (%s)\n", scheme, ln.Addr(), auth)
 
 	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
+	go func() {
+		if c.tlsCert != "" {
+			errc <- srv.ServeTLS(ln, c.tlsCert, c.tlsKey)
+		} else {
+			errc <- srv.Serve(ln)
+		}
+	}()
 	select {
 	case <-ctx.Done():
 		srv.Close()
@@ -98,7 +153,7 @@ func run(ctx context.Context, listen, token string, leaseTTL time.Duration,
 		}
 	}
 	s := server.Stats()
-	fmt.Fprintf(info, "safespec-coordinator: %d sweeps served (%d abandoned); leases granted=%d completed=%d requeued=%d failed=%d\n",
+	fmt.Fprintf(c.info, "safespec-coordinator: %d sweeps served (%d abandoned); leases granted=%d completed=%d requeued=%d failed=%d\n",
 		s.SweepsSubmitted, s.SweepsAbandoned, s.Granted, s.Completed, s.Requeued, s.Failed)
 	return err
 }

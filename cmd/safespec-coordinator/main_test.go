@@ -24,7 +24,7 @@ func TestCoordinatorServesSweeps(t *testing.T) {
 	defer cancel()
 	done := make(chan error, 1)
 	go func() {
-		err := run(ctx, "127.0.0.1:0", token, 0, 0, 0, false, infoW)
+		err := run(ctx, config{listen: "127.0.0.1:0", token: token, info: infoW})
 		infoW.Close()
 		done <- err
 	}()
@@ -97,7 +97,7 @@ func TestCoordinatorServesSweeps(t *testing.T) {
 // TestCoordinatorBadListenAddr: an unusable listen address must error out
 // instead of hanging.
 func TestCoordinatorBadListenAddr(t *testing.T) {
-	err := run(context.Background(), "256.256.256.256:0", "", 0, 0, 0, true, io.Discard)
+	err := run(context.Background(), config{listen: "256.256.256.256:0", quiet: true, info: io.Discard})
 	if err == nil {
 		t.Fatal("bogus listen address must error")
 	}

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	safespec-worker -coordinator http://host:9090 -token SECRET
+//	safespec-worker -coordinator https://host:9443 -token SECRET -tls-ca cert.pem
 //	safespec-worker -coordinator http://host:9090 -parallel 4 -cache-dir .cache
 //	safespec-worker -coordinator http://host:9090 -max-idle 1m   # exit when orphaned
 //
@@ -31,49 +32,66 @@ import (
 	"safespec/internal/sweep"
 )
 
+// config carries the flag surface (kept as a struct so tests can drive run
+// directly).
+type config struct {
+	coordinator string
+	token       string
+	tlsCA       string
+	id          string
+	parallel    int
+	cacheDir    string
+	poll        time.Duration
+	maxIdle     time.Duration
+	quiet       bool
+}
+
 func main() {
-	var (
-		coordinator = flag.String("coordinator", "", "base URL of the grid coordinator (required)")
-		token       = flag.String("token", os.Getenv("SAFESPEC_TOKEN"), "coordinator bearer token (default $SAFESPEC_TOKEN)")
-		id          = flag.String("id", "", "worker name used in lease ids and logs (default host-pid)")
-		parallel    = flag.Int("parallel", 0, "concurrent lease loops (0 = GOMAXPROCS)")
-		cacheDir    = flag.String("cache-dir", "", "content-addressed result cache directory")
-		poll        = flag.Duration("poll", 250*time.Millisecond, "idle sleep between lease attempts")
-		maxIdle     = flag.Duration("max-idle", 0, "exit after the coordinator has been unreachable this long (0 = keep polling)")
-		quiet       = flag.Bool("quiet", false, "suppress per-job progress lines")
-		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling")
-	)
+	var c config
+	flag.StringVar(&c.coordinator, "coordinator", "", "base URL of the grid coordinator (required; https:// needs a trusted or -tls-ca cert)")
+	flag.StringVar(&c.token, "token", os.Getenv("SAFESPEC_TOKEN"), "coordinator bearer token (default $SAFESPEC_TOKEN)")
+	flag.StringVar(&c.tlsCA, "tls-ca", "", "PEM bundle to trust for an https:// coordinator (e.g. its self-signed -tls-cert); empty uses the system roots")
+	flag.StringVar(&c.id, "id", "", "worker name used in lease ids and logs (default host-pid)")
+	flag.IntVar(&c.parallel, "parallel", 0, "concurrent lease loops (0 = GOMAXPROCS)")
+	flag.StringVar(&c.cacheDir, "cache-dir", "", "content-addressed result cache directory")
+	flag.DurationVar(&c.poll, "poll", 250*time.Millisecond, "idle sleep between lease attempts")
+	flag.DurationVar(&c.maxIdle, "max-idle", 0, "exit after the coordinator has been unreachable this long (0 = keep polling)")
+	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-job progress lines")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *pprofAddr != "" {
-		if err := pprofserve.Serve(*pprofAddr); err != nil {
+		if err := pprofserve.Serve(*pprofAddr, nil); err != nil {
 			fmt.Fprintln(os.Stderr, "safespec-worker:", err)
 			os.Exit(1)
 		}
 	}
-	if err := run(ctx, *coordinator, *token, *id, *parallel, *cacheDir, *poll, *maxIdle, *quiet); err != nil {
+	if err := run(ctx, c); err != nil {
 		fmt.Fprintln(os.Stderr, "safespec-worker:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, coordinator, token, id string, parallel int,
-	cacheDir string, poll, maxIdle time.Duration, quiet bool) error {
-	if coordinator == "" {
+func run(ctx context.Context, c config) error {
+	if c.coordinator == "" {
 		return fmt.Errorf("-coordinator is required (e.g. -coordinator http://127.0.0.1:9090)")
 	}
-	if id == "" {
+	client, err := grid.NewHTTPClient(c.tlsCA, 30*time.Second)
+	if err != nil {
+		return err
+	}
+	if c.id == "" {
 		host, _ := os.Hostname()
 		if host == "" {
 			host = "worker"
 		}
-		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		c.id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 	var exec sweep.Executor
-	if cacheDir != "" {
-		cache, err := resultcache.Open(cacheDir)
+	if c.cacheDir != "" {
+		cache, err := resultcache.Open(c.cacheDir)
 		if err != nil {
 			return err
 		}
@@ -83,17 +101,18 @@ func run(ctx context.Context, coordinator, token, id string, parallel int,
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
 	}
-	if quiet {
+	if c.quiet {
 		logf = nil
 	}
 	w := &grid.Worker{
-		Coordinator: coordinator,
-		Token:       token,
-		ID:          id,
-		Parallel:    parallel,
+		Coordinator: c.coordinator,
+		Token:       c.token,
+		ID:          c.id,
+		Parallel:    c.parallel,
 		Exec:        exec,
-		Poll:        poll,
-		MaxIdle:     maxIdle,
+		Poll:        c.poll,
+		MaxIdle:     c.maxIdle,
+		Client:      client,
 		Logf:        logf,
 	}
 	return w.Run(ctx)

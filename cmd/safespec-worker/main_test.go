@@ -12,7 +12,7 @@ import (
 )
 
 func TestRequiresCoordinator(t *testing.T) {
-	err := run(context.Background(), "", "", "", 0, "", time.Millisecond, 0, true)
+	err := run(context.Background(), config{poll: time.Millisecond, quiet: true})
 	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
 		t.Errorf("missing -coordinator must error, got %v", err)
 	}
@@ -38,7 +38,9 @@ func TestWorkerServesSweep(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	workerDone := make(chan error, 1)
 	go func() {
-		workerDone <- run(ctx, srv.URL, token, "test-worker", 2, t.TempDir(), 5*time.Millisecond, 0, true)
+		workerDone <- run(ctx, config{coordinator: srv.URL, token: token,
+			id: "test-worker", parallel: 2, cacheDir: t.TempDir(),
+			poll: 5 * time.Millisecond, quiet: true})
 	}()
 
 	re := &grid.RemoteExecutor{URL: srv.URL, Token: token, PollWait: 100 * time.Millisecond}
@@ -71,7 +73,8 @@ func TestWorkerRejectedToken(t *testing.T) {
 	srv := httptest.NewServer(server.Handler())
 	defer srv.Close()
 
-	err := run(context.Background(), srv.URL, "wrong", "test-worker", 1, "", time.Millisecond, 0, true)
+	err := run(context.Background(), config{coordinator: srv.URL, token: "wrong",
+		id: "test-worker", parallel: 1, poll: time.Millisecond, quiet: true})
 	if err == nil || !strings.Contains(err.Error(), "401") {
 		t.Errorf("want auth failure, got %v", err)
 	}

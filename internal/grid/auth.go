@@ -1,0 +1,214 @@
+package grid
+
+import (
+	"context"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tenant is one named client of a multi-tenant coordinator: a bearer token
+// plus the limits the coordinator enforces for it. Tenants come from a
+// token file (safespec-coordinator -token-file) or, for the single-tenant
+// shorthand, from the legacy -token flag.
+type Tenant struct {
+	// Name labels the tenant in logs, stats and metrics (never the token).
+	Name string `json:"name"`
+	// Token is the bearer secret presented as "Authorization: Bearer ...".
+	Token string `json:"token"`
+	// MaxSweeps bounds the tenant's concurrently open sweeps; a submission
+	// over the quota is rejected with 403 until one closes (0 = unlimited).
+	MaxSweeps int `json:"max_sweeps,omitempty"`
+	// RatePerSec is the tenant's sustained request budget across every
+	// /v1/* endpoint; requests beyond it get 429 with a Retry-After
+	// (0 = unlimited). Size worker-fleet tenants generously: each worker
+	// issues roughly one lease poll per idle Poll interval per loop.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the token-bucket depth for RatePerSec (default: twice the
+	// rate, at least 10), absorbing the lease bursts of a draining fleet.
+	Burst int `json:"burst,omitempty"`
+}
+
+// tokenFile is the on-disk -token-file format: {"tenants": [...]}.
+type tokenFile struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// LoadTenants reads a token file: a JSON object whose "tenants" array maps
+// per-client tokens to named tenants and their limits. Names and tokens
+// must be unique and non-empty (a duplicate token would make the match
+// ambiguous; a duplicate name would merge two clients' quotas).
+func LoadTenants(path string) ([]Tenant, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("token file: %w", err)
+	}
+	var tf tokenFile
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		return nil, fmt.Errorf("token file %s: %w", path, err)
+	}
+	if len(tf.Tenants) == 0 {
+		return nil, fmt.Errorf("token file %s: no tenants (want {\"tenants\": [{\"name\": ..., \"token\": ...}, ...]})", path)
+	}
+	names := make(map[string]bool, len(tf.Tenants))
+	tokens := make(map[string]bool, len(tf.Tenants))
+	for i, tn := range tf.Tenants {
+		if tn.Name == "" {
+			return nil, fmt.Errorf("token file %s: tenant %d has no name", path, i)
+		}
+		if tn.Token == "" {
+			return nil, fmt.Errorf("token file %s: tenant %q has no token", path, tn.Name)
+		}
+		if names[tn.Name] {
+			return nil, fmt.Errorf("token file %s: duplicate tenant name %q", path, tn.Name)
+		}
+		if tokens[tn.Token] {
+			return nil, fmt.Errorf("token file %s: tenant %q reuses another tenant's token", path, tn.Name)
+		}
+		if tn.MaxSweeps < 0 || tn.RatePerSec < 0 || tn.Burst < 0 {
+			return nil, fmt.Errorf("token file %s: tenant %q has a negative limit", path, tn.Name)
+		}
+		names[tn.Name], tokens[tn.Token] = true, true
+	}
+	return tf.Tenants, nil
+}
+
+// tenantState is one tenant's live accounting on the server.
+type tenantState struct {
+	Tenant
+	tokenHash [sha256.Size]byte // compared in constant time, never the token
+	limiter   *bucket           // nil = unlimited
+
+	// activeSweeps counts the tenant's open sweeps; guarded by Server.mu
+	// (sweep creation and release already serialize there).
+	activeSweeps int
+
+	requests      atomic.Uint64
+	rateLimited   atomic.Uint64
+	quotaRejected atomic.Uint64
+}
+
+// authenticator resolves bearer tokens to tenants in constant time: every
+// lookup hashes the presented token and compares the digest against every
+// tenant's digest, visiting all of them regardless of where (or whether) a
+// match occurs, so response timing reveals neither token prefixes nor which
+// tenant matched.
+type authenticator struct {
+	tenants []*tenantState
+	// anonymous is the no-auth tenant used when no tokens are configured
+	// (loopback development); nil when auth is enforced.
+	anonymous *tenantState
+}
+
+func newAuthenticator(tenants []Tenant, now func() time.Time) *authenticator {
+	a := &authenticator{}
+	if len(tenants) == 0 {
+		a.anonymous = &tenantState{Tenant: Tenant{Name: "anonymous"}}
+		return a
+	}
+	for _, tn := range tenants {
+		ts := &tenantState{Tenant: tn, tokenHash: sha256.Sum256([]byte(tn.Token))}
+		if tn.RatePerSec > 0 {
+			burst := float64(tn.Burst)
+			if burst <= 0 {
+				burst = max(2*tn.RatePerSec, 10)
+			}
+			ts.limiter = &bucket{rate: tn.RatePerSec, burst: burst, tokens: burst, now: now}
+		}
+		a.tenants = append(a.tenants, ts)
+	}
+	return a
+}
+
+// resolve maps an Authorization header value to its tenant (nil when the
+// token matches no tenant). With no tenants configured every request
+// resolves to the anonymous tenant.
+func (a *authenticator) resolve(authorization string) *tenantState {
+	if a.anonymous != nil {
+		return a.anonymous
+	}
+	const prefix = "Bearer "
+	if len(authorization) < len(prefix) || authorization[:len(prefix)] != prefix {
+		return nil
+	}
+	got := sha256.Sum256([]byte(authorization[len(prefix):]))
+	var match *tenantState
+	for _, ts := range a.tenants {
+		// No early exit: every tenant is compared on every request.
+		if subtle.ConstantTimeCompare(got[:], ts.tokenHash[:]) == 1 {
+			match = ts
+		}
+	}
+	return match
+}
+
+// bucket is a token-bucket rate limiter (one per rate-limited tenant). It
+// is hand-rolled because the repo deliberately has no dependencies outside
+// the standard library.
+type bucket struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket depth
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+// allow consumes one token, reporting false (rate exceeded) when the
+// bucket is empty.
+func (b *bucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if !b.last.IsZero() {
+		b.tokens = min(b.burst, b.tokens+b.rate*now.Sub(b.last).Seconds())
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// tenantKey carries the resolved tenant through the request context.
+type tenantKey struct{}
+
+// requestTenant returns the tenant the auth middleware resolved for this
+// request (nil only for handlers mounted outside authTenants).
+func requestTenant(req *http.Request) *tenantState {
+	ts, _ := req.Context().Value(tenantKey{}).(*tenantState)
+	return ts
+}
+
+// authTenants guards next with per-tenant bearer auth: an unknown token is
+// 401, a request over the tenant's rate limit is 429 with a Retry-After
+// hint, and the resolved tenant rides the request context so handlers can
+// enforce sweep ownership and quotas.
+func (s *Server) authTenants(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		ts := s.auth.resolve(req.Header.Get("Authorization"))
+		if ts == nil {
+			s.authFailures.Add(1)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="safespec-grid"`)
+			http.Error(w, "unauthorized", http.StatusUnauthorized)
+			return
+		}
+		ts.requests.Add(1)
+		if ts.limiter != nil && !ts.limiter.allow() {
+			ts.rateLimited.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, fmt.Sprintf("tenant %q over its request rate (%.3g/s)", ts.Name, ts.RatePerSec),
+				http.StatusTooManyRequests)
+			return
+		}
+		next.ServeHTTP(w, req.WithContext(context.WithValue(req.Context(), tenantKey{}, ts)))
+	})
+}

@@ -1,0 +1,80 @@
+package grid
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// WriteMetrics renders the server's accounting in the Prometheus text
+// exposition format (version 0.0.4): coordinator lease/job counters, sweep
+// lifecycle counters, and per-tenant request/limit counters under the
+// `safespec_` namespace. It is mounted (with the /status page) on the
+// operations port — the same dedicated listener as pprof, never the
+// authenticated /v1/* mux — so a scraper needs no tenant token and a
+// leaked scrape config reveals none.
+func (s *Server) WriteMetrics(w io.Writer) {
+	snap := s.Stats()
+
+	gauge := func(name, help string, v any) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	gauge("safespec_jobs_pending", "Jobs queued waiting for a worker lease.", snap.Pending)
+	gauge("safespec_leases_active", "Leases currently held by workers.", snap.Leased)
+	gauge("safespec_leases_expired_awaiting", "Timed-out leases still eligible for a late result.", snap.Expired)
+	counter("safespec_leases_granted_total", "Leases handed to polling workers.", snap.Granted)
+	counter("safespec_jobs_completed_total", "Jobs finished with a reported result.", snap.Completed)
+	counter("safespec_leases_requeued_total", "Leases lost to TTL expiry and requeued.", snap.Requeued)
+	counter("safespec_jobs_failed_total", "Jobs failed after exhausting their lease attempts.", snap.Failed)
+
+	gauge("safespec_sweeps_active", "Sweeps currently open on the server.", snap.Sweeps)
+	counter("safespec_sweeps_submitted_total", "Sweeps opened over the server's lifetime.", snap.SweepsSubmitted)
+	counter("safespec_sweeps_abandoned_total", "Sweeps abandoned after their client went idle past the TTL.", snap.SweepsAbandoned)
+	counter("safespec_results_streamed_total", "Results delivered through batch streaming responses.", snap.ResultsStreamed)
+	counter("safespec_auth_failures_total", "Requests rejected with 401 (unknown bearer token).", snap.AuthFailures)
+
+	if len(snap.Tenants) > 0 {
+		tenantFamily := func(name, help, kind string, value func(TenantSnapshot) any) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+			for _, ts := range snap.Tenants {
+				// %q escapes backslash, quote and newline exactly as the
+				// exposition format requires for label values.
+				fmt.Fprintf(w, "%s{tenant=%q} %v\n", name, ts.Name, value(ts))
+			}
+		}
+		tenantFamily("safespec_tenant_sweeps_active", "Open sweeps per tenant.", "gauge",
+			func(ts TenantSnapshot) any { return ts.ActiveSweeps })
+		tenantFamily("safespec_tenant_requests_total", "Authenticated requests per tenant.", "counter",
+			func(ts TenantSnapshot) any { return ts.Requests })
+		tenantFamily("safespec_tenant_rate_limited_total", "Requests rejected with 429 per tenant.", "counter",
+			func(ts TenantSnapshot) any { return ts.RateLimited })
+		tenantFamily("safespec_tenant_quota_rejected_total", "Sweep submissions rejected over quota per tenant.", "counter",
+			func(ts TenantSnapshot) any { return ts.QuotaRejected })
+	}
+}
+
+// OpsHandler returns the unauthenticated operations surface mounted on the
+// dedicated -pprof/ops listener: GET /metrics (Prometheus text format) and
+// GET /status (read-only live HTML). Keep that listener on loopback or a
+// firewalled operations network — it is deliberately token-free so
+// scrapers and dashboards need no tenant credential, and it exposes tenant
+// names and sweep shapes (never tokens or results).
+func (s *Server) OpsHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("GET /status", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		s.WriteStatus(w)
+	})
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, req *http.Request) {
+		http.Redirect(w, req, "/status", http.StatusFound)
+	})
+	return mux
+}

@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"context"
 	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
@@ -25,20 +28,25 @@ import (
 // announced (e.g. a result cache wraps this executor and only misses reach
 // the grid), Execute submits jobs one at a time to a lazily-opened sweep.
 //
-// Each Execute call long-polls GET /v1/sweeps/{id}?index=N&wait=D for its
-// job's result; the number of concurrent Execute calls (sweep's Workers
-// option) is therefore the queue depth offered to the fleet. Close releases
-// the sweep's server-side state; an unclosed sweep (crashed client) is
-// abandoned by the server after its SweepTTL.
+// Results arrive as a stream of batches: one background goroutine per
+// sweep long-polls GET /v1/sweeps/{id}/results?after=N&wait=D, and each
+// response carries every result completed since cursor N. Execute calls
+// wait on that shared stream instead of polling their own index, so a
+// sweep costs O(result batches) HTTP round trips — not O(cells) — however
+// wide the matrix. Close releases the sweep's server-side state (and stops
+// the stream); an unclosed sweep (crashed client) is abandoned by the
+// server after its SweepTTL.
 type RemoteExecutor struct {
-	// URL is the coordinator base URL ("http://host:port").
+	// URL is the coordinator base URL ("http://host:port" or, for a TLS
+	// coordinator, "https://host:port" — pair it with a Client from
+	// NewHTTPClient when the certificate is not signed by a system root).
 	URL string
 	// Token authenticates every request ("" sends no Authorization header).
 	Token string
 	// Client is the HTTP client; nil selects one whose timeout comfortably
 	// exceeds the long-poll window.
 	Client *http.Client
-	// PollWait is the long-poll duration requested per result poll
+	// PollWait is the long-poll duration requested per result-batch poll
 	// (default 25s; the server caps it at one minute).
 	PollWait time.Duration
 	// Logf receives progress lines (nil discards them).
@@ -47,6 +55,11 @@ type RemoteExecutor struct {
 	mu        sync.Mutex
 	sweepID   string
 	submitted map[int]bool
+	waiters   map[int]chan sweep.Result // Execute calls parked on an index
+	arrived   map[int]sweep.Result      // streamed results nobody asked for yet
+	streamCtx context.CancelFunc        // non-nil while the streamer runs
+	streamEnd chan struct{}             // closed when the streamer exits
+	streamErr error                     // terminal stream failure, set before streamEnd closes
 }
 
 // defaultPollWait balances held-open connections against poll chatter; it
@@ -61,6 +74,37 @@ func (r *RemoteExecutor) client() *http.Client {
 }
 
 var defaultRemoteClient = &http.Client{Timeout: 90 * time.Second}
+
+// NewHTTPClient builds an HTTP client for coordinator URLs. A non-empty
+// caFile names a PEM certificate bundle trusted in place of the system
+// roots — the self-signed or private-CA fleet deployment (the coordinator's
+// own -tls-cert file works directly as the bundle). timeout <= 0 selects
+// the long-poll-safe default used by RemoteExecutor.
+func NewHTTPClient(caFile string, timeout time.Duration) (*http.Client, error) {
+	if timeout <= 0 {
+		timeout = defaultRemoteClient.Timeout
+	}
+	client := &http.Client{Timeout: timeout}
+	if caFile != "" {
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("tls ca: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("tls ca: no PEM certificates in %s", caFile)
+		}
+		client.Transport = &http.Transport{
+			TLSClientConfig: &tls.Config{RootCAs: pool},
+			// Mirror the relevant DefaultTransport tuning; long-poll
+			// connections are reused heavily.
+			MaxIdleConns:        100,
+			IdleConnTimeout:     90 * time.Second,
+			TLSHandshakeTimeout: 10 * time.Second,
+		}
+	}
+	return client, nil
+}
 
 func (r *RemoteExecutor) logf(format string, args ...any) {
 	if r.Logf != nil {
@@ -106,40 +150,129 @@ func (r *RemoteExecutor) openSweep(ctx context.Context, jobs []sweep.Job) (Submi
 }
 
 // Execute submits the job if the matrix announcement did not already cover
-// it, then long-polls the coordinator for the job's result.
+// it, then waits for the shared result stream to deliver its index.
 func (r *RemoteExecutor) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
 	id, err := r.ensure(ctx, index, j)
 	if err != nil {
 		return nil, err
 	}
+
+	r.mu.Lock()
+	if res, ok := r.arrived[index]; ok {
+		delete(r.arrived, index)
+		r.mu.Unlock()
+		return res.Res, res.Err
+	}
+	ch := make(chan sweep.Result, 1)
+	if r.waiters == nil {
+		r.waiters = make(map[int]chan sweep.Result)
+	}
+	r.waiters[index] = ch
+	r.startStreamLocked(id)
+	end := r.streamEnd
+	r.mu.Unlock()
+
+	select {
+	case res := <-ch:
+		return res.Res, res.Err
+	case <-end:
+		r.mu.Lock()
+		err := r.streamErr
+		delete(r.waiters, index)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("grid: sweep %s job %d: %w", id, index, err)
+	case <-ctx.Done():
+		r.mu.Lock()
+		delete(r.waiters, index)
+		r.mu.Unlock()
+		// A delivery may have raced the cancellation; prefer it.
+		select {
+		case res := <-ch:
+			return res.Res, res.Err
+		default:
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// startStreamLocked launches the batch-streaming goroutine for the sweep if
+// it is not already running. Caller holds r.mu. The stream's lifetime is
+// the executor's, not any one Execute call's: it is stopped by Close (or by
+// a terminal coordinator answer such as 404 after a restart).
+func (r *RemoteExecutor) startStreamLocked(id string) {
+	if r.streamCtx != nil {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	r.streamCtx = cancel
+	r.streamEnd = make(chan struct{})
+	r.streamErr = nil
+	go r.stream(ctx, id, r.streamEnd)
+}
+
+// stream long-polls the sweep's result batches and dispatches each result
+// to the Execute call waiting on its index (or parks it for an Execute yet
+// to ask). It exits on Close's cancellation or a terminal coordinator
+// answer; transport faults, 5xx and 429 are ridden out by retry.
+func (r *RemoteExecutor) stream(ctx context.Context, id string, end chan struct{}) {
+	defer close(end)
 	wait := r.PollWait
 	if wait <= 0 {
 		wait = defaultPollWait
 	}
-	url := fmt.Sprintf("%s/v1/sweeps/%s?index=%d&wait=%s", r.URL, id, index, wait)
-	var res sweep.Result
+	after := 0
 	for {
+		url := fmt.Sprintf("%s/v1/sweeps/%s/results?after=%d&wait=%s", r.URL, id, after, wait)
+		var batch ResultBatch
 		status, err := r.retry(ctx, func() (int, error) {
-			return doJSON(ctx, r.client(), http.MethodGet, url, r.Token, nil, &res)
+			return doJSON(ctx, r.client(), http.MethodGet, url, r.Token, nil, &batch)
 		})
 		switch {
+		case ctx.Err() != nil:
+			r.setStreamErr(fmt.Errorf("stream stopped: %w", ctx.Err()))
+			return
 		case err != nil:
-			return nil, fmt.Errorf("grid: poll %s job %d: %w", id, index, err)
+			r.setStreamErr(fmt.Errorf("grid: stream %s: %w", id, err))
+			return
 		case status == http.StatusOK:
-			if res.Index != index {
-				// Belt and suspenders against ever adopting a foreign job's
-				// result (e.g. a proxy replaying a stale response).
-				return nil, fmt.Errorf("grid: poll %s job %d: coordinator answered for job %d", id, index, res.Index)
+			for _, res := range batch.Results {
+				r.dispatch(res)
 			}
-			return res.Res, res.Err
-		case status == http.StatusNoContent:
-			continue // not finished yet; poll again
+			after = batch.Next
 		case status == http.StatusNotFound:
-			return nil, fmt.Errorf("grid: sweep %s expired on coordinator %s (client idle past the sweep TTL?)", id, r.URL)
+			// A restarted coordinator assigns fresh random sweep ids, so a
+			// surviving client can only ever see its sweep vanish — never
+			// adopt another client's results.
+			r.setStreamErr(fmt.Errorf("grid: sweep %s expired on coordinator %s (restart, or client idle past the sweep TTL?)", id, r.URL))
+			return
 		default:
-			return nil, fmt.Errorf("grid: poll %s job %d: %w", id, index, statusErr(status))
+			r.setStreamErr(fmt.Errorf("grid: stream %s: %w", id, statusErr(status)))
+			return
 		}
 	}
+}
+
+func (r *RemoteExecutor) setStreamErr(err error) {
+	r.mu.Lock()
+	r.streamErr = err
+	r.mu.Unlock()
+}
+
+// dispatch hands one streamed result to the Execute call parked on its
+// index, or stores it until that call arrives (batches deliver results in
+// completion order, which need not match the order Execute calls ask).
+func (r *RemoteExecutor) dispatch(res sweep.Result) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ch, ok := r.waiters[res.Index]; ok {
+		delete(r.waiters, res.Index)
+		ch <- res
+		return
+	}
+	if r.arrived == nil {
+		r.arrived = make(map[int]sweep.Result)
+	}
+	r.arrived[res.Index] = res
 }
 
 // ensure opens the sweep on first use and submits this job if the matrix
@@ -184,19 +317,27 @@ func (r *RemoteExecutor) ensure(ctx context.Context, index int, j sweep.Job) (st
 	return id, nil
 }
 
-// Close releases the sweep's state on the coordinator (idempotent; a sweep
-// the server already dropped counts as released). The executor can be
-// reused afterwards: the next Submit or Execute opens a fresh sweep.
+// Close stops the result stream and releases the sweep's state on the
+// coordinator (idempotent; a sweep the server already dropped counts as
+// released). The executor can be reused afterwards: the next Submit or
+// Execute opens a fresh sweep with a fresh stream.
 func (r *RemoteExecutor) Close() error {
 	r.mu.Lock()
 	id := r.sweepID
+	cancel, end := r.streamCtx, r.streamEnd
 	r.sweepID, r.submitted = "", nil
+	r.waiters, r.arrived = nil, nil
+	r.streamCtx, r.streamEnd = nil, nil
 	r.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		<-end
+	}
 	if id == "" {
 		return nil
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
+	ctx, cancelReq := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelReq()
 	status, err := doJSON(ctx, r.client(), http.MethodDelete, r.URL+"/v1/sweeps/"+id, r.Token, nil, nil)
 	if err != nil {
 		return fmt.Errorf("grid: close sweep %s: %w", id, err)
@@ -220,11 +361,13 @@ func (r *RemoteExecutor) Stats(ctx context.Context) (ServerSnapshot, error) {
 	return snap, nil
 }
 
-// retry runs fn until it returns a non-5xx status without a transport
-// error, backing off between attempts, and hands the final status to the
-// caller to interpret. Transport faults and 5xx are retried alike: both
-// are the shape of a coordinator (or fronting proxy) mid-restart, which
-// should not fail the sweep.
+// retry runs fn until it returns a status that is neither 5xx nor 429
+// without a transport error, backing off between attempts, and hands the
+// final status to the caller to interpret. Transport faults and 5xx are
+// retried alike (both are the shape of a coordinator or fronting proxy
+// mid-restart); 429 is the coordinator's rate limiter asking exactly for
+// this backoff, so treating it as terminal would fail a sweep the tenant
+// was merely pacing.
 func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, error)) (int, error) {
 	backoff := 250 * time.Millisecond
 	var status int
@@ -237,15 +380,18 @@ func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, error)) (int
 			backoff = min(2*backoff, 5*time.Second)
 		}
 		status, err = fn()
-		if err == nil && status < 500 {
+		if err == nil && status < 500 && status != http.StatusTooManyRequests {
 			return status, nil
 		}
 		if ctx.Err() != nil {
 			return 0, ctx.Err()
 		}
-		if err != nil {
+		switch {
+		case err != nil:
 			r.logf("grid: %s unreachable (%v); backing off %v", r.URL, err, backoff)
-		} else {
+		case status == http.StatusTooManyRequests:
+			r.logf("grid: %s rate-limited this tenant (429); backing off %v", r.URL, backoff)
+		default:
 			r.logf("grid: %s returned %d; backing off %v", r.URL, status, backoff)
 		}
 	}
@@ -256,10 +402,15 @@ func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, error)) (int
 }
 
 // statusErr renders a terminal HTTP status as an error, spelling out the
-// one misconfiguration users actually hit (a bad token).
+// misconfigurations users actually hit.
 func statusErr(status int) error {
-	if status == http.StatusUnauthorized {
+	switch status {
+	case http.StatusUnauthorized:
 		return errUnauthorized
+	case http.StatusForbidden:
+		return fmt.Errorf("coordinator refused (status 403): tenant sweep quota exceeded; close an open sweep or raise max_sweeps in the token file")
+	case http.StatusTooManyRequests:
+		return fmt.Errorf("coordinator rate limit (status 429) persisted through retries; raise rate_per_sec in the token file or slow the client")
 	}
 	return fmt.Errorf("unexpected status %d", status)
 }

@@ -1,10 +1,12 @@
 package grid
 
 import (
-	"crypto/subtle"
+	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"safespec/internal/sweep"
@@ -14,18 +16,33 @@ import (
 // worker fleet and adds a sweep-submission API, so many sequential (or
 // concurrent) sweeps can share one long-lived worker fleet across
 // safespec-bench restarts. Every /v1/* endpoint — worker- and
-// client-facing alike — is guarded by a shared bearer token.
+// client-facing alike — is guarded by per-tenant bearer auth: each token
+// resolves (in constant time) to a named tenant carrying a concurrent-sweep
+// quota and a request rate limit. On the wire the three rejections are
+// distinct: 401 (unknown token), 429 (over the tenant's request rate;
+// retry after backoff) and 403 (over the tenant's sweep quota; release a
+// sweep first).
 //
 // A sweep is created by POST /v1/sweeps (optionally carrying the whole job
-// matrix), grown by POST /v1/sweeps/{id}/jobs, polled per job index by
-// GET /v1/sweeps/{id}?index=N&wait=D, and released by DELETE. A sweep whose
-// client stops polling (a crashed bench process) is abandoned after
-// SweepTTL: its unfinished jobs are withdrawn from the queue and all of its
-// state — including the coordinator's expired-lease entries — is freed, so
-// the server holds steady memory over days of operation.
+// matrix), grown by POST /v1/sweeps/{id}/jobs, and released by DELETE.
+// Results are delivered as batches: GET /v1/sweeps/{id}/results?after=N
+// long-polls the completion log and returns every result that finished
+// since cursor N, so a client needs one in-flight request per sweep, not
+// one per cell. (The older per-index poll, GET /v1/sweeps/{id}?index=N,
+// remains for spot checks.) A sweep belongs to the tenant that submitted
+// it; other tenants' requests for its id get 404, indistinguishable from a
+// sweep that never existed. A sweep whose client stops polling (a crashed
+// bench process) is abandoned after SweepTTL: its unfinished jobs are
+// withdrawn from the queue and all of its state — including the
+// coordinator's expired-lease entries — is freed, so the server holds
+// steady memory over days of operation.
 type Server struct {
 	opts  ServerOptions
 	coord *Coordinator
+	auth  *authenticator
+
+	authFailures    atomic.Uint64
+	resultsStreamed atomic.Uint64
 
 	mu        sync.Mutex
 	sweeps    map[string]*sweepState
@@ -37,9 +54,14 @@ type Server struct {
 
 // ServerOptions configures a Server.
 type ServerOptions struct {
-	// Token is the shared bearer secret checked on every /v1/* request
-	// ("" disables auth — loopback development only).
+	// Token is the single-tenant shorthand: it behaves exactly like a
+	// Tenants list holding one unlimited tenant named "default". Ignored
+	// when Tenants is non-empty; "" with no Tenants disables auth —
+	// loopback development only.
 	Token string
+	// Tenants maps per-client tokens to named tenants with quotas and rate
+	// limits (see Tenant and LoadTenants).
+	Tenants []Tenant
 	// Lease configures the embedded Coordinator (TTL, attempt bound).
 	Lease Options
 	// SweepTTL abandons a sweep whose client has neither submitted jobs nor
@@ -48,7 +70,7 @@ type ServerOptions struct {
 	SweepTTL time.Duration
 	// Logf receives progress lines (nil discards them).
 	Logf func(format string, args ...any)
-	// now is a test seam for the sweep liveness clock.
+	// now is a test seam for the sweep liveness and rate-limit clock.
 	now func() time.Time
 }
 
@@ -61,6 +83,22 @@ type ServerSnapshot struct {
 	// TTL-expired abandonments.
 	SweepsSubmitted uint64 `json:"sweeps_submitted"`
 	SweepsAbandoned uint64 `json:"sweeps_abandoned"`
+	// AuthFailures counts requests rejected with 401.
+	AuthFailures uint64 `json:"auth_failures"`
+	// ResultsStreamed counts results delivered through batch responses.
+	ResultsStreamed uint64 `json:"results_streamed"`
+	// Tenants is the per-tenant accounting, sorted by name (omitted when
+	// auth is disabled).
+	Tenants []TenantSnapshot `json:"tenants,omitempty"`
+}
+
+// TenantSnapshot is one tenant's accounting within a ServerSnapshot.
+type TenantSnapshot struct {
+	Name          string `json:"name"`
+	ActiveSweeps  int    `json:"active_sweeps"`
+	Requests      uint64 `json:"requests"`
+	RateLimited   uint64 `json:"rate_limited"`
+	QuotaRejected uint64 `json:"quota_rejected"`
 }
 
 // SubmitRequest opens a sweep, optionally enqueueing its whole job matrix
@@ -102,24 +140,45 @@ type SweepStatus struct {
 	Done bool `json:"done"`
 }
 
+// ResultBatch is the GET /v1/sweeps/{id}/results response: every result
+// whose completion-log position is >= the request's `after` cursor, in
+// completion order (NOT job-index order — the client reorders). Next is
+// the cursor to pass on the following poll; an empty Results with
+// Next == after means the long-poll window elapsed with nothing new.
+type ResultBatch struct {
+	SweepID string         `json:"sweep_id"`
+	Next    int            `json:"next"`
+	Results []sweep.Result `json:"results"`
+	// Submitted/Completed/Done mirror SweepStatus at response time.
+	Submitted int  `json:"submitted"`
+	Completed int  `json:"completed"`
+	Done      bool `json:"done"`
+}
+
 // sweepState tracks one submitted sweep. Its mutex is ordered before the
 // coordinator's: handlers take sweepState.mu then enqueue/abandon (which
 // take Coordinator.mu), while result delivery takes sweepState.mu only
 // after Coordinator.mu has been released.
 type sweepState struct {
-	id    string
-	nonce string // submission nonce, purged from Server.byNonce with the sweep
+	id     string
+	nonce  string       // submission nonce, purged from Server.byNonce with the sweep
+	tenant *tenantState // owner; foreign tenants get 404 for this id
 
 	mu        sync.Mutex
 	slots     map[int]*slot
+	log       []sweep.Result // completed results in completion order
+	logGrew   chan struct{}  // closed and replaced on every log append
 	completed int
+	created   time.Time
 	lastSeen  time.Time
 	closed    bool
 }
 
 // slot is one job of a sweep: its queued task while live, its result once
-// delivered (ready is closed at that point).
+// delivered (ready is closed at that point). job is retained for the
+// status page after the task is gone.
 type slot struct {
+	job   sweep.Job
 	task  *task
 	res   *sweep.Result
 	ready chan struct{}
@@ -139,9 +198,15 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.now == nil {
 		opts.now = time.Now
 	}
+	tenants := opts.Tenants
+	if len(tenants) == 0 && opts.Token != "" {
+		// The single -token shorthand: one unlimited tenant.
+		tenants = []Tenant{{Name: "default", Token: opts.Token}}
+	}
 	return &Server{
 		opts:    opts,
 		coord:   NewCoordinator(opts.Lease),
+		auth:    newAuthenticator(tenants, opts.now),
 		sweeps:  make(map[string]*sweepState),
 		byNonce: make(map[string]string),
 	}
@@ -152,18 +217,31 @@ func (s *Server) Stats() ServerSnapshot {
 	snap := s.coord.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return ServerSnapshot{
+	out := ServerSnapshot{
 		Snapshot:        snap,
 		Sweeps:          len(s.sweeps),
 		SweepsSubmitted: s.submitted,
 		SweepsAbandoned: s.abandoned,
+		AuthFailures:    s.authFailures.Load(),
+		ResultsStreamed: s.resultsStreamed.Load(),
 	}
+	for _, ts := range s.auth.tenants {
+		out.Tenants = append(out.Tenants, TenantSnapshot{
+			Name:          ts.Name,
+			ActiveSweeps:  ts.activeSweeps,
+			Requests:      ts.requests.Load(),
+			RateLimited:   ts.rateLimited.Load(),
+			QuotaRejected: ts.quotaRejected.Load(),
+		})
+	}
+	sort.Slice(out.Tenants, func(i, j int) bool { return out.Tenants[i].Name < out.Tenants[j].Name })
+	return out
 }
 
 // Handler returns the full authenticated HTTP surface: the coordinator's
 // worker endpoints plus the sweep-submission API. Abandoned-sweep GC runs
-// lazily on every authenticated request (workers poll /v1/lease
-// continuously, so an idle orphan sweep never outlives SweepTTL by much).
+// lazily on every request (workers poll /v1/lease continuously, so an idle
+// orphan sweep never outlives SweepTTL by much).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", s.coord.handleLease)
@@ -174,29 +252,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("POST /v1/sweeps/{id}/jobs", s.handleJob)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handlePoll)
+	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleClose)
-	inner := requireAuth(s.opts.Token, mux)
+	inner := s.authTenants(mux)
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		s.gc(s.opts.now())
 		inner.ServeHTTP(w, req)
-	})
-}
-
-// requireAuth enforces the shared bearer token on every request; an empty
-// token disables auth.
-func requireAuth(token string, next http.Handler) http.Handler {
-	if token == "" {
-		return next
-	}
-	want := []byte("Bearer " + token)
-	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		got := []byte(req.Header.Get("Authorization"))
-		if subtle.ConstantTimeCompare(got, want) != 1 {
-			w.Header().Set("WWW-Authenticate", `Bearer realm="safespec-grid"`)
-			http.Error(w, "unauthorized", http.StatusUnauthorized)
-			return
-		}
-		next.ServeHTTP(w, req)
 	})
 }
 
@@ -205,6 +266,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	if !decodeJSON(w, req, &sr) {
 		return
 	}
+	tenant := requestTenant(req)
 	// The whole submission is one critical section (matrix enqueue is a
 	// few list pushes), so a concurrent retry of the same POST either sees
 	// nothing yet or the fully-populated sweep — never a partial matrix,
@@ -212,9 +274,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	s.mu.Lock()
 	if sr.Nonce != "" {
 		if id, ok := s.byNonce[sr.Nonce]; ok {
-			if prev := s.sweeps[id]; prev != nil {
+			if prev := s.sweeps[id]; prev != nil && prev.tenant == tenant {
 				// A retried submission whose first attempt did land: hand
 				// back the existing sweep instead of double-running it.
+				// (No quota check: it is the same sweep, already counted.)
 				prev.mu.Lock()
 				resp := SubmitResponse{SweepID: prev.id, Jobs: len(prev.slots)}
 				prev.lastSeen = s.opts.now()
@@ -225,31 +288,46 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 			}
 		}
 	}
+	if tenant.MaxSweeps > 0 && tenant.activeSweeps >= tenant.MaxSweeps {
+		quota := tenant.MaxSweeps
+		s.mu.Unlock()
+		tenant.quotaRejected.Add(1)
+		// 403, not 429: backing off does not help — the tenant must close
+		// (or let the TTL abandon) one of its open sweeps first.
+		http.Error(w, fmt.Sprintf("tenant %q sweep quota exceeded (%d concurrent); close a sweep first",
+			tenant.Name, quota), http.StatusForbidden)
+		return
+	}
 	// The id is random, not sequential: a client that rides out a
 	// coordinator restart must see its old sweep id stop resolving (404)
 	// rather than silently adopt a sweep the restarted process assigned to
 	// someone else.
+	now := s.opts.now()
 	st := &sweepState{
 		id:       "s-" + newNonce()[:16],
 		nonce:    sr.Nonce,
+		tenant:   tenant,
 		slots:    make(map[int]*slot, len(sr.Jobs)),
-		lastSeen: s.opts.now(),
+		logGrew:  make(chan struct{}),
+		created:  now,
+		lastSeen: now,
 	}
 	for i, j := range sr.Jobs {
 		s.addJob(st, i, j)
 	}
 	s.submitted++
+	tenant.activeSweeps++
 	s.sweeps[st.id] = st
 	if sr.Nonce != "" {
 		s.byNonce[sr.Nonce] = st.id
 	}
 	s.mu.Unlock()
-	s.opts.Logf("grid: sweep %s opened with %d jobs", st.id, len(sr.Jobs))
+	s.opts.Logf("grid: sweep %s opened by tenant %q with %d jobs", st.id, tenant.Name, len(sr.Jobs))
 	writeJSON(w, SubmitResponse{SweepID: st.id, Jobs: len(sr.Jobs)})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, req *http.Request) {
-	st := s.lookup(req.PathValue("id"))
+	st := s.lookup(req.PathValue("id"), requestTenant(req))
 	if st == nil {
 		http.Error(w, "unknown sweep", http.StatusNotFound)
 		return
@@ -273,7 +351,7 @@ func (s *Server) handleJob(w http.ResponseWriter, req *http.Request) {
 }
 
 func (s *Server) handlePoll(w http.ResponseWriter, req *http.Request) {
-	st := s.lookup(req.PathValue("id"))
+	st := s.lookup(req.PathValue("id"), requestTenant(req))
 	if st == nil {
 		http.Error(w, "unknown sweep", http.StatusNotFound)
 		return
@@ -296,18 +374,14 @@ func (s *Server) handlePoll(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "bad index: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	var wait time.Duration
-	if ws := q.Get("wait"); ws != "" {
-		if wait, err = time.ParseDuration(ws); err != nil {
-			http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		wait = min(wait, maxPollWait)
+	wait, ok := parseWait(w, q.Get("wait"))
+	if !ok {
+		return
 	}
 	st.mu.Lock()
-	sl, ok := st.slots[idx]
+	sl, found := st.slots[idx]
 	st.mu.Unlock()
-	if !ok {
+	if !found {
 		http.Error(w, "unknown job index", http.StatusNotFound)
 		return
 	}
@@ -331,15 +405,95 @@ func (s *Server) handlePoll(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, res)
 }
 
+// handleResults is the batched streaming endpoint: it returns every result
+// appended to the sweep's completion log since the `after` cursor,
+// long-polling up to `wait` when the cursor is at the log's tip. One
+// in-flight request per sweep therefore drains the whole matrix, however
+// many cells it has.
+func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
+	st := s.lookup(req.PathValue("id"), requestTenant(req))
+	if st == nil {
+		http.Error(w, "unknown sweep", http.StatusNotFound)
+		return
+	}
+	q := req.URL.Query()
+	after := 0
+	if as := q.Get("after"); as != "" {
+		var err error
+		if after, err = strconv.Atoi(as); err != nil || after < 0 {
+			http.Error(w, "bad after cursor: "+as, http.StatusBadRequest)
+			return
+		}
+	}
+	wait, ok := parseWait(w, q.Get("wait"))
+	if !ok {
+		return
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		st.mu.Lock()
+		if after > len(st.log) {
+			// A cursor past the log cannot come from this sweep's own
+			// history (batches only ever advance Next to the log length):
+			// the client is confused, and silently waiting would hang it.
+			n := len(st.log)
+			st.mu.Unlock()
+			http.Error(w, fmt.Sprintf("after cursor %d beyond completion log (%d results)", after, n),
+				http.StatusBadRequest)
+			return
+		}
+		if len(st.log) > after || time.Now().After(deadline) || wait <= 0 {
+			batch := ResultBatch{
+				SweepID:   st.id,
+				Next:      len(st.log),
+				Results:   st.log[after:len(st.log):len(st.log)],
+				Submitted: len(st.slots),
+				Completed: st.completed,
+				Done:      len(st.slots) > 0 && st.completed == len(st.slots),
+			}
+			st.mu.Unlock()
+			s.resultsStreamed.Add(uint64(len(batch.Results)))
+			writeJSON(w, batch)
+			return
+		}
+		grew := st.logGrew
+		st.mu.Unlock()
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-grew:
+			timer.Stop()
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// parseWait parses a long-poll duration, reporting (0, false) after writing
+// the error response when it is malformed.
+func parseWait(w http.ResponseWriter, ws string) (time.Duration, bool) {
+	if ws == "" {
+		return 0, true
+	}
+	wait, err := time.ParseDuration(ws)
+	if err != nil {
+		http.Error(w, "bad wait: "+err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	return min(wait, maxPollWait), true
+}
+
 func (s *Server) handleClose(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	tenant := requestTenant(req)
 	s.mu.Lock()
 	st, ok := s.sweeps[id]
+	if ok && st.tenant != tenant {
+		st, ok = nil, false // foreign sweep: indistinguishable from absent
+	}
 	if ok {
-		delete(s.sweeps, id)
-		if st.nonce != "" {
-			delete(s.byNonce, st.nonce)
-		}
+		s.releaseLocked(st)
 	}
 	s.mu.Unlock()
 	if !ok {
@@ -351,10 +505,27 @@ func (s *Server) handleClose(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
-// lookup resolves a sweep id and refreshes its liveness clock.
-func (s *Server) lookup(id string) *sweepState {
+// releaseLocked removes a sweep from the server's indexes and returns its
+// quota slot to the owning tenant. Caller holds s.mu.
+func (s *Server) releaseLocked(st *sweepState) {
+	delete(s.sweeps, st.id)
+	if st.nonce != "" {
+		delete(s.byNonce, st.nonce)
+	}
+	if st.tenant != nil {
+		st.tenant.activeSweeps--
+	}
+}
+
+// lookup resolves a sweep id for a tenant and refreshes its liveness
+// clock. A foreign tenant's sweep resolves to nil — the same 404 an
+// unknown id gets — so sweep ids never leak across tenants.
+func (s *Server) lookup(id string, tenant *tenantState) *sweepState {
 	s.mu.Lock()
 	st := s.sweeps[id]
+	if st != nil && st.tenant != tenant {
+		st = nil
+	}
 	s.mu.Unlock()
 	if st != nil {
 		st.mu.Lock()
@@ -365,9 +536,9 @@ func (s *Server) lookup(id string) *sweepState {
 }
 
 // addJob enqueues one job of a sweep onto the shared coordinator queue,
-// wiring its terminal outcome back into the sweep's slot. It reports false
-// when the sweep has been closed or abandoned in the meantime — the caller
-// must not tell the client the job was accepted.
+// wiring its terminal outcome back into the sweep's slot and completion
+// log. It reports false when the sweep has been closed or abandoned in the
+// meantime — the caller must not tell the client the job was accepted.
 func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -377,13 +548,18 @@ func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
 	if _, dup := st.slots[index]; dup {
 		return true // idempotent resubmission
 	}
-	sl := &slot{ready: make(chan struct{})}
+	sl := &slot{job: job, ready: make(chan struct{})}
 	st.slots[index] = sl
 	sl.task = s.coord.enqueue(index, job, func(out outcome) {
 		res := &sweep.Result{Index: index, Job: job, Res: out.res, Err: out.err}
 		st.mu.Lock()
 		sl.res = res
 		st.completed++
+		st.log = append(st.log, *res)
+		if st.logGrew != nil {
+			close(st.logGrew) // wake every batch long-poll
+			st.logGrew = make(chan struct{})
+		}
 		st.mu.Unlock()
 		close(sl.ready)
 	})
@@ -424,15 +600,12 @@ func (s *Server) gc(now time.Time) {
 		return
 	}
 	s.lastGC = now
-	for id, st := range s.sweeps {
+	for _, st := range s.sweeps {
 		st.mu.Lock()
 		idle := now.Sub(st.lastSeen)
 		st.mu.Unlock()
 		if idle > s.opts.SweepTTL {
-			delete(s.sweeps, id)
-			if st.nonce != "" {
-				delete(s.byNonce, st.nonce)
-			}
+			s.releaseLocked(st)
 			s.abandoned++
 			drop = append(drop, st)
 		}

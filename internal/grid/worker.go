@@ -96,6 +96,16 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 			// A wrong token never becomes right; polling on would only spam
 			// the coordinator's auth log.
 			return err
+		case errors.Is(err, errRateLimited):
+			// The coordinator is pacing this tenant, not failing: back off
+			// without starting the MaxIdle unreachability clock (a
+			// rate-limited coordinator is a reachable coordinator).
+			logf("worker %s/%d: coordinator rate limit (429); backing off %v", w.ID, loop, backoff)
+			if !sleep(ctx, backoff) {
+				return nil
+			}
+			backoff = min(2*backoff, 16*poll)
+			continue
 		case err != nil:
 			if unreachableSince.IsZero() {
 				unreachableSince = time.Now()
@@ -155,6 +165,12 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 // retrying) instead of hammering the coordinator's auth log.
 var errUnauthorized = errors.New("coordinator rejected the bearer token (status 401); check -token/SAFESPEC_TOKEN")
 
+// errRateLimited marks a coordinator 429: this tenant is over its request
+// rate. Unlike other 4xx it is transient by definition — the rate limiter
+// is asking for exactly a backoff — so lease and report loops retry it
+// instead of treating it as terminal.
+var errRateLimited = errors.New("coordinator rate limit (status 429)")
+
 // lease requests one job; ok is false on an empty queue (204).
 func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (LeaseResponse, bool, error) {
 	var resp LeaseResponse
@@ -170,6 +186,8 @@ func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (Leas
 		return resp, false, nil
 	case http.StatusUnauthorized:
 		return resp, false, errUnauthorized
+	case http.StatusTooManyRequests:
+		return resp, false, errRateLimited
 	default:
 		return resp, false, fmt.Errorf("lease: unexpected status %d", status)
 	}
@@ -177,14 +195,25 @@ func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (Leas
 
 // report posts a finished lease, retrying transient transport errors a few
 // times before giving the job back to the coordinator via lease expiry.
-// Any 4xx other than 409 (stale lease, reported by the caller) is terminal:
-// the coordinator rejected the payload itself, and retrying the same bytes
-// can only fail the same way.
+// Any 4xx other than 409 (stale lease, reported by the caller) and 429
+// (tenant rate limit — the limiter is asking for a backoff, and the
+// detached final report on shutdown must survive it too, or completed work
+// would be thrown away and redone) is terminal: the coordinator rejected
+// the payload itself, and retrying the same bytes can only fail the same
+// way.
 func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string, r sweep.Result) error {
 	var err error
 	for attempt := 0; attempt < 3; attempt++ {
-		if attempt > 0 && !sleep(ctx, time.Duration(attempt)*200*time.Millisecond) {
-			return ctx.Err()
+		if attempt > 0 {
+			// Rate-limit rejections wait for the bucket to refill; transport
+			// retries only need to skip a blip.
+			pause := time.Duration(attempt) * 200 * time.Millisecond
+			if errors.Is(err, errRateLimited) {
+				pause = time.Duration(attempt) * time.Second
+			}
+			if !sleep(ctx, pause) {
+				return ctx.Err()
+			}
 		}
 		var status int
 		status, err = w.post(ctx, client, "/v1/result", ResultRequest{LeaseID: leaseID, Result: r}, nil)
@@ -196,6 +225,8 @@ func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string
 			return nil
 		case status == http.StatusConflict:
 			return fmt.Errorf("result: lease %s no longer valid", leaseID)
+		case status == http.StatusTooManyRequests:
+			err = errRateLimited
 		case status >= 400 && status < 500:
 			return fmt.Errorf("result: permanently rejected with status %d", status)
 		default:

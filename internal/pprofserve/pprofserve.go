@@ -1,8 +1,11 @@
 // Package pprofserve backs the -pprof flag of the fleet binaries
-// (safespec-worker, safespec-coordinator): it exposes net/http/pprof on a
-// dedicated listener so a live fleet member can be profiled
-// (`go tool pprof http://host:port/debug/pprof/profile`) without ever
-// mounting the debug handlers on the authenticated /v1/* API mux.
+// (safespec-worker, safespec-coordinator): it exposes net/http/pprof — and
+// any extra operations handlers the binary mounts, such as the
+// coordinator's /metrics and /status — on a dedicated listener, so a live
+// fleet member can be profiled and scraped without ever mounting debug
+// handlers on the authenticated /v1/* API mux. Keep the listener on
+// loopback or a firewalled operations network: everything on it is
+// deliberately unauthenticated.
 package pprofserve
 
 import (
@@ -14,18 +17,26 @@ import (
 	"time"
 )
 
-// Serve binds addr and serves the pprof handlers in the background. It
-// returns once the listener is bound (so a bad address fails startup), and
-// prints the resolved endpoint to stderr.
-func Serve(addr string) error {
+// Serve binds addr and serves the pprof handlers — plus ops (for every
+// path outside /debug/pprof/) when non-nil — in the background. It returns
+// once the listener is bound (so a bad address fails startup), and prints
+// the resolved endpoints to stderr.
+func Serve(addr string, ops http.Handler) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return fmt.Errorf("-pprof %s: %w", addr, err)
 	}
-	fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.DefaultServeMux) // carries the pprof handlers
+	extra := ""
+	if ops != nil {
+		mux.Handle("/", ops)
+		extra = fmt.Sprintf(" (metrics on http://%s/metrics, status on http://%s/status)", ln.Addr(), ln.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/%s\n", ln.Addr(), extra)
 	go func() {
-		srv := &http.Server{ReadHeaderTimeout: 10 * time.Second}
-		_ = srv.Serve(ln) // DefaultServeMux carries the pprof handlers
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		_ = srv.Serve(ln)
 	}()
 	return nil
 }
