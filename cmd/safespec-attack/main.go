@@ -78,15 +78,15 @@ func run(attackName, modeName string, verbose bool, workers int) error {
 
 	// A failed cell must not discard the rest of the matrix: print every
 	// computed row (errored cells flagged in place), then propagate the error.
-	fmt.Printf("%-16s %-9s %-8s %-10s %s\n", "attack", "mode", "leaked", "recovered", "planted")
+	fmt.Fprintf(os.Stdout, "%-16s %-9s %-8s %-10s %s\n", "attack", "mode", "leaked", "recovered", "planted")
 	for _, c := range cells {
 		if c.err != nil {
-			fmt.Printf("%-16s %-9s error: %v\n", c.attack.Name, c.mode, c.err)
+			fmt.Fprintf(os.Stdout, "%-16s %-9s error: %v\n", c.attack.Name, c.mode, c.err)
 			continue
 		}
-		fmt.Printf("%-16s %-9s %-8v %-10d %d\n", c.attack.Name, c.mode, c.out.Leaked, c.out.Recovered, c.out.Secret)
+		fmt.Fprintf(os.Stdout, "%-16s %-9s %-8v %-10d %d\n", c.attack.Name, c.mode, c.out.Leaked, c.out.Recovered, c.out.Secret)
 		if verbose {
-			fmt.Printf("    probe cycles: %v\n", c.out.Times)
+			fmt.Fprintf(os.Stdout, "    probe cycles: %v\n", c.out.Times)
 		}
 	}
 	if err != nil {
@@ -100,15 +100,15 @@ func run(attackName, modeName string, verbose bool, workers int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-16s %-9s %-8v %-10d %d\n", "tsa (tiny)", "wfc", out.Leaked, out.Recovered, out.Secret)
+		fmt.Fprintf(os.Stdout, "%-16s %-9s %-8v %-10d %d\n", "tsa (tiny)", "wfc", out.Leaked, out.Recovered, out.Secret)
 		if verbose {
-			fmt.Printf("    per-bit cycles: %v\n", out.BitTimes)
+			fmt.Fprintf(os.Stdout, "    per-bit cycles: %v\n", out.BitTimes)
 		}
 		out, err = tsa.Run(core.WFC())
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-16s %-9s %-8v %-10d %d\n", "tsa (secure)", "wfc", out.Leaked, out.Recovered, out.Secret)
+		fmt.Fprintf(os.Stdout, "%-16s %-9s %-8v %-10d %d\n", "tsa (secure)", "wfc", out.Leaked, out.Recovered, out.Secret)
 	}
 	return nil
 }

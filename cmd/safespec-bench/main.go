@@ -36,6 +36,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -45,6 +46,7 @@ import (
 
 	"safespec/internal/figures"
 	"safespec/internal/grid"
+	"safespec/internal/obs"
 	"safespec/internal/perf"
 	"safespec/internal/resultcache"
 	"safespec/internal/sweep"
@@ -70,6 +72,9 @@ type options struct {
 	tlsCA    string
 	leaseTTL time.Duration
 	retries  int
+
+	logLevel  string
+	logFormat string
 
 	perf            bool
 	perfPreset      string
@@ -111,6 +116,8 @@ func main() {
 	flag.StringVar(&o.perfBaseline, "perf-baseline", "", "compare against this BENCH_*.json and fail on regression (the CI gate)")
 	flag.Float64Var(&o.perfMaxRegress, "perf-max-regress", 0.15, "tolerated cells/sec regression vs -perf-baseline, as a fraction (aggregate, and per benchmark when both reports carry rows)")
 	flag.Float64Var(&o.perfMaxAllocReg, "perf-max-alloc-regress", 0.01, "tolerated allocs-per-sim-cycle increase vs -perf-baseline, absolute (negative disables the allocation gate)")
+	flag.StringVar(&o.logLevel, "log-level", "info", "log level for progress records on stderr: debug|info|warn|error")
+	flag.StringVar(&o.logFormat, "log-format", "text", "log format for progress records: text|json")
 	flag.Parse()
 	o.out, o.info = os.Stdout, os.Stderr
 
@@ -172,11 +179,15 @@ func run(o options) error {
 
 	var sweepRes []figures.BenchResult
 	if sweeps {
+		log, err := obs.NewLogger(o.info, o.logLevel, o.logFormat)
+		if err != nil {
+			return err
+		}
 		sc, err := sweepConfig(o)
 		if err != nil {
 			return err
 		}
-		exec, finish, err := buildExecutor(o)
+		exec, finish, err := buildExecutor(o, log)
 		if err != nil {
 			return err
 		}
@@ -184,6 +195,11 @@ func run(o options) error {
 		sc.Executor = exec
 		agg := &sweep.Aggregate{}
 		sc.Sinks = append(sc.Sinks, agg)
+		// Periodic done/total, rate and ETA lines on stderr; the count comes
+		// from the same matrix expansion RunSweep performs.
+		if jobs, jerr := sc.Matrix(); jerr == nil {
+			sc.Sinks = append(sc.Sinks, &sweep.Progress{Total: len(jobs), Log: log})
+		}
 		if o.json {
 			sc.Sinks = append(sc.Sinks, sweep.NewJSONL(o.out))
 		}
@@ -193,6 +209,9 @@ func run(o options) error {
 			return err
 		}
 		fmt.Fprintf(o.info, "sweep done: %s\n", agg)
+		if s := agg.SpanSummary(); s != "" {
+			fmt.Fprintf(o.info, "sweep %s\n", s)
+		}
 	}
 
 	if !o.json {
@@ -280,7 +299,7 @@ func sweepConfig(o options) (figures.SweepConfig, error) {
 // misses are submitted). finish releases the sweep's coordinator-side
 // state and reports cache and grid accounting; it is safe to call exactly
 // once after the sweep.
-func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
+func buildExecutor(o options, log *slog.Logger) (exec sweep.Executor, finish func(), err error) {
 	finish = func() {}
 	reportGrid := func(s grid.ServerSnapshot) {
 		fmt.Fprintf(o.info, "grid: leases granted=%d completed=%d requeued=%d failed=%d\n",
@@ -291,6 +310,7 @@ func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
 		server := grid.NewServer(grid.ServerOptions{
 			Token: o.token,
 			Lease: grid.Options{LeaseTTL: o.leaseTTL, MaxAttempts: o.retries},
+			Log:   log,
 		})
 		ln, lerr := net.Listen("tcp", o.serve)
 		if lerr != nil {
@@ -299,7 +319,7 @@ func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
 		srv := &http.Server{Handler: server.Handler()}
 		go srv.Serve(ln)
 		fmt.Fprintf(o.info, "grid coordinator listening on http://%s (point safespec-worker -coordinator at it)\n", ln.Addr())
-		re := &grid.RemoteExecutor{URL: "http://" + ln.Addr().String(), Token: o.token}
+		re := &grid.RemoteExecutor{URL: "http://" + ln.Addr().String(), Token: o.token, Log: log}
 		exec = re
 		finish = func() {
 			re.Close()
@@ -311,7 +331,7 @@ func buildExecutor(o options) (exec sweep.Executor, finish func(), err error) {
 		if cerr != nil {
 			return nil, nil, cerr
 		}
-		re := &grid.RemoteExecutor{URL: o.remote, Token: o.token, Client: client}
+		re := &grid.RemoteExecutor{URL: o.remote, Token: o.token, Client: client, Log: log}
 		exec = re
 		finish = func() {
 			re.Close()

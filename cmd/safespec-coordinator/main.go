@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"safespec/internal/grid"
+	"safespec/internal/obs"
 	"safespec/internal/pprofserve"
 )
 
@@ -59,14 +60,16 @@ type config struct {
 	retries   int
 	sweepTTL  time.Duration
 	quiet     bool
+	logLevel  string
+	logFormat string
 	pprofAddr string
 
-	info io.Writer // progress + accounting (stderr in main)
+	info io.Writer // log destination (stderr in main)
 }
 
 func main() {
 	var c config
-	flag.StringVar(&c.listen, "listen", "127.0.0.1:9090", "listen address (host:port; :0 for an ephemeral port, printed to stderr)")
+	flag.StringVar(&c.listen, "listen", "127.0.0.1:9090", "listen address (host:port; :0 for an ephemeral port, announced in the startup log line)")
 	flag.StringVar(&c.token, "token", os.Getenv("SAFESPEC_TOKEN"), "single-tenant shorthand: one unlimited tenant with this bearer token (default $SAFESPEC_TOKEN; empty with no -token-file disables auth)")
 	flag.StringVar(&c.tokenFile, "token-file", "", "JSON file mapping per-client tokens to named tenants with sweep quotas and rate limits (overrides -token)")
 	flag.StringVar(&c.tlsCert, "tls-cert", "", "serve native TLS with this PEM certificate (requires -tls-key)")
@@ -74,7 +77,9 @@ func main() {
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 0, "job lease duration; size it above the slowest single job (default 2m)")
 	flag.IntVar(&c.retries, "lease-retries", 0, "lease grants per job before it fails as lost (default 5)")
 	flag.DurationVar(&c.sweepTTL, "sweep-ttl", 0, "abandon a sweep whose client stopped polling this long ago (default 10m)")
-	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-sweep progress lines")
+	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-sweep progress lines (same as -log-level warn)")
+	flag.StringVar(&c.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	flag.StringVar(&c.logFormat, "log-format", "text", "log format: text|json")
 	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof plus /metrics (Prometheus text) and /status (live HTML) on this unauthenticated address (e.g. 127.0.0.1:6060)")
 	flag.Parse()
 	c.info = os.Stderr
@@ -91,47 +96,52 @@ func run(ctx context.Context, c config) error {
 	if (c.tlsCert == "") != (c.tlsKey == "") {
 		return fmt.Errorf("-tls-cert and -tls-key go together (got cert=%q key=%q)", c.tlsCert, c.tlsKey)
 	}
+	if c.quiet && (c.logLevel == "" || c.logLevel == "info") {
+		c.logLevel = "warn"
+	}
+	log, err := obs.NewLogger(c.info, c.logLevel, c.logFormat)
+	if err != nil {
+		return err
+	}
 	var tenants []grid.Tenant
 	if c.tokenFile != "" {
-		var err error
 		if tenants, err = grid.LoadTenants(c.tokenFile); err != nil {
 			return err
 		}
-	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(c.info, format+"\n", args...)
-	}
-	if c.quiet {
-		logf = nil
 	}
 	server := grid.NewServer(grid.ServerOptions{
 		Token:    c.token,
 		Tenants:  tenants,
 		Lease:    grid.Options{LeaseTTL: c.leaseTTL, MaxAttempts: c.retries},
 		SweepTTL: c.sweepTTL,
-		Logf:     logf,
+		Log:      log,
 	})
 	if c.pprofAddr != "" {
-		if err := pprofserve.Serve(c.pprofAddr, server.OpsHandler()); err != nil {
+		addr, err := pprofserve.Serve(c.pprofAddr, server.OpsHandler())
+		if err != nil {
 			return err
 		}
+		log.Info("ops listener up", "addr", addr.String(),
+			"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr),
+			"status", fmt.Sprintf("http://%s/status", addr))
 	}
 	ln, err := net.Listen("tcp", c.listen)
 	if err != nil {
 		return err
 	}
-	auth := "auth enabled"
+	auth := "enabled"
 	switch {
 	case len(tenants) > 0:
-		auth = fmt.Sprintf("auth enabled, %d tenants", len(tenants))
+		auth = fmt.Sprintf("enabled, %d tenants", len(tenants))
 	case c.token == "":
-		auth = "auth DISABLED; set -token, $SAFESPEC_TOKEN or -token-file for anything beyond loopback"
+		auth = "DISABLED; set -token, $SAFESPEC_TOKEN or -token-file for anything beyond loopback"
 	}
 	scheme := "http"
 	if c.tlsCert != "" {
 		scheme = "https"
 	}
-	fmt.Fprintf(c.info, "safespec-coordinator listening on %s://%s (%s)\n", scheme, ln.Addr(), auth)
+	log.Info("coordinator listening", "url", fmt.Sprintf("%s://%s", scheme, ln.Addr()), "auth", auth)
 
 	srv := &http.Server{Handler: server.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	errc := make(chan error, 1)
@@ -153,7 +163,9 @@ func run(ctx context.Context, c config) error {
 		}
 	}
 	s := server.Stats()
-	fmt.Fprintf(c.info, "safespec-coordinator: %d sweeps served (%d abandoned); leases granted=%d completed=%d requeued=%d failed=%d\n",
-		s.SweepsSubmitted, s.SweepsAbandoned, s.Granted, s.Completed, s.Requeued, s.Failed)
+	log.Info("coordinator summary",
+		"sweeps_served", s.SweepsSubmitted, "sweeps_abandoned", s.SweepsAbandoned,
+		"leases_granted", s.Granted, "jobs_completed", s.Completed,
+		"leases_requeued", s.Requeued, "jobs_failed", s.Failed)
 	return err
 }

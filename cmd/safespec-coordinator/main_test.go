@@ -29,13 +29,18 @@ func TestCoordinatorServesSweeps(t *testing.T) {
 		done <- err
 	}()
 
-	// Scrape the ephemeral address from the progress stream, then keep
-	// draining it (io.Pipe writes block on an idle reader).
+	// Scrape the ephemeral address from the structured startup record
+	// ("coordinator listening" with a url= attribute), then keep draining
+	// the stream (io.Pipe writes block on an idle reader).
 	urlc := make(chan string, 1)
 	go func() {
 		sc := bufio.NewScanner(infoR)
 		for sc.Scan() {
-			if _, addr, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			line := sc.Text()
+			if !strings.Contains(line, "coordinator listening") {
+				continue
+			}
+			if _, addr, ok := strings.Cut(line, "url="); ok {
 				urlc <- strings.Fields(addr)[0]
 			}
 		}

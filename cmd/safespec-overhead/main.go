@@ -71,7 +71,7 @@ func run(ldq, rob int, wfcSpec string, measure bool, workers int, timeout time.D
 		rows = hwmodel.TableV(tech, secure, hwmodel.PaperWFCSizes())
 	}
 
-	fmt.Println("Table V: SafeSpec hardware overhead at 40nm")
-	fmt.Print(figures.FormatTableV(rows))
+	fmt.Fprintln(os.Stdout, "Table V: SafeSpec hardware overhead at 40nm")
+	fmt.Fprint(os.Stdout, figures.FormatTableV(rows))
 	return nil
 }

@@ -1,23 +1,70 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestRunModes(t *testing.T) {
 	for _, mode := range []string{"baseline", "wfb", "wfc"} {
-		if err := run("exchange2", mode, 2000, true, 0); err != nil {
+		if err := run(io.Discard, "exchange2", mode, 2000, true, 0); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run("nope", "wfc", 1000, false, 0); err == nil {
+	if err := run(io.Discard, "nope", "wfc", 1000, false, 0); err == nil {
 		t.Error("unknown benchmark must error")
 	}
 }
 
 func TestRunUnknownMode(t *testing.T) {
-	if err := run("mcf", "turbo", 1000, false, 0); err == nil {
+	if err := run(io.Discard, "mcf", "turbo", 1000, false, 0); err == nil {
 		t.Error("unknown mode must error")
+	}
+}
+
+// TestRunIntrospect checks the -introspect dump: valid JSON under the
+// versioned schema, occupancy sampled once per cycle, and squash causes
+// partitioning the total.
+func TestRunIntrospect(t *testing.T) {
+	var buf strings.Builder
+	if err := runIntrospect(&buf, "exchange2", "wfc", 5_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	var dump introspectDump
+	if err := json.Unmarshal([]byte(buf.String()), &dump); err != nil {
+		t.Fatalf("introspect output is not JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Schema != "safespec/introspect/v1" {
+		t.Errorf("schema = %q", dump.Schema)
+	}
+	if dump.Cycles == 0 || dump.Committed == 0 {
+		t.Errorf("empty run: %+v", dump)
+	}
+	for _, key := range []string{"rob", "issue_queue", "completion_wheel"} {
+		h, ok := dump.Occupancy[key]
+		if !ok {
+			t.Fatalf("occupancy lacks %q", key)
+		}
+		if h.Samples != dump.Cycles {
+			t.Errorf("occupancy[%s]: %d samples over %d cycles", key, h.Samples, dump.Cycles)
+		}
+	}
+	if len(dump.Shadow) != 4 {
+		t.Errorf("wfc dump carries %d shadow summaries, want 4", len(dump.Shadow))
+	}
+}
+
+func TestRunIntrospectBaselineOmitsShadow(t *testing.T) {
+	var buf strings.Builder
+	if err := runIntrospect(&buf, "exchange2", "baseline", 2_000, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"shadow"`) {
+		t.Error("baseline dump must omit the shadow block")
 	}
 }

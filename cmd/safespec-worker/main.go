@@ -11,22 +11,29 @@
 //	safespec-worker -coordinator https://host:9443 -token SECRET -tls-ca cert.pem
 //	safespec-worker -coordinator http://host:9090 -parallel 4 -cache-dir .cache
 //	safespec-worker -coordinator http://host:9090 -max-idle 1m   # exit when orphaned
+//	safespec-worker -coordinator http://host:9090 -pprof 127.0.0.1:6061  # pprof + /metrics
 //
 // The worker polls until interrupted (or the coordinator stays unreachable
 // past -max-idle): an idle worker is a healthy worker waiting for the next
-// sweep.
+// sweep. With -pprof set, the same listener serves Prometheus metrics at
+// /metrics: lease/completion/failure counters, lease round-trip latency,
+// per-job simulate-time histograms, result-cache hits/misses, and 429
+// backoffs.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"safespec/internal/grid"
+	"safespec/internal/obs"
 	"safespec/internal/pprofserve"
 	"safespec/internal/resultcache"
 	"safespec/internal/sweep"
@@ -44,6 +51,9 @@ type config struct {
 	poll        time.Duration
 	maxIdle     time.Duration
 	quiet       bool
+	logLevel    string
+	logFormat   string
+	pprofAddr   string
 }
 
 func main() {
@@ -56,25 +66,30 @@ func main() {
 	flag.StringVar(&c.cacheDir, "cache-dir", "", "content-addressed result cache directory")
 	flag.DurationVar(&c.poll, "poll", 250*time.Millisecond, "idle sleep between lease attempts")
 	flag.DurationVar(&c.maxIdle, "max-idle", 0, "exit after the coordinator has been unreachable this long (0 = keep polling)")
-	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-job progress lines")
-	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (e.g. 127.0.0.1:6060) for live profiling")
+	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-job progress lines (same as -log-level warn)")
+	flag.StringVar(&c.logLevel, "log-level", "info", "log level: debug|info|warn|error")
+	flag.StringVar(&c.logFormat, "log-format", "text", "log format: text|json")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. 127.0.0.1:6061)")
 	flag.Parse()
+
+	if c.quiet && c.logLevel == "info" {
+		c.logLevel = "warn"
+	}
+	log, err := obs.NewLogger(os.Stderr, c.logLevel, c.logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "safespec-worker:", err)
+		os.Exit(1)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if *pprofAddr != "" {
-		if err := pprofserve.Serve(*pprofAddr, nil); err != nil {
-			fmt.Fprintln(os.Stderr, "safespec-worker:", err)
-			os.Exit(1)
-		}
-	}
-	if err := run(ctx, c); err != nil {
-		fmt.Fprintln(os.Stderr, "safespec-worker:", err)
+	if err := run(ctx, c, log); err != nil {
+		log.Error("worker exiting", "err", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, c config) error {
+func run(ctx context.Context, c config, log *slog.Logger) error {
 	if c.coordinator == "" {
 		return fmt.Errorf("-coordinator is required (e.g. -coordinator http://127.0.0.1:9090)")
 	}
@@ -89,21 +104,40 @@ func run(ctx context.Context, c config) error {
 		}
 		c.id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+
+	reg := obs.NewRegistry()
+	metrics := grid.NewWorkerMetrics(reg)
+
 	var exec sweep.Executor
 	if c.cacheDir != "" {
 		cache, err := resultcache.Open(c.cacheDir)
 		if err != nil {
 			return err
 		}
-		defer func() { fmt.Fprintf(os.Stderr, "%s\n", cache) }()
+		defer func() { log.Info("result cache summary", "cache", cache.String()) }()
+		// Mirror the cache's counters into /metrics at scrape time: the
+		// cache already counts under its own lock, the registry copy is
+		// just the exposition view.
+		reg.OnCollect(func() {
+			st := cache.Stats()
+			metrics.CacheHits.Set(st.Hits)
+			metrics.CacheMisses.Set(st.Misses)
+		})
 		exec = resultcache.NewExecutor(cache, nil)
 	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+
+	if c.pprofAddr != "" {
+		ops := http.NewServeMux()
+		ops.Handle("GET /metrics", reg.Handler())
+		addr, err := pprofserve.Serve(c.pprofAddr, ops)
+		if err != nil {
+			return err
+		}
+		log.Info("ops listener up", "addr", addr.String(),
+			"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr))
 	}
-	if c.quiet {
-		logf = nil
-	}
+
 	w := &grid.Worker{
 		Coordinator: c.coordinator,
 		Token:       c.token,
@@ -113,7 +147,8 @@ func run(ctx context.Context, c config) error {
 		Poll:        c.poll,
 		MaxIdle:     c.maxIdle,
 		Client:      client,
-		Logf:        logf,
+		Log:         log,
+		Metrics:     metrics,
 	}
 	return w.Run(ctx)
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"log/slog"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -12,7 +13,7 @@ import (
 )
 
 func TestRequiresCoordinator(t *testing.T) {
-	err := run(context.Background(), config{poll: time.Millisecond, quiet: true})
+	err := run(context.Background(), config{poll: time.Millisecond, quiet: true}, slog.New(slog.DiscardHandler))
 	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
 		t.Errorf("missing -coordinator must error, got %v", err)
 	}
@@ -40,7 +41,7 @@ func TestWorkerServesSweep(t *testing.T) {
 	go func() {
 		workerDone <- run(ctx, config{coordinator: srv.URL, token: token,
 			id: "test-worker", parallel: 2, cacheDir: t.TempDir(),
-			poll: 5 * time.Millisecond, quiet: true})
+			poll: 5 * time.Millisecond, quiet: true}, slog.New(slog.DiscardHandler))
 	}()
 
 	re := &grid.RemoteExecutor{URL: srv.URL, Token: token, PollWait: 100 * time.Millisecond}
@@ -74,7 +75,7 @@ func TestWorkerRejectedToken(t *testing.T) {
 	defer srv.Close()
 
 	err := run(context.Background(), config{coordinator: srv.URL, token: "wrong",
-		id: "test-worker", parallel: 1, poll: time.Millisecond, quiet: true})
+		id: "test-worker", parallel: 1, poll: time.Millisecond, quiet: true}, slog.New(slog.DiscardHandler))
 	if err == nil || !strings.Contains(err.Error(), "401") {
 		t.Errorf("want auth failure, got %v", err)
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -161,9 +162,11 @@ type bucket struct {
 	now    func() time.Time
 }
 
-// allow consumes one token, reporting false (rate exceeded) when the
-// bucket is empty.
-func (b *bucket) allow() bool {
+// allow consumes one token. When the bucket is empty it reports false
+// plus how long until refill yields the next whole token — the basis for
+// the 429 response's Retry-After header, so a well-behaved client backs
+// off exactly as long as the deficit demands instead of guessing.
+func (b *bucket) allow() (bool, time.Duration) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	now := b.now()
@@ -172,10 +175,11 @@ func (b *bucket) allow() bool {
 	}
 	b.last = now
 	if b.tokens < 1 {
-		return false
+		wait := time.Duration((1 - b.tokens) / b.rate * float64(time.Second))
+		return false, wait
 	}
 	b.tokens--
-	return true
+	return true, 0
 }
 
 // tenantKey carries the resolved tenant through the request context.
@@ -202,12 +206,20 @@ func (s *Server) authTenants(next http.Handler) http.Handler {
 			return
 		}
 		ts.requests.Add(1)
-		if ts.limiter != nil && !ts.limiter.allow() {
-			ts.rateLimited.Add(1)
-			w.Header().Set("Retry-After", "1")
-			http.Error(w, fmt.Sprintf("tenant %q over its request rate (%.3g/s)", ts.Name, ts.RatePerSec),
-				http.StatusTooManyRequests)
-			return
+		if ts.limiter != nil {
+			if ok, wait := ts.limiter.allow(); !ok {
+				ts.rateLimited.Add(1)
+				// Retry-After carries whole delay-seconds; round the bucket's
+				// deficit up so a compliant client never retries early.
+				secs := int64((wait + time.Second - 1) / time.Second)
+				if secs < 1 {
+					secs = 1
+				}
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				http.Error(w, fmt.Sprintf("tenant %q over its request rate (%.3g/s)", ts.Name, ts.RatePerSec),
+					http.StatusTooManyRequests)
+				return
+			}
 		}
 		next.ServeHTTP(w, req.WithContext(context.WithValue(req.Context(), tenantKey{}, ts)))
 	})

@@ -224,7 +224,7 @@ func TestSweepOwnership(t *testing.T) {
 
 // metricLine matches one well-formed sample in the Prometheus text
 // exposition format, as the CI scrape gate does.
-var metricLine = regexp.MustCompile(`^safespec_[a-z_]+(\{tenant="(\\.|[^"\\])*"\})? -?[0-9]+(\.[0-9]+)?$`)
+var metricLine = regexp.MustCompile(`^safespec_[a-z0-9_]+(\{[a-z]+="(\\.|[^"\\])*"\})? -?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$`)
 
 // TestMetricsWellFormed scrapes /metrics off the ops handler and checks
 // every line is either a HELP/TYPE comment or a well-formed safespec_
@@ -282,7 +282,15 @@ func TestMetricsWellFormed(t *testing.T) {
 		}
 		name, value, _ := strings.Cut(line, " ")
 		family, _, _ := strings.Cut(name, "{")
-		if !typed[family] {
+		// Histogram samples carry the family name plus a series suffix.
+		base := family
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(family, suf) {
+				base = strings.TrimSuffix(family, suf)
+				break
+			}
+		}
+		if !typed[family] && !typed[base] {
 			t.Errorf("sample %q appears before its # TYPE", line)
 		}
 		samples[name] = value

@@ -55,6 +55,10 @@ type LeaseResponse struct {
 	// TTLMS is the lease duration; the worker must report the result within
 	// it or the job is re-queued to another worker.
 	TTLMS int64 `json:"ttl_ms"`
+	// SweepID names the submitted sweep the job belongs to ("" for jobs
+	// queued by a direct Execute call). It exists so worker logs carry the
+	// sweep end to end; older workers ignore the field.
+	SweepID string `json:"sweep_id,omitempty"`
 }
 
 // ResultRequest reports a finished lease. Result carries the job's error
@@ -94,9 +98,12 @@ type Options struct {
 type task struct {
 	index     int
 	job       sweep.Job
+	sweepID   string // owning submitted sweep ("" for direct Execute jobs)
 	attempts  int
 	leaseID   string        // non-empty while leased
 	deadline  time.Time     // lease expiry while leased
+	enqueued  time.Time     // when the job entered the queue (queue-wait span)
+	granted   time.Time     // most recent lease grant (report-overhead span)
 	done      chan outcome  // terminal outcome for Execute callers (nil when deliver is set)
 	deliver   func(outcome) // terminal outcome for submitted sweeps (nil for Execute tasks)
 	elem      *list.Element // position in pending while queued
@@ -106,8 +113,9 @@ type task struct {
 }
 
 type outcome struct {
-	res *core.Results
-	err error
+	res    *core.Results
+	err    error
+	timing *sweep.Timing // span breakdown (nil when the worker sent none)
 }
 
 // finish hands the task its terminal outcome, exactly once. Callers must
@@ -125,6 +133,11 @@ func (t *task) finish(out outcome) {
 // worker pool while the HTTP handlers serve workers.
 type Coordinator struct {
 	opts Options
+
+	// observe, when non-nil, receives every completed result (with its
+	// server-stamped Timing) right after delivery; the Server wires it to
+	// the metrics histograms. Set before any worker traffic, never after.
+	observe func(sweep.Result)
 
 	mu      sync.Mutex
 	pending *list.List       // *task FIFO; retried jobs go to the front
@@ -161,19 +174,27 @@ func NewCoordinator(opts Options) *Coordinator {
 // lease attempts, or ctx is cancelled. The bound on concurrently queued
 // jobs is sweep.Options.Workers — size it to the fleet's total capacity.
 func (c *Coordinator) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
-	t := c.enqueue(index, j, nil)
+	res, _, err := c.ExecuteTimed(ctx, index, j)
+	return res, err
+}
+
+// ExecuteTimed is Execute returning the coordinator-stamped span breakdown
+// (nil when the reporting worker sent none), so sweep.Run records Timing
+// for `-serve` sweeps too.
+func (c *Coordinator) ExecuteTimed(ctx context.Context, index int, j sweep.Job) (*core.Results, *sweep.Timing, error) {
+	t := c.enqueue(index, j, "", nil)
 
 	select {
 	case out := <-t.done:
-		return out.res, out.err
+		return out.res, out.timing, out.err
 	case <-ctx.Done():
 		c.abandon(t)
 		// A result may have raced the cancellation; prefer it.
 		select {
 		case out := <-t.done:
-			return out.res, out.err
+			return out.res, out.timing, out.err
 		default:
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 }
@@ -181,8 +202,10 @@ func (c *Coordinator) Execute(ctx context.Context, index int, j sweep.Job) (*cor
 // enqueue queues one job for the worker fleet and returns its task. When
 // deliver is non-nil the terminal outcome goes to it (called without c.mu
 // held); otherwise the task carries a buffered channel for Execute.
-func (c *Coordinator) enqueue(index int, j sweep.Job, deliver func(outcome)) *task {
-	t := &task{index: index, job: j, deliver: deliver}
+// sweepID labels the owning submitted sweep in lease responses ("" for
+// direct Execute jobs).
+func (c *Coordinator) enqueue(index int, j sweep.Job, sweepID string, deliver func(outcome)) *task {
+	t := &task{index: index, job: j, sweepID: sweepID, deliver: deliver, enqueued: c.opts.now()}
 	if deliver == nil {
 		t.done = make(chan outcome, 1)
 	}
@@ -262,6 +285,7 @@ func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
 		c.seq++
 		t.leaseID = fmt.Sprintf("%s-%d", worker, c.seq)
 		t.deadline = now.Add(c.opts.LeaseTTL)
+		t.granted = now
 		t.attempts++
 		c.granted++
 		c.leases[t.leaseID] = t
@@ -270,6 +294,7 @@ func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
 			Index:   t.index,
 			Job:     t.job,
 			TTLMS:   c.opts.LeaseTTL.Milliseconds(),
+			SweepID: t.sweepID,
 		}
 		ok = true
 	}
@@ -289,6 +314,7 @@ func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
 // the result.
 func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
 	c.mu.Lock()
+	now := c.opts.now()
 	t, ok := c.leases[leaseID]
 	if ok {
 		delete(c.leases, leaseID)
@@ -312,12 +338,27 @@ func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
 		t.completed = true
 		c.purgeExpiredLocked(t)
 		c.completed++
+		if r.Timing != nil {
+			// Stamp the server-side spans onto a copy of the worker's
+			// breakdown: queue wait (enqueue to the completing lease's grant)
+			// and report overhead (grant-to-report round trip net of the time
+			// the worker accounted for itself, clamped — clock skew and
+			// requeued leases can make the difference negative). A worker
+			// that sent no Timing predates the field; its result stays bare.
+			tm := *r.Timing
+			tm.QueueNS = int64(t.granted.Sub(t.enqueued))
+			tm.ReportNS = max(int64(now.Sub(t.granted))-tm.SimulateNS-tm.CacheNS, 0)
+			r.Timing = &tm
+		}
 	}
 	c.mu.Unlock()
 	if !ok {
 		return false
 	}
-	t.finish(outcome{res: r.Res, err: r.Err})
+	t.finish(outcome{res: r.Res, err: r.Err, timing: r.Timing})
+	if c.observe != nil {
+		c.observe(r)
+	}
 	return true
 }
 

@@ -1,60 +1,100 @@
 package grid
 
 import (
-	"fmt"
 	"io"
 	"net/http"
+	"time"
+
+	"safespec/internal/obs"
+	"safespec/internal/sweep"
 )
+
+// newRegistry builds the server's /metrics registry. The counter and gauge
+// families mirror the accounting snapshot at scrape time — one Stats()
+// call per scrape, through the registry's OnCollect hook — so their values
+// are exactly what /v1/stats reports. The span histograms are live: the
+// coordinator's completion path observes every reported job's Timing, and
+// it also wires that path up here (via Coordinator.observe).
+func (s *Server) newRegistry() *obs.Registry {
+	reg := obs.NewRegistry()
+
+	pending := reg.Gauge("safespec_jobs_pending", "Jobs queued waiting for a worker lease.")
+	leased := reg.Gauge("safespec_leases_active", "Leases currently held by workers.")
+	expired := reg.Gauge("safespec_leases_expired_awaiting", "Timed-out leases still eligible for a late result.")
+	granted := reg.Counter("safespec_leases_granted_total", "Leases handed to polling workers.")
+	completed := reg.Counter("safespec_jobs_completed_total", "Jobs finished with a reported result.")
+	requeued := reg.Counter("safespec_leases_requeued_total", "Leases lost to TTL expiry and requeued.")
+	failed := reg.Counter("safespec_jobs_failed_total", "Jobs failed after exhausting their lease attempts.")
+
+	sweeps := reg.Gauge("safespec_sweeps_active", "Sweeps currently open on the server.")
+	submitted := reg.Counter("safespec_sweeps_submitted_total", "Sweeps opened over the server's lifetime.")
+	abandoned := reg.Counter("safespec_sweeps_abandoned_total", "Sweeps abandoned after their client went idle past the TTL.")
+	streamed := reg.Counter("safespec_results_streamed_total", "Results delivered through batch streaming responses.")
+	authFail := reg.Counter("safespec_auth_failures_total", "Requests rejected with 401 (unknown bearer token).")
+
+	tenantSweeps := reg.GaugeVec("safespec_tenant_sweeps_active", "Open sweeps per tenant.", "tenant")
+	tenantReqs := reg.CounterVec("safespec_tenant_requests_total", "Authenticated requests per tenant.", "tenant")
+	tenantLimited := reg.CounterVec("safespec_tenant_rate_limited_total", "Requests rejected with 429 per tenant.", "tenant")
+	tenantQuota := reg.CounterVec("safespec_tenant_quota_rejected_total", "Sweep submissions rejected over quota per tenant.", "tenant")
+
+	queueWait := reg.Histogram("safespec_job_queue_wait_seconds",
+		"Per-job wait between enqueue and the completing lease grant.", nil)
+	cacheTime := reg.Histogram("safespec_job_cache_lookup_seconds",
+		"Per-job worker-side result-cache lookup and store time.", nil)
+	simTime := reg.Histogram("safespec_job_simulate_seconds",
+		"Per-job worker-side simulation time.", nil)
+	reportOverhead := reg.Histogram("safespec_job_report_overhead_seconds",
+		"Per-job report overhead: lease round trip net of worker-accounted time.", nil)
+
+	reg.OnCollect(func() {
+		snap := s.Stats()
+		pending.Set(int64(snap.Pending))
+		leased.Set(int64(snap.Leased))
+		expired.Set(int64(snap.Expired))
+		granted.Set(snap.Granted)
+		completed.Set(snap.Completed)
+		requeued.Set(snap.Requeued)
+		failed.Set(snap.Failed)
+		sweeps.Set(int64(snap.Sweeps))
+		submitted.Set(snap.SweepsSubmitted)
+		abandoned.Set(snap.SweepsAbandoned)
+		streamed.Set(snap.ResultsStreamed)
+		authFail.Set(snap.AuthFailures)
+		for _, ts := range snap.Tenants {
+			tenantSweeps.With(ts.Name).Set(int64(ts.ActiveSweeps))
+			tenantReqs.With(ts.Name).Set(ts.Requests)
+			tenantLimited.With(ts.Name).Set(ts.RateLimited)
+			tenantQuota.With(ts.Name).Set(ts.QuotaRejected)
+		}
+	})
+
+	s.coord.observe = func(r sweep.Result) {
+		if r.Timing == nil {
+			return
+		}
+		sec := func(ns int64) float64 { return time.Duration(ns).Seconds() }
+		queueWait.Observe(sec(r.Timing.QueueNS))
+		if r.Timing.CacheNS > 0 {
+			cacheTime.Observe(sec(r.Timing.CacheNS))
+		}
+		if r.Timing.SimulateNS > 0 {
+			simTime.Observe(sec(r.Timing.SimulateNS))
+		}
+		reportOverhead.Observe(sec(r.Timing.ReportNS))
+	}
+
+	return reg
+}
 
 // WriteMetrics renders the server's accounting in the Prometheus text
 // exposition format (version 0.0.4): coordinator lease/job counters, sweep
-// lifecycle counters, and per-tenant request/limit counters under the
-// `safespec_` namespace. It is mounted (with the /status page) on the
-// operations port — the same dedicated listener as pprof, never the
-// authenticated /v1/* mux — so a scraper needs no tenant token and a
-// leaked scrape config reveals none.
+// lifecycle counters, per-tenant request/limit counters, and per-job span
+// histograms under the `safespec_` namespace. It is mounted (with the
+// /status page) on the operations port — the same dedicated listener as
+// pprof, never the authenticated /v1/* mux — so a scraper needs no tenant
+// token and a leaked scrape config reveals none.
 func (s *Server) WriteMetrics(w io.Writer) {
-	snap := s.Stats()
-
-	gauge := func(name, help string, v any) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %v\n", name, help, name, name, v)
-	}
-	counter := func(name, help string, v uint64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-
-	gauge("safespec_jobs_pending", "Jobs queued waiting for a worker lease.", snap.Pending)
-	gauge("safespec_leases_active", "Leases currently held by workers.", snap.Leased)
-	gauge("safespec_leases_expired_awaiting", "Timed-out leases still eligible for a late result.", snap.Expired)
-	counter("safespec_leases_granted_total", "Leases handed to polling workers.", snap.Granted)
-	counter("safespec_jobs_completed_total", "Jobs finished with a reported result.", snap.Completed)
-	counter("safespec_leases_requeued_total", "Leases lost to TTL expiry and requeued.", snap.Requeued)
-	counter("safespec_jobs_failed_total", "Jobs failed after exhausting their lease attempts.", snap.Failed)
-
-	gauge("safespec_sweeps_active", "Sweeps currently open on the server.", snap.Sweeps)
-	counter("safespec_sweeps_submitted_total", "Sweeps opened over the server's lifetime.", snap.SweepsSubmitted)
-	counter("safespec_sweeps_abandoned_total", "Sweeps abandoned after their client went idle past the TTL.", snap.SweepsAbandoned)
-	counter("safespec_results_streamed_total", "Results delivered through batch streaming responses.", snap.ResultsStreamed)
-	counter("safespec_auth_failures_total", "Requests rejected with 401 (unknown bearer token).", snap.AuthFailures)
-
-	if len(snap.Tenants) > 0 {
-		tenantFamily := func(name, help, kind string, value func(TenantSnapshot) any) {
-			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
-			for _, ts := range snap.Tenants {
-				// %q escapes backslash, quote and newline exactly as the
-				// exposition format requires for label values.
-				fmt.Fprintf(w, "%s{tenant=%q} %v\n", name, ts.Name, value(ts))
-			}
-		}
-		tenantFamily("safespec_tenant_sweeps_active", "Open sweeps per tenant.", "gauge",
-			func(ts TenantSnapshot) any { return ts.ActiveSweeps })
-		tenantFamily("safespec_tenant_requests_total", "Authenticated requests per tenant.", "counter",
-			func(ts TenantSnapshot) any { return ts.Requests })
-		tenantFamily("safespec_tenant_rate_limited_total", "Requests rejected with 429 per tenant.", "counter",
-			func(ts TenantSnapshot) any { return ts.RateLimited })
-		tenantFamily("safespec_tenant_quota_rejected_total", "Sweep submissions rejected over quota per tenant.", "counter",
-			func(ts TenantSnapshot) any { return ts.QuotaRejected })
-	}
+	s.reg.WritePrometheus(w)
 }
 
 // OpsHandler returns the unauthenticated operations surface mounted on the
@@ -65,10 +105,7 @@ func (s *Server) WriteMetrics(w io.Writer) {
 // names and sweep shapes (never tokens or results).
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.WriteMetrics(w)
-	})
+	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		s.WriteStatus(w)

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"sync"
@@ -49,8 +50,8 @@ type RemoteExecutor struct {
 	// PollWait is the long-poll duration requested per result-batch poll
 	// (default 25s; the server caps it at one minute).
 	PollWait time.Duration
-	// Logf receives progress lines (nil discards them).
-	Logf func(format string, args ...any)
+	// Log receives structured progress records (nil discards them).
+	Log *slog.Logger
 
 	mu        sync.Mutex
 	sweepID   string
@@ -106,10 +107,11 @@ func NewHTTPClient(caFile string, timeout time.Duration) (*http.Client, error) {
 	return client, nil
 }
 
-func (r *RemoteExecutor) logf(format string, args ...any) {
-	if r.Logf != nil {
-		r.Logf(format, args...)
+func (r *RemoteExecutor) log() *slog.Logger {
+	if r.Log != nil {
+		return r.Log
 	}
+	return slog.New(slog.DiscardHandler)
 }
 
 // Submit implements sweep.Submitter: it opens a sweep on the coordinator
@@ -128,7 +130,7 @@ func (r *RemoteExecutor) Submit(ctx context.Context, jobs []sweep.Job) error {
 		r.submitted[i] = true
 	}
 	r.mu.Unlock()
-	r.logf("grid: sweep %s submitted to %s (%d jobs)", resp.SweepID, r.URL, len(jobs))
+	r.log().Info("sweep submitted", "sweep", resp.SweepID, "coordinator", r.URL, "jobs", len(jobs))
 	return nil
 }
 
@@ -152,16 +154,24 @@ func (r *RemoteExecutor) openSweep(ctx context.Context, jobs []sweep.Job) (Submi
 // Execute submits the job if the matrix announcement did not already cover
 // it, then waits for the shared result stream to deliver its index.
 func (r *RemoteExecutor) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
+	res, _, err := r.ExecuteTimed(ctx, index, j)
+	return res, err
+}
+
+// ExecuteTimed is Execute returning the streamed result's span breakdown
+// (stamped by the coordinator and the reporting worker; nil when either
+// predates timing), so sweep.Run records Timing for remote sweeps.
+func (r *RemoteExecutor) ExecuteTimed(ctx context.Context, index int, j sweep.Job) (*core.Results, *sweep.Timing, error) {
 	id, err := r.ensure(ctx, index, j)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	r.mu.Lock()
 	if res, ok := r.arrived[index]; ok {
 		delete(r.arrived, index)
 		r.mu.Unlock()
-		return res.Res, res.Err
+		return res.Res, res.Timing, res.Err
 	}
 	ch := make(chan sweep.Result, 1)
 	if r.waiters == nil {
@@ -174,13 +184,13 @@ func (r *RemoteExecutor) Execute(ctx context.Context, index int, j sweep.Job) (*
 
 	select {
 	case res := <-ch:
-		return res.Res, res.Err
+		return res.Res, res.Timing, res.Err
 	case <-end:
 		r.mu.Lock()
 		err := r.streamErr
 		delete(r.waiters, index)
 		r.mu.Unlock()
-		return nil, fmt.Errorf("grid: sweep %s job %d: %w", id, index, err)
+		return nil, nil, fmt.Errorf("grid: sweep %s job %d: %w", id, index, err)
 	case <-ctx.Done():
 		r.mu.Lock()
 		delete(r.waiters, index)
@@ -188,9 +198,9 @@ func (r *RemoteExecutor) Execute(ctx context.Context, index int, j sweep.Job) (*
 		// A delivery may have raced the cancellation; prefer it.
 		select {
 		case res := <-ch:
-			return res.Res, res.Err
+			return res.Res, res.Timing, res.Err
 		default:
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
 	}
 }
@@ -290,7 +300,7 @@ func (r *RemoteExecutor) ensure(ctx context.Context, index int, j sweep.Job) (st
 		}
 		r.sweepID = resp.SweepID
 		r.submitted = make(map[int]bool)
-		r.logf("grid: sweep %s opened on %s (incremental submission)", resp.SweepID, r.URL)
+		r.log().Info("sweep opened for incremental submission", "sweep", resp.SweepID, "coordinator", r.URL)
 	}
 	id := r.sweepID
 	claimed := r.submitted[index]
@@ -388,11 +398,11 @@ func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, error)) (int
 		}
 		switch {
 		case err != nil:
-			r.logf("grid: %s unreachable (%v); backing off %v", r.URL, err, backoff)
+			r.log().Warn("coordinator unreachable, backing off", "coordinator", r.URL, "err", err.Error(), "pause", backoff.String())
 		case status == http.StatusTooManyRequests:
-			r.logf("grid: %s rate-limited this tenant (429); backing off %v", r.URL, backoff)
+			r.log().Info("coordinator rate limit, backing off", "coordinator", r.URL, "pause", backoff.String())
 		default:
-			r.logf("grid: %s returned %d; backing off %v", r.URL, status, backoff)
+			r.log().Warn("coordinator error, backing off", "coordinator", r.URL, "status", status, "pause", backoff.String())
 		}
 	}
 	if err == nil {
@@ -427,17 +437,25 @@ func newNonce() string {
 // transport and decoding failures only; HTTP statuses are the caller's to
 // interpret.
 func doJSON(ctx context.Context, client *http.Client, method, url, token string, in, out any) (int, error) {
+	status, _, err := doJSONHdr(ctx, client, method, url, token, in, out)
+	return status, err
+}
+
+// doJSONHdr is doJSON also returning the response headers (nil on
+// transport failure), for callers that interpret advisory headers such as
+// a 429's Retry-After.
+func doJSONHdr(ctx context.Context, client *http.Client, method, url, token string, in, out any) (int, http.Header, error) {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		body = bytes.NewReader(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
@@ -447,7 +465,7 @@ func doJSON(ctx context.Context, client *http.Client, method, url, token string,
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	defer func() {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, maxBody))
@@ -455,8 +473,8 @@ func doJSON(ctx context.Context, client *http.Client, method, url, token string,
 	}()
 	if out != nil && resp.StatusCode == http.StatusOK {
 		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out); err != nil {
-			return resp.StatusCode, err
+			return resp.StatusCode, resp.Header, err
 		}
 	}
-	return resp.StatusCode, nil
+	return resp.StatusCode, resp.Header, nil
 }

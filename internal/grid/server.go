@@ -2,6 +2,7 @@ package grid
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"safespec/internal/obs"
 	"safespec/internal/sweep"
 )
 
@@ -40,6 +42,10 @@ type Server struct {
 	opts  ServerOptions
 	coord *Coordinator
 	auth  *authenticator
+	// reg renders /metrics: registry-owned histograms observe live job
+	// timing, while the counter/gauge families mirror Stats() at scrape
+	// time through an OnCollect hook.
+	reg *obs.Registry
 
 	authFailures    atomic.Uint64
 	resultsStreamed atomic.Uint64
@@ -68,8 +74,9 @@ type ServerOptions struct {
 	// polled results for this long (default 10 minutes). Live clients
 	// long-poll far more often than that.
 	SweepTTL time.Duration
-	// Logf receives progress lines (nil discards them).
-	Logf func(format string, args ...any)
+	// Log receives the server's structured progress records (nil discards
+	// them).
+	Log *slog.Logger
 	// now is a test seam for the sweep liveness and rate-limit clock.
 	now func() time.Time
 }
@@ -169,6 +176,8 @@ type sweepState struct {
 	log       []sweep.Result // completed results in completion order
 	logGrew   chan struct{}  // closed and replaced on every log append
 	completed int
+	spans     sweep.Timing // summed Timing across the timed results
+	timed     int          // results that carried a Timing
 	created   time.Time
 	lastSeen  time.Time
 	closed    bool
@@ -192,8 +201,8 @@ func NewServer(opts ServerOptions) *Server {
 	if opts.SweepTTL <= 0 {
 		opts.SweepTTL = 10 * time.Minute
 	}
-	if opts.Logf == nil {
-		opts.Logf = func(string, ...any) {}
+	if opts.Log == nil {
+		opts.Log = slog.New(slog.DiscardHandler)
 	}
 	if opts.now == nil {
 		opts.now = time.Now
@@ -203,13 +212,15 @@ func NewServer(opts ServerOptions) *Server {
 		// The single -token shorthand: one unlimited tenant.
 		tenants = []Tenant{{Name: "default", Token: opts.Token}}
 	}
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		coord:   NewCoordinator(opts.Lease),
 		auth:    newAuthenticator(tenants, opts.now),
 		sweeps:  make(map[string]*sweepState),
 		byNonce: make(map[string]string),
 	}
+	s.reg = s.newRegistry()
+	return s
 }
 
 // Stats snapshots the server and its embedded coordinator.
@@ -322,7 +333,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		s.byNonce[sr.Nonce] = st.id
 	}
 	s.mu.Unlock()
-	s.opts.Logf("grid: sweep %s opened by tenant %q with %d jobs", st.id, tenant.Name, len(sr.Jobs))
+	s.opts.Log.Info("sweep opened", "sweep", st.id, "tenant", tenant.Name, "jobs", len(sr.Jobs))
 	writeJSON(w, SubmitResponse{SweepID: st.id, Jobs: len(sr.Jobs)})
 }
 
@@ -501,7 +512,7 @@ func (s *Server) handleClose(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	submitted, completed := s.abandonSweep(st)
-	s.opts.Logf("grid: sweep %s closed (%d/%d jobs completed)", id, completed, submitted)
+	s.opts.Log.Info("sweep closed", "sweep", id, "completed", completed, "submitted", submitted)
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -550,11 +561,15 @@ func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
 	}
 	sl := &slot{job: job, ready: make(chan struct{})}
 	st.slots[index] = sl
-	sl.task = s.coord.enqueue(index, job, func(out outcome) {
-		res := &sweep.Result{Index: index, Job: job, Res: out.res, Err: out.err}
+	sl.task = s.coord.enqueue(index, job, st.id, func(out outcome) {
+		res := &sweep.Result{Index: index, Job: job, Res: out.res, Err: out.err, Timing: out.timing}
 		st.mu.Lock()
 		sl.res = res
 		st.completed++
+		if out.timing != nil {
+			st.spans.Add(*out.timing)
+			st.timed++
+		}
 		st.log = append(st.log, *res)
 		if st.logGrew != nil {
 			close(st.logGrew) // wake every batch long-poll
@@ -613,7 +628,7 @@ func (s *Server) gc(now time.Time) {
 	s.mu.Unlock()
 	for _, st := range drop {
 		submitted, completed := s.abandonSweep(st)
-		s.opts.Logf("grid: sweep %s abandoned after %v idle (%d/%d jobs completed)",
-			st.id, s.opts.SweepTTL, completed, submitted)
+		s.opts.Log.Warn("sweep abandoned", "sweep", st.id, "idle", s.opts.SweepTTL.String(),
+			"completed", completed, "submitted", submitted)
 	}
 }

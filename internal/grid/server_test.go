@@ -274,7 +274,7 @@ func TestExpiredLeasesPurgedOnCompletion(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1_000, 0)}
 	coord := NewCoordinator(Options{LeaseTTL: time.Minute, now: clk.Now})
 	ch := make(chan outcome, 1)
-	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, func(o outcome) { ch <- o })
+	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, "", func(o outcome) { ch <- o })
 
 	crash, ok := coord.lease("crasher")
 	if !ok {
@@ -315,7 +315,7 @@ func TestExpiredLeasesPurgedOnFailure(t *testing.T) {
 	clk := &fakeClock{now: time.Unix(1_000, 0)}
 	coord := NewCoordinator(Options{LeaseTTL: time.Minute, MaxAttempts: 2, now: clk.Now})
 	ch := make(chan outcome, 1)
-	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, func(o outcome) { ch <- o })
+	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, "", func(o outcome) { ch <- o })
 
 	if _, ok := coord.lease("c1"); !ok {
 		t.Fatal("no first lease")

@@ -6,6 +6,8 @@ import (
 	"io"
 	"sort"
 	"time"
+
+	"safespec/internal/sweep"
 )
 
 // statusSweep is one sweep's render model for the /status page: the
@@ -18,9 +20,12 @@ type statusSweep struct {
 	Submitted int
 	Completed int
 	Done      bool
-	Modes     []string       // column order: first appearance by job index
-	Benches   []string       // row order: first appearance by job index
-	Cells     [][]statusCell // [bench][mode]; zero value for absent cells
+	// Spans renders the mean per-job span breakdown across the results
+	// that carried a Timing ("" until one arrives).
+	Spans   string
+	Modes   []string       // column order: first appearance by job index
+	Benches []string       // row order: first appearance by job index
+	Cells   [][]statusCell // [bench][mode]; zero value for absent cells
 }
 
 // statusPage is the full render model.
@@ -57,7 +62,7 @@ sweeps: {{.Snap.Sweeps}} open / {{.Snap.SweepsSubmitted}} lifetime
 {{end}}</table>{{end}}
 {{range .Sweeps}}
 <h2>{{.ID}} <span class="muted">tenant {{.Tenant}} &middot; {{.Age}} old &middot;
-{{.Completed}}/{{.Submitted}} jobs{{if .Done}} &middot; done{{end}}</span></h2>
+{{.Completed}}/{{.Submitted}} jobs{{if .Done}} &middot; done{{end}}{{if .Spans}} &middot; mean spans: {{.Spans}}{{end}}</span></h2>
 <table>
 <tr><th>bench</th>{{range .Modes}}<th>{{.}}</th>{{end}}</tr>
 {{$s := .}}{{range $bi, $b := .Benches}}<tr><td class="b">{{$b}}</td>
@@ -105,6 +110,16 @@ func (s *Server) WriteStatus(w io.Writer) {
 		}
 		if st.tenant != nil {
 			sw.Tenant = st.tenant.Name
+		}
+		if st.timed > 0 {
+			n := int64(st.timed)
+			mean := sweep.Timing{
+				QueueNS:    st.spans.QueueNS / n,
+				CacheNS:    st.spans.CacheNS / n,
+				SimulateNS: st.spans.SimulateNS / n,
+				ReportNS:   st.spans.ReportNS / n,
+			}
+			sw.Spans = mean.String()
 		}
 		indices := make([]int, 0, len(st.slots))
 		for i := range st.slots {

@@ -4,12 +4,51 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
+	"safespec/internal/obs"
 	"safespec/internal/sweep"
 )
+
+// WorkerMetrics is the instrument set a worker exposes on its -pprof/ops
+// listener. Register it once on a registry and share it across the
+// worker's lease loops; a nil *WorkerMetrics disables instrumentation (all
+// methods on the zero Worker still work).
+type WorkerMetrics struct {
+	// Leased/Completed/Failed/Requeued count job outcomes: leases obtained,
+	// results accepted by the coordinator, jobs whose execution returned an
+	// error (still reported — an error is a final result), and results the
+	// coordinator discarded (expired lease) or jobs abandoned on shutdown.
+	Leased, Completed, Failed, Requeued *obs.Counter
+	// Backoff429 counts coordinator rate-limit responses (lease and report).
+	Backoff429 *obs.Counter
+	// CacheHits/CacheMisses mirror the worker's result cache at scrape time
+	// (the binary wires the mirror; they stay 0 without a cache).
+	CacheHits, CacheMisses *obs.Counter
+	// LeaseLatency observes the lease POST round trip; SimulateTime
+	// observes each job's simulate span.
+	LeaseLatency, SimulateTime *obs.Histogram
+}
+
+// NewWorkerMetrics registers the worker instrument set on reg.
+func NewWorkerMetrics(reg *obs.Registry) *WorkerMetrics {
+	return &WorkerMetrics{
+		Leased:       reg.Counter("safespec_worker_jobs_leased_total", "Job leases obtained from the coordinator."),
+		Completed:    reg.Counter("safespec_worker_jobs_completed_total", "Results accepted by the coordinator."),
+		Failed:       reg.Counter("safespec_worker_jobs_failed_total", "Jobs whose execution returned an error."),
+		Requeued:     reg.Counter("safespec_worker_jobs_requeued_total", "Results discarded (stale lease) or jobs abandoned on shutdown."),
+		Backoff429:   reg.Counter("safespec_worker_backoff_429_total", "Coordinator rate-limit (429) backoffs across lease and report."),
+		CacheHits:    reg.Counter("safespec_worker_cache_hits_total", "Result-cache hits (0 without -cache-dir)."),
+		CacheMisses:  reg.Counter("safespec_worker_cache_misses_total", "Result-cache misses (0 without -cache-dir)."),
+		LeaseLatency: reg.Histogram("safespec_worker_lease_latency_seconds", "Lease request round-trip latency.", nil),
+		SimulateTime: reg.Histogram("safespec_worker_job_simulate_seconds", "Per-job simulation time.", nil),
+	}
+}
 
 // Worker polls a coordinator for leased jobs, executes them and reports
 // results. Parallel lease loops run concurrently; each one simulates
@@ -28,7 +67,8 @@ type Worker struct {
 	// Exec executes leased jobs (nil selects sweep.LocalExecutor).
 	Exec sweep.Executor
 	// Poll is the idle sleep between lease attempts when the coordinator
-	// has no work (default 250ms). Transport errors back off up to 16x.
+	// has no work (default 250ms). Transport errors back off up to 16x; a
+	// coordinator 429 carrying a Retry-After header is honored instead.
 	Poll time.Duration
 	// MaxIdle exits Run after the coordinator has been unreachable for this
 	// long (0 = keep polling until ctx is cancelled). Idle 204 responses do
@@ -36,8 +76,28 @@ type Worker struct {
 	MaxIdle time.Duration
 	// Client is the HTTP client (nil selects one with a 30s timeout).
 	Client *http.Client
-	// Logf receives progress lines (nil discards them).
-	Logf func(format string, args ...any)
+	// Log receives structured progress records (nil discards them). Job
+	// records carry sweep id, job hash, bench, mode and seed.
+	Log *slog.Logger
+	// Metrics, when non-nil, counts job outcomes and observes latencies.
+	Metrics *WorkerMetrics
+
+	// sleepFn is a test seam for backoff pauses (defaults to sleep).
+	sleepFn func(ctx context.Context, d time.Duration) bool
+}
+
+func (w *Worker) log() *slog.Logger {
+	if w.Log != nil {
+		return w.Log
+	}
+	return slog.New(slog.DiscardHandler)
+}
+
+func (w *Worker) sleep(ctx context.Context, d time.Duration) bool {
+	if w.sleepFn != nil {
+		return w.sleepFn(ctx, d)
+	}
+	return sleep(ctx, d)
 }
 
 // Run polls until ctx is cancelled (or the coordinator stays unreachable
@@ -63,17 +123,13 @@ func (w *Worker) Run(ctx context.Context) error {
 	if exec == nil {
 		exec = sweep.LocalExecutor{}
 	}
-	logf := w.Logf
-	if logf == nil {
-		logf = func(string, ...any) {}
-	}
 	loops := w.Parallel
 	if loops <= 0 {
 		loops = runtime.GOMAXPROCS(0)
 	}
-	logf("worker %s: polling %s with %d lease loops", w.ID, w.Coordinator, loops)
+	w.log().Info("worker polling", "worker", w.ID, "coordinator", w.Coordinator, "loops", loops)
 	err := sweep.ForEach(ctx, loops, loops, func(ctx context.Context, loop int) error {
-		return w.loop(ctx, loop, client, exec, poll, logf)
+		return w.loop(ctx, loop, client, exec, poll)
 	})
 	if ctx.Err() != nil {
 		return nil
@@ -83,14 +139,19 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // loop is one lease loop: lease, execute, report, repeat.
 func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
-	exec sweep.Executor, poll time.Duration, logf func(string, ...any)) error {
+	exec sweep.Executor, poll time.Duration) error {
+	log := w.log().With("worker", w.ID, "loop", loop)
 	backoff := poll
 	var unreachableSince time.Time
 	for {
 		if ctx.Err() != nil {
 			return nil
 		}
-		lease, ok, err := w.lease(ctx, client, loop)
+		leaseStart := time.Now()
+		lease, ok, hint, err := w.lease(ctx, client, loop)
+		if err == nil && w.Metrics != nil {
+			w.Metrics.LeaseLatency.Observe(time.Since(leaseStart).Seconds())
+		}
 		switch {
 		case errors.Is(err, errUnauthorized):
 			// A wrong token never becomes right; polling on would only spam
@@ -99,9 +160,18 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 		case errors.Is(err, errRateLimited):
 			// The coordinator is pacing this tenant, not failing: back off
 			// without starting the MaxIdle unreachability clock (a
-			// rate-limited coordinator is a reachable coordinator).
-			logf("worker %s/%d: coordinator rate limit (429); backing off %v", w.ID, loop, backoff)
-			if !sleep(ctx, backoff) {
+			// rate-limited coordinator is a reachable coordinator). The
+			// coordinator's Retry-After is authoritative when present; the
+			// doubling backoff covers coordinators that omit it.
+			pause := backoff
+			if hint > 0 {
+				pause = hint
+			}
+			if w.Metrics != nil {
+				w.Metrics.Backoff429.Inc()
+			}
+			log.Info("coordinator rate limit, backing off", "pause", pause.String(), "retry_after", hint > 0)
+			if !w.sleep(ctx, pause) {
 				return nil
 			}
 			backoff = min(2*backoff, 16*poll)
@@ -114,32 +184,59 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 				return fmt.Errorf("grid: coordinator %s unreachable for %v: %w",
 					w.Coordinator, w.MaxIdle, err)
 			}
-			logf("worker %s/%d: lease failed (%v); backing off %v", w.ID, loop, err, backoff)
-			if !sleep(ctx, backoff) {
+			log.Warn("lease failed, backing off", "err", err.Error(), "pause", backoff.String())
+			if !w.sleep(ctx, backoff) {
 				return nil
 			}
 			backoff = min(2*backoff, 16*poll)
 			continue
 		case !ok: // empty queue
 			unreachableSince, backoff = time.Time{}, poll
-			if !sleep(ctx, poll) {
+			if !w.sleep(ctx, poll) {
 				return nil
 			}
 			continue
 		}
 		unreachableSince, backoff = time.Time{}, poll
+		if w.Metrics != nil {
+			w.Metrics.Leased.Inc()
+		}
+		jlog := log.With("sweep", lease.SweepID, "bench", lease.Job.Bench,
+			"mode", lease.Job.Mode, "seed", lease.Job.Seed)
+		if hash, err := lease.Job.Hash(); err == nil {
+			jlog = jlog.With("job_hash", hash[:12])
+		}
 
 		start := time.Now()
-		res, jobErr := exec.Execute(ctx, lease.Index, lease.Job)
+		var timing *sweep.Timing
+		out := sweep.Result{Index: lease.Index, Job: lease.Job}
+		if timed, isTimed := exec.(sweep.TimedExecutor); isTimed {
+			out.Res, timing, out.Err = timed.ExecuteTimed(ctx, lease.Index, lease.Job)
+		} else {
+			out.Res, out.Err = exec.Execute(ctx, lease.Index, lease.Job)
+		}
+		jobErr := out.Err
 		if ctx.Err() != nil && (errors.Is(jobErr, context.Canceled) || errors.Is(jobErr, context.DeadlineExceeded)) {
 			// The job died with this worker's own shutdown, not on its own
 			// merits. Reporting ctx.Err() would turn a recoverable worker
 			// crash into a permanent error row in the sweep; stay silent and
 			// let the lease TTL hand the job to a live worker instead.
-			logf("worker %s/%d: %s abandoned on shutdown; lease TTL will requeue it", w.ID, loop, lease.Job)
+			if w.Metrics != nil {
+				w.Metrics.Requeued.Inc()
+			}
+			jlog.Warn("job abandoned on shutdown; lease TTL will requeue it")
 			return nil
 		}
-		r := sweep.Result{Index: lease.Index, Job: lease.Job, Res: res, Err: jobErr, Wall: time.Since(start)}
+		out.Wall = time.Since(start)
+		out.Timing = timing
+		if w.Metrics != nil {
+			if jobErr != nil {
+				w.Metrics.Failed.Inc()
+			}
+			if timing != nil && timing.SimulateNS > 0 {
+				w.Metrics.SimulateTime.Observe(time.Duration(timing.SimulateNS).Seconds())
+			}
+		}
 		reportCtx, cancelReport := ctx, context.CancelFunc(func() {})
 		if ctx.Err() != nil {
 			// The worker is shutting down but the job finished anyway (the
@@ -148,15 +245,21 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 			// making another worker wait out the lease TTL to redo it.
 			reportCtx, cancelReport = context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
 		}
-		err = w.report(reportCtx, client, lease.LeaseID, r)
+		err = w.report(reportCtx, client, lease.LeaseID, out)
 		cancelReport()
 		if err != nil {
 			// The lease expired or the coordinator re-queued the job; the
 			// authoritative copy is theirs now.
-			logf("worker %s/%d: result for %s discarded: %v", w.ID, loop, lease.Job, err)
+			if w.Metrics != nil {
+				w.Metrics.Requeued.Inc()
+			}
+			jlog.Warn("result discarded", "err", err.Error())
 			continue
 		}
-		logf("worker %s/%d: %s done in %v", w.ID, loop, lease.Job, r.Wall.Round(time.Millisecond))
+		if w.Metrics != nil {
+			w.Metrics.Completed.Inc()
+		}
+		jlog.Info("job done", "wall", out.Wall.Round(time.Millisecond).String())
 	}
 }
 
@@ -171,25 +274,41 @@ var errUnauthorized = errors.New("coordinator rejected the bearer token (status 
 // instead of treating it as terminal.
 var errRateLimited = errors.New("coordinator rate limit (status 429)")
 
-// lease requests one job; ok is false on an empty queue (204).
-func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (LeaseResponse, bool, error) {
+// retryAfter parses a Retry-After header's delay-seconds form (the form
+// the coordinator sends). The HTTP-date form and garbage both come back 0:
+// the caller falls back to its own backoff.
+func retryAfter(h http.Header) time.Duration {
+	v := strings.TrimSpace(h.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// lease requests one job; ok is false on an empty queue (204). On a 429,
+// hint carries the coordinator's Retry-After delay (0 when absent).
+func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (LeaseResponse, bool, time.Duration, error) {
 	var resp LeaseResponse
-	status, err := w.post(ctx, client, "/v1/lease",
+	status, hdr, err := w.post(ctx, client, "/v1/lease",
 		LeaseRequest{Worker: fmt.Sprintf("%s/%d", w.ID, loop)}, &resp)
 	if err != nil {
-		return resp, false, err
+		return resp, false, 0, err
 	}
 	switch status {
 	case http.StatusOK:
-		return resp, true, nil
+		return resp, true, 0, nil
 	case http.StatusNoContent:
-		return resp, false, nil
+		return resp, false, 0, nil
 	case http.StatusUnauthorized:
-		return resp, false, errUnauthorized
+		return resp, false, 0, errUnauthorized
 	case http.StatusTooManyRequests:
-		return resp, false, errRateLimited
+		return resp, false, retryAfter(hdr), errRateLimited
 	default:
-		return resp, false, fmt.Errorf("lease: unexpected status %d", status)
+		return resp, false, 0, fmt.Errorf("lease: unexpected status %d", status)
 	}
 }
 
@@ -200,23 +319,29 @@ func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (Leas
 // detached final report on shutdown must survive it too, or completed work
 // would be thrown away and redone) is terminal: the coordinator rejected
 // the payload itself, and retrying the same bytes can only fail the same
-// way.
+// way. A 429 carrying Retry-After waits exactly that long.
 func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string, r sweep.Result) error {
 	var err error
+	var hint time.Duration
 	for attempt := 0; attempt < 3; attempt++ {
 		if attempt > 0 {
-			// Rate-limit rejections wait for the bucket to refill; transport
-			// retries only need to skip a blip.
+			// Rate-limit rejections wait for the bucket to refill (preferring
+			// the coordinator's own Retry-After estimate); transport retries
+			// only need to skip a blip.
 			pause := time.Duration(attempt) * 200 * time.Millisecond
 			if errors.Is(err, errRateLimited) {
 				pause = time.Duration(attempt) * time.Second
+				if hint > 0 {
+					pause = hint
+				}
 			}
-			if !sleep(ctx, pause) {
+			if !w.sleep(ctx, pause) {
 				return ctx.Err()
 			}
 		}
 		var status int
-		status, err = w.post(ctx, client, "/v1/result", ResultRequest{LeaseID: leaseID, Result: r}, nil)
+		var hdr http.Header
+		status, hdr, err = w.post(ctx, client, "/v1/result", ResultRequest{LeaseID: leaseID, Result: r}, nil)
 		if err != nil {
 			continue
 		}
@@ -226,7 +351,10 @@ func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string
 		case status == http.StatusConflict:
 			return fmt.Errorf("result: lease %s no longer valid", leaseID)
 		case status == http.StatusTooManyRequests:
-			err = errRateLimited
+			err, hint = errRateLimited, retryAfter(hdr)
+			if w.Metrics != nil {
+				w.Metrics.Backoff429.Inc()
+			}
 		case status >= 400 && status < 500:
 			return fmt.Errorf("result: permanently rejected with status %d", status)
 		default:
@@ -238,8 +366,8 @@ func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string
 
 // post sends one JSON request and decodes a JSON body into out (when non-nil
 // and the status is 200).
-func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) (int, error) {
-	return doJSON(ctx, client, http.MethodPost, w.Coordinator+path, w.Token, in, out)
+func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) (int, http.Header, error) {
+	return doJSONHdr(ctx, client, http.MethodPost, w.Coordinator+path, w.Token, in, out)
 }
 
 // sleep waits d or until ctx is done, reporting whether the full wait

@@ -1,0 +1,301 @@
+// Package obs is the fleet's dependency-free observability kernel: a
+// small metrics registry (counters, gauges, histograms, and single-label
+// vector variants) rendered in the Prometheus text exposition format
+// (version 0.0.4), plus the structured-logging constructor shared by the
+// long-running binaries. It exists so the coordinator, the workers, and
+// the bench driver all expose metrics through one code path instead of
+// three hand-rolled fmt.Fprintf renderers, while keeping the module free
+// of external dependencies.
+//
+// Instruments are registered once at startup and are safe for concurrent
+// use; rendering walks families in registration order so scrapes are
+// deterministic. Values that live outside the registry (for example a
+// server's internal accounting snapshot) are mirrored in via OnCollect
+// callbacks that run at the top of every scrape.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bounds for latency-style metrics
+// measured in seconds, matching the conventional Prometheus defaults.
+var DefBuckets = []float64{.005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10}
+
+// metric is one registered instrument; write emits its sample lines
+// (without the # HELP/# TYPE header, which the family owns).
+type metric interface {
+	write(w io.Writer, name string)
+}
+
+type family struct {
+	name, help, kind string
+	m                metric
+}
+
+// Registry holds an ordered set of metric families and renders them as
+// Prometheus text. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+	collect  []func()
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+func (r *Registry) register(name, help, kind string, m metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic("obs: duplicate metric " + name)
+	}
+	f := &family{name: name, help: help, kind: kind, m: m}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+}
+
+// OnCollect registers fn to run at the start of every scrape, before any
+// family is rendered. Use it to mirror externally-owned values (snapshot
+// structs, cache counters) into registry instruments.
+func (r *Registry) OnCollect(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collect = append(r.collect, fn)
+}
+
+// Counter is a monotonically increasing uint64. Set exists so a counter
+// can mirror an externally-accumulated monotonic value during OnCollect.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Set overwrites the value; the caller must keep it monotonic.
+func (c *Counter) Set(n uint64) { c.v.Store(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, c.v.Load())
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (which may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer, name string) {
+	fmt.Fprintf(w, "%s %d\n", name, g.v.Load())
+}
+
+// Histogram counts observations into fixed cumulative buckets and tracks
+// their sum, rendering the conventional _bucket/_sum/_count series. All
+// methods are safe for concurrent use; Observe is lock-free.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf bucket
+	sum    atomic.Uint64   // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+func (h *Histogram) write(w io.Writer, name string) {
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(h.Sum()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.count.Load())
+}
+
+// vec is the shared machinery behind CounterVec and GaugeVec: one label
+// name, lazily-created children, rendered in sorted label order.
+type vec[M metric] struct {
+	label string
+	mk    func() M
+	mu    sync.Mutex
+	kids  map[string]M
+}
+
+func (v *vec[M]) child(value string) M {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	m, ok := v.kids[value]
+	if !ok {
+		m = v.mk()
+		v.kids[value] = m
+	}
+	return m
+}
+
+func (v *vec[M]) write(w io.Writer, name string) {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.kids))
+	for k := range v.kids {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	kids := make([]M, len(keys))
+	for i, k := range keys {
+		kids[i] = v.kids[k]
+	}
+	v.mu.Unlock()
+	for i, k := range keys {
+		kids[i].write(w, fmt.Sprintf("%s{%s=\"%s\"}", name, v.label, escapeLabel(k)))
+	}
+}
+
+// CounterVec is a family of counters keyed by one label value.
+type CounterVec struct{ vec[*Counter] }
+
+// With returns the counter for the given label value, creating it on
+// first use.
+func (v *CounterVec) With(value string) *Counter { return v.child(value) }
+
+// GaugeVec is a family of gauges keyed by one label value.
+type GaugeVec struct{ vec[*Gauge] }
+
+// With returns the gauge for the given label value, creating it on first
+// use.
+func (v *GaugeVec) With(value string) *Gauge { return v.child(value) }
+
+// Counter registers and returns a new counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(name, help, "counter", c)
+	return c
+}
+
+// Gauge registers and returns a new gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(name, help, "gauge", g)
+	return g
+}
+
+// Histogram registers and returns a new histogram with the given bucket
+// upper bounds (ascending; +Inf is implicit). Nil bounds use DefBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obs: histogram bounds not ascending for " + name)
+		}
+	}
+	h := &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	r.register(name, help, "histogram", h)
+	return h
+}
+
+// CounterVec registers and returns a counter family keyed by one label.
+func (r *Registry) CounterVec(name, help, label string) *CounterVec {
+	v := &CounterVec{vec[*Counter]{label: label, mk: func() *Counter { return &Counter{} }, kids: map[string]*Counter{}}}
+	r.register(name, help, "counter", v)
+	return v
+}
+
+// GaugeVec registers and returns a gauge family keyed by one label.
+func (r *Registry) GaugeVec(name, help, label string) *GaugeVec {
+	v := &GaugeVec{vec[*Gauge]{label: label, mk: func() *Gauge { return &Gauge{} }, kids: map[string]*Gauge{}}}
+	r.register(name, help, "gauge", v)
+	return v
+}
+
+// WritePrometheus runs the collect hooks and renders every family in
+// registration order.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	collect := append([]func(){}, r.collect...)
+	families := append([]*family{}, r.families...)
+	r.mu.Unlock()
+	for _, fn := range collect {
+		fn()
+	}
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind)
+		f.m.write(w, f.name)
+	}
+}
+
+// Handler returns the GET /metrics endpoint for this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// formatFloat renders a float the way Prometheus clients conventionally
+// do: shortest representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double-quote, and newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}

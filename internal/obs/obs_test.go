@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRendering(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs processed.")
+	g := r.Gauge("queue_depth", "Jobs waiting.")
+	c.Add(3)
+	c.Inc()
+	g.Set(7)
+	g.Add(-2)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP jobs_total Jobs processed.",
+		"# TYPE jobs_total counter",
+		"jobs_total 4",
+		"# TYPE queue_depth gauge",
+		"queue_depth 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in registration order.
+	if strings.Index(out, "jobs_total") > strings.Index(out, "queue_depth") {
+		t.Errorf("families out of registration order:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE latency_seconds histogram",
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		"latency_seconds_sum 56.05",
+		"latency_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count() != 5 || h.Sum() != 56.05 {
+		t.Errorf("accessors: count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+// A boundary observation lands in the bucket whose upper bound it equals —
+// the le bound is inclusive, per the exposition format.
+func TestHistogramBoundaryInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", "x.", []float64{1, 2})
+	h.Observe(1)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `x_bucket{le="1"} 1`) {
+		t.Errorf("observation at bound must be inclusive:\n%s", buf.String())
+	}
+}
+
+func TestVecLabelEscapingAndOrder(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("tenant_requests_total", "Requests.", "tenant")
+	v.With(`b"quote`).Inc()
+	v.With("a\nnewline").Add(2)
+	v.With(`c\slash`).Inc()
+	g := r.GaugeVec("tenant_active", "Active.", "tenant")
+	g.With("t1").Set(9)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`tenant_requests_total{tenant="a\nnewline"} 2`,
+		`tenant_requests_total{tenant="b\"quote"} 1`,
+		`tenant_requests_total{tenant="c\\slash"} 1`,
+		`tenant_active{tenant="t1"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Children of a vec render in sorted label order.
+	if !(strings.Index(out, `a\nnewline`) < strings.Index(out, `b\"quote`) &&
+		strings.Index(out, `b\"quote`) < strings.Index(out, `c\\slash`)) {
+		t.Errorf("vec children not sorted:\n%s", out)
+	}
+}
+
+func TestOnCollectRunsBeforeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mirrored_total", "Mirrored.")
+	source := uint64(41)
+	r.OnCollect(func() { c.Set(source) })
+	source = 42
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), "mirrored_total 42") {
+		t.Errorf("collect hook did not run before render:\n%s", buf.String())
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Errorf("body: %s", rec.Body.String())
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration must panic")
+		}
+	}()
+	r.Counter("dup_total", "X.")
+}
+
+// Concurrent observers must not lose updates (the histogram sum is
+// CAS-maintained float bits).
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("c", "C.", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 || h.Sum() != 4000 {
+		t.Errorf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	log, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Debug("hidden")
+	log.Info("shown", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("not one JSON record: %v\n%s", err, buf.String())
+	}
+	if rec["msg"] != "shown" || rec["k"] != "v" {
+		t.Errorf("record: %v", rec)
+	}
+
+	buf.Reset()
+	log, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log.Info("hidden")
+	log.Warn("shown")
+	if out := buf.String(); strings.Contains(out, "hidden") || !strings.Contains(out, "shown") {
+		t.Errorf("level filtering broken: %s", out)
+	}
+
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Error("bad level must error")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Error("bad format must error")
+	}
+}

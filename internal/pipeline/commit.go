@@ -109,6 +109,10 @@ func (c *CPU) trap(e *entry) {
 	handler := c.prog.TrapHandler
 
 	// Squash the whole window including the faulting instruction itself.
+	if in := c.intro; in != nil {
+		in.TrapSquashes++
+		in.SquashedByTrap += uint64(c.count) - 1 // minus the faulting instruction, matching Stats.Squashed
+	}
 	c.squashAll()
 	c.St.Squashed-- // the faulting instruction counts as a fault, not a squash
 

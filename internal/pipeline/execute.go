@@ -277,6 +277,10 @@ func (c *CPU) resolveBranch(idx int, e *entry) bool {
 		c.tracef("MISPRED %s predicted=%d actual=%d", traceEntry(e), e.predTarget, e.actualTarget)
 	}
 	c.St.Mispredicts++
+	if in := c.intro; in != nil {
+		in.MispredictSquashes++
+		in.SquashedByMispredict += uint64(c.count - (c.ordinal(idx) + 1))
+	}
 	c.squashYounger(idx)
 	c.bp.RestoreHistory(e.histSnap)
 	c.bp.RestoreRAS(e.rasTop, e.rasSnap)

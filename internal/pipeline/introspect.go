@@ -1,0 +1,59 @@
+package pipeline
+
+import "safespec/internal/stats"
+
+// Introspection is the opt-in deep-counter block behind `safespec-sim
+// -introspect`: squash accounting split by cause, and per-cycle occupancy
+// histograms for the structures the regular Stats never expose (ROB,
+// issue queue, completion wheel). It exists for debugging the simulator
+// itself — sizing studies, scheduler regressions, wrong-path depth — not
+// for the paper's figures, which Stats covers.
+//
+// Enablement follows the tracing pattern exactly: every hot-path touch is
+// guarded by `c.intro != nil`, so a run without EnableIntrospection pays
+// one nil check per cycle and allocates nothing
+// (TestZeroSteadyStateAllocsPerCycle pins that).
+type Introspection struct {
+	// MispredictSquashes / TrapSquashes count squash events by cause;
+	// SquashedByMispredict / SquashedByTrap count the ROB entries those
+	// events annulled (their sum equals Stats.Squashed).
+	MispredictSquashes   uint64
+	TrapSquashes         uint64
+	SquashedByMispredict uint64
+	SquashedByTrap       uint64
+
+	// Per-cycle occupancy histograms, sampled every stepped cycle and
+	// bulk-charged across fast-forwarded spans (occupancy cannot change
+	// while the core is idle).
+	ROBOccupancy   *stats.Histogram // live ROB entries, [0, ROBSize]
+	IQOccupancy    *stats.Histogram // entries waiting to issue, [0, IQSize]
+	WheelOccupancy *stats.Histogram // in-flight completions on the timing wheel (0 under the reference scan scheduler)
+}
+
+// EnableIntrospection attaches (or returns the already-attached)
+// introspection block. Call after New/Reset and before Run; Reset detaches
+// it again, mirroring how tracing and occupancy sampling are re-armed per
+// run. It is deliberately not part of Config: job identity (and thus the
+// result cache key) must not depend on whether an operator was watching.
+func (c *CPU) EnableIntrospection() *Introspection {
+	if c.intro == nil {
+		c.intro = &Introspection{
+			ROBOccupancy:   stats.NewHistogram(c.cfg.ROBSize),
+			IQOccupancy:    stats.NewHistogram(c.cfg.IQSize),
+			WheelOccupancy: stats.NewHistogram(c.cfg.ROBSize),
+		}
+	}
+	return c.intro
+}
+
+// Introspection returns the attached block (nil unless enabled).
+func (c *CPU) Introspection() *Introspection { return c.intro }
+
+// sampleIntrospection records this cycle's occupancies. Callers guard with
+// `c.intro != nil`.
+func (c *CPU) sampleIntrospection() {
+	in := c.intro
+	in.ROBOccupancy.Add(c.count)
+	in.IQOccupancy.Add(c.iqCount)
+	in.WheelOccupancy.Add(c.wheelCount)
+}

@@ -1,0 +1,65 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"safespec/internal/core"
+	"safespec/internal/workloads"
+)
+
+// TestIntrospectionCounters: with introspection enabled, the squash causes
+// partition Stats.Squashed exactly, the occupancy histograms carry one
+// sample per cycle (fast-forwarded spans included), and enabling it does
+// not perturb the simulation's results.
+func TestIntrospectionCounters(t *testing.T) {
+	prog, err := workloads.Program("exchange2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.WFC().WithLimits(50_000, 0)
+
+	plain := core.New(cfg, prog).Run()
+
+	sim := core.New(cfg, prog)
+	in := sim.CPU().EnableIntrospection()
+	res := sim.Run()
+
+	if res.Committed != plain.Committed || res.Cycles != plain.Cycles || res.Squashed != plain.Squashed {
+		t.Fatalf("introspection changed the run: got committed=%d cycles=%d squashed=%d, want %d/%d/%d",
+			res.Committed, res.Cycles, res.Squashed, plain.Committed, plain.Cycles, plain.Squashed)
+	}
+	if got := in.SquashedByMispredict + in.SquashedByTrap; got != res.Squashed {
+		t.Errorf("squash causes sum to %d, Stats.Squashed = %d", got, res.Squashed)
+	}
+	if res.Mispredicts > 0 && in.MispredictSquashes != res.Mispredicts {
+		t.Errorf("MispredictSquashes = %d, Stats.Mispredicts = %d", in.MispredictSquashes, res.Mispredicts)
+	}
+	for name, h := range map[string]interface{ N() uint64 }{
+		"rob":   in.ROBOccupancy,
+		"iq":    in.IQOccupancy,
+		"wheel": in.WheelOccupancy,
+	} {
+		if h.N() != res.Cycles {
+			t.Errorf("%s occupancy: %d samples over %d cycles", name, h.N(), res.Cycles)
+		}
+	}
+	if in.ROBOccupancy.Max() == 0 {
+		t.Error("ROB occupancy never above zero on a real workload")
+	}
+}
+
+// TestIntrospectionDetachedOnReset: Reset must drop the attached block so a
+// reused simulator does not accidentally keep sampling into a stale one.
+func TestIntrospectionDetachedOnReset(t *testing.T) {
+	prog, err := workloads.Program("exchange2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Baseline().WithLimits(1_000, 0)
+	sim := core.New(cfg, prog)
+	sim.CPU().EnableIntrospection()
+	sim.Reset(cfg, prog)
+	if sim.CPU().Introspection() != nil {
+		t.Fatal("introspection block survived Reset")
+	}
+}

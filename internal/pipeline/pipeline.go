@@ -291,6 +291,10 @@ type CPU struct {
 
 	// sampleOcc enables per-cycle shadow occupancy sampling.
 	sampleOcc bool
+
+	// intro, when non-nil, receives the deep counters and occupancy
+	// samples behind -introspect (see introspect.go). Guarded like trace.
+	intro *Introspection
 }
 
 // New builds a CPU for prog with the given configuration, loading the
@@ -426,6 +430,7 @@ func (c *CPU) Reset(cfg Config, prog *isa.Program, m *mem.Memory) {
 	c.trace = nil
 	c.St = Stats{}
 	c.sampleOcc = false
+	c.intro = nil
 
 	if cfg.DetectAnomalies && cfg.Mode.SafeSpec() {
 		// Floors at 1/4 of capacity: benign 99.99th-percentile occupancy
@@ -513,6 +518,9 @@ func (c *CPU) Step() {
 	if c.sampleOcc {
 		c.ms.SampleOccupancy()
 	}
+	if c.intro != nil {
+		c.sampleIntrospection()
+	}
 	if c.detD != nil {
 		c.detD.Observe(c.ms.ShD.Len())
 		c.detDTLB.Observe(c.ms.ShDTLB.Len())
@@ -570,6 +578,13 @@ func (c *CPU) skipTo(next uint64) {
 		c.ms.ShI.SampleN(skipped)
 		c.ms.ShDTLB.SampleN(skipped)
 		c.ms.ShITLB.SampleN(skipped)
+	}
+	if in := c.intro; in != nil {
+		// Occupancies are constant across a fast-forwarded span; charge the
+		// whole span in one bulk observation per histogram.
+		in.ROBOccupancy.AddN(c.count, skipped)
+		in.IQOccupancy.AddN(c.iqCount, skipped)
+		in.WheelOccupancy.AddN(c.wheelCount, skipped)
 	}
 	if c.detD != nil {
 		// Occupancy cannot change across skipped cycles, so the detectors

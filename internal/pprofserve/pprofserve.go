@@ -1,11 +1,11 @@
 // Package pprofserve backs the -pprof flag of the fleet binaries
 // (safespec-worker, safespec-coordinator): it exposes net/http/pprof — and
 // any extra operations handlers the binary mounts, such as the
-// coordinator's /metrics and /status — on a dedicated listener, so a live
-// fleet member can be profiled and scraped without ever mounting debug
-// handlers on the authenticated /v1/* API mux. Keep the listener on
-// loopback or a firewalled operations network: everything on it is
-// deliberately unauthenticated.
+// coordinator's /metrics and /status or the worker's /metrics — on a
+// dedicated listener, so a live fleet member can be profiled and scraped
+// without ever mounting debug handlers on the authenticated /v1/* API mux.
+// Keep the listener on loopback or a firewalled operations network:
+// everything on it is deliberately unauthenticated.
 package pprofserve
 
 import (
@@ -13,30 +13,33 @@ import (
 	"net"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on the default mux
-	"os"
 	"time"
 )
 
-// Serve binds addr and serves the pprof handlers — plus ops (for every
-// path outside /debug/pprof/) when non-nil — in the background. It returns
-// once the listener is bound (so a bad address fails startup), and prints
-// the resolved endpoints to stderr.
-func Serve(addr string, ops http.Handler) error {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return fmt.Errorf("-pprof %s: %w", addr, err)
-	}
+// Handler builds the operations mux: /debug/pprof/* always, and every
+// other path routed to ops when non-nil (404 otherwise). Split out from
+// Serve so tests can drive the surface through httptest without binding a
+// real port.
+func Handler(ops http.Handler) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/debug/pprof/", http.DefaultServeMux) // carries the pprof handlers
-	extra := ""
 	if ops != nil {
 		mux.Handle("/", ops)
-		extra = fmt.Sprintf(" (metrics on http://%s/metrics, status on http://%s/status)", ln.Addr(), ln.Addr())
 	}
-	fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/%s\n", ln.Addr(), extra)
+	return mux
+}
+
+// Serve binds addr and serves Handler(ops) in the background. It returns
+// the resolved listen address once the listener is bound (so a bad address
+// fails startup); the caller owns announcing it through its own logger.
+func Serve(addr string, ops http.Handler) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof %s: %w", addr, err)
+	}
 	go func() {
-		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		srv := &http.Server{Handler: Handler(ops), ReadHeaderTimeout: 10 * time.Second}
 		_ = srv.Serve(ln)
 	}()
-	return nil
+	return ln.Addr(), nil
 }

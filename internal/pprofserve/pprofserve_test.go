@@ -1,0 +1,112 @@
+package pprofserve
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	res, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return res.StatusCode, string(body)
+}
+
+// TestHandlerMountsPprof: the pprof index must be reachable under
+// /debug/pprof/ with or without an ops handler mounted.
+func TestHandlerMountsPprof(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		ops  http.Handler
+	}{
+		{"no ops", nil},
+		{"with ops", http.NotFoundHandler()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			srv := httptest.NewServer(Handler(tc.ops))
+			defer srv.Close()
+			status, body := get(t, srv.URL+"/debug/pprof/")
+			if status != http.StatusOK {
+				t.Fatalf("pprof index: status %d, want 200", status)
+			}
+			if !strings.Contains(body, "goroutine") {
+				t.Errorf("pprof index does not list profiles:\n%s", body)
+			}
+		})
+	}
+}
+
+// TestHandlerRoutesOps: paths outside /debug/pprof/ reach the mounted ops
+// handler — the same wiring the coordinator uses for /metrics and /status
+// and the worker uses for /metrics.
+func TestHandlerRoutesOps(t *testing.T) {
+	ops := http.NewServeMux()
+	ops.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, "# TYPE safespec_test_total counter\nsafespec_test_total 1\n")
+	})
+	srv := httptest.NewServer(Handler(ops))
+	defer srv.Close()
+
+	status, body := get(t, srv.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics: status %d, want 200", status)
+	}
+	if !strings.Contains(body, "safespec_test_total 1") {
+		t.Errorf("/metrics body missing sample:\n%s", body)
+	}
+	// The pprof tree still wins over the catch-all.
+	if status, _ := get(t, srv.URL+"/debug/pprof/"); status != http.StatusOK {
+		t.Errorf("pprof index with ops mounted: status %d, want 200", status)
+	}
+}
+
+// TestHandlerNeverExposesAPI: the ops listener must not answer the
+// authenticated fleet API paths unless the ops handler itself mounts them
+// (it never does) — a scraper hitting the wrong port gets 404, not a lease.
+func TestHandlerNeverExposesAPI(t *testing.T) {
+	ops := http.NewServeMux()
+	ops.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {})
+	srv := httptest.NewServer(Handler(ops))
+	defer srv.Close()
+	for _, path := range []string{"/v1/lease", "/v1/sweeps", "/v1/stats"} {
+		res, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res.Body.Close()
+		if res.StatusCode != http.StatusNotFound {
+			t.Errorf("POST %s on ops listener: status %d, want 404", path, res.StatusCode)
+		}
+	}
+}
+
+// TestServeBadAddr: an unbindable address must fail startup synchronously.
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:0", nil); err == nil {
+		t.Fatal("Serve on a bogus address succeeded")
+	}
+}
+
+// TestServeReturnsBoundAddr: Serve reports the resolved address (so mains
+// can log it) and the listener actually answers.
+func TestServeReturnsBoundAddr(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, _ := get(t, "http://"+addr.String()+"/debug/pprof/")
+	if status != http.StatusOK {
+		t.Errorf("bound listener: status %d, want 200", status)
+	}
+}

@@ -304,3 +304,49 @@ func (e *Executor) Execute(ctx context.Context, index int, j sweep.Job) (*core.R
 	}
 	return res, err
 }
+
+// ExecuteTimed is Execute with a span breakdown: lookup and store time are
+// attributed to the cache span, and a miss merges the inner executor's own
+// spans (a hit has no simulate span at all).
+func (e *Executor) ExecuteTimed(ctx context.Context, index int, j sweep.Job) (*core.Results, *sweep.Timing, error) {
+	t := &sweep.Timing{}
+	key, err := j.Hash()
+	if err != nil {
+		e.cache.errs.Add(1)
+		res, err := e.innerTimed(ctx, index, j, t)
+		return res, t, err
+	}
+	start := time.Now()
+	res, ok, _ := e.cache.Get(key)
+	t.CacheNS += int64(time.Since(start))
+	if ok {
+		return res, t, nil
+	}
+	res, err = e.innerTimed(ctx, index, j, t)
+	if err == nil && res != nil {
+		start = time.Now()
+		perr := e.cache.Put(key, res)
+		t.CacheNS += int64(time.Since(start))
+		if perr != nil {
+			e.cache.errs.Add(1)
+		}
+	}
+	return res, t, err
+}
+
+// innerTimed delegates to the inner executor, merging its spans into t when
+// it can attribute them (otherwise all inner time becomes the simulate
+// span, which is what a bare LocalExecutor would report anyway).
+func (e *Executor) innerTimed(ctx context.Context, index int, j sweep.Job, t *sweep.Timing) (*core.Results, error) {
+	if timed, ok := e.inner.(sweep.TimedExecutor); ok {
+		res, inner, err := timed.ExecuteTimed(ctx, index, j)
+		if inner != nil {
+			t.Add(*inner)
+		}
+		return res, err
+	}
+	start := time.Now()
+	res, err := e.inner.Execute(ctx, index, j)
+	t.SimulateNS += int64(time.Since(start))
+	return res, err
+}

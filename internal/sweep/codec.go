@@ -52,11 +52,15 @@ type resultJSON struct {
 	Res    *core.Results `json:"res,omitempty"`
 	Err    string        `json:"err,omitempty"`
 	WallNS int64         `json:"wall_ns,omitempty"`
+	// Timing is optional on the wire: peers that predate it omit the field,
+	// and decoders that predate it ignore unknown JSON keys, so mixed-version
+	// fleets interoperate.
+	Timing *Timing `json:"timing,omitempty"`
 }
 
 // MarshalJSON encodes the result for the grid wire protocol.
 func (r Result) MarshalJSON() ([]byte, error) {
-	w := resultJSON{Index: r.Index, Job: r.Job, Res: r.Res, WallNS: int64(r.Wall)}
+	w := resultJSON{Index: r.Index, Job: r.Job, Res: r.Res, WallNS: int64(r.Wall), Timing: r.Timing}
 	if r.Err != nil {
 		w.Err = r.Err.Error()
 	}
@@ -70,7 +74,7 @@ func (r *Result) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &w); err != nil {
 		return err
 	}
-	*r = Result{Index: w.Index, Job: w.Job, Res: w.Res, Wall: time.Duration(w.WallNS)}
+	*r = Result{Index: w.Index, Job: w.Job, Res: w.Res, Wall: time.Duration(w.WallNS), Timing: w.Timing}
 	if w.Err != "" {
 		r.Err = errors.New(w.Err)
 	}

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"log/slog"
+	"time"
+)
+
+// Progress is a sink that logs periodic sweep progress — cells done/total,
+// completion rate, and the ETA extrapolated from it — through a structured
+// logger. It rides the ordinary sink seam, so local and remote sweeps get
+// identical progress lines, and it never touches the data sinks' output.
+type Progress struct {
+	// Total is the sweep's job count (used for the done/total and ETA
+	// fields; zero disables ETA).
+	Total int
+	// Log receives the progress records at Info level; a nil Log disables
+	// the sink entirely.
+	Log *slog.Logger
+	// Every is the minimum interval between progress lines (default 2s).
+	// The final line always fires from Flush regardless of interval.
+	Every time.Duration
+
+	// now is a test seam (defaults to time.Now).
+	now   func() time.Time
+	done  int
+	start time.Time
+	last  time.Time
+}
+
+// Observe counts one finished cell and emits a progress line when the
+// reporting interval has elapsed.
+func (p *Progress) Observe(r Result) error {
+	if p.Log == nil {
+		return nil
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	t := p.now()
+	if p.done == 0 {
+		p.start, p.last = t, t
+	}
+	p.done++
+	every := p.Every
+	if every <= 0 {
+		every = 2 * time.Second
+	}
+	if t.Sub(p.last) >= every && p.done < p.Total {
+		p.last = t
+		p.emit(t, false)
+	}
+	return nil
+}
+
+// Flush emits the final progress line.
+func (p *Progress) Flush() error {
+	if p.Log == nil || p.done == 0 {
+		return nil
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	p.emit(p.now(), true)
+	return nil
+}
+
+func (p *Progress) emit(t time.Time, final bool) {
+	elapsed := t.Sub(p.start)
+	rate := 0.0
+	if s := elapsed.Seconds(); s > 0 {
+		rate = float64(p.done) / s
+	}
+	attrs := []any{
+		"done", p.done,
+		"total", p.Total,
+		"cells_per_sec", rate,
+		"elapsed", elapsed.Round(time.Millisecond).String(),
+	}
+	if !final && rate > 0 && p.Total > p.done {
+		eta := time.Duration(float64(p.Total-p.done) / rate * float64(time.Second))
+		attrs = append(attrs, "eta", eta.Round(time.Second).String())
+	}
+	msg := "sweep progress"
+	if final {
+		msg = "sweep finished"
+	}
+	p.Log.Info(msg, attrs...)
+}

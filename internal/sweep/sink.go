@@ -131,6 +131,10 @@ type Aggregate struct {
 	// Busy sums per-job wall time across workers; MaxWall is the slowest
 	// single job.
 	Busy, MaxWall time.Duration
+	// Spans sums the per-job Timing breakdowns across the Timed results
+	// that carried one (results without Timing only contribute to Busy).
+	Spans Timing
+	Timed int
 
 	// cells collects per-(bench, mode) IPC samples in observation order;
 	// order holds the keys in first-seen (job) order.
@@ -156,6 +160,10 @@ func (a *Aggregate) Observe(r Result) error {
 	a.Jobs++
 	a.Busy += r.Wall
 	a.MaxWall = max(a.MaxWall, r.Wall)
+	if r.Timing != nil {
+		a.Spans.Add(*r.Timing)
+		a.Timed++
+	}
 	if r.Err != nil {
 		a.Errored++
 		return nil
@@ -198,4 +206,14 @@ func (a *Aggregate) String() string {
 	return fmt.Sprintf("%d jobs (%d errored): %d instrs, %d cycles, busy %v (slowest job %v, %.0f instrs/s/worker)",
 		a.Jobs, a.Errored, a.Committed, a.Cycles,
 		a.Busy.Round(time.Millisecond), a.MaxWall.Round(time.Millisecond), rate)
+}
+
+// SpanSummary renders the summed per-job span breakdown, e.g.
+// "spans over 18/18 jobs: queue 1.2s, simulate 40s". It returns "" when no
+// observed result carried a Timing (a fleet of pre-timing peers).
+func (a *Aggregate) SpanSummary() string {
+	if a.Timed == 0 {
+		return ""
+	}
+	return fmt.Sprintf("spans over %d/%d jobs: %s", a.Timed, a.Jobs, a.Spans)
 }

@@ -31,6 +31,10 @@ type Result struct {
 	Err error
 	// Wall is the job's wall-clock execution time on its worker.
 	Wall time.Duration
+	// Timing is the optional span breakdown of Wall (nil when the executor
+	// cannot attribute time, or the result came from a peer that predates
+	// timing). It is diagnostic only and never reaches sink rows.
+	Timing *Timing
 }
 
 // Committed returns the job's retired-instruction count (0 on error).
@@ -178,11 +182,23 @@ func Run(ctx context.Context, jobs []Job, opts Options) ([]Result, error) {
 		}()
 	}
 
+	timed, _ := exec.(TimedExecutor)
+	poolStart := time.Now()
 	ctxErr := ForEach(ctx, len(jobs), opts.Workers, func(ctx context.Context, i int) error {
 		ran[i] = true
 		start := time.Now()
-		results[i].Res, results[i].Err = exec.Execute(ctx, i, jobs[i])
+		if timed != nil {
+			results[i].Res, results[i].Timing, results[i].Err = timed.ExecuteTimed(ctx, i, jobs[i])
+		} else {
+			results[i].Res, results[i].Err = exec.Execute(ctx, i, jobs[i])
+		}
 		results[i].Wall = time.Since(start)
+		if t := results[i].Timing; t != nil && t.QueueNS == 0 {
+			// The whole matrix is runnable at pool start; a job's queue wait
+			// is how long it sat before a pool worker picked it up. Executors
+			// with their own queue (the grid) stamp QueueNS themselves.
+			t.QueueNS = int64(start.Sub(poolStart))
+		}
 		done <- i
 		return nil
 	})
