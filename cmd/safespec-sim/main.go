@@ -29,6 +29,10 @@ import (
 	"safespec/internal/stats"
 	"safespec/internal/sweep"
 	"safespec/internal/workloads"
+
+	// Registers the attack kernels as named benches (e.g. smt-btb-v2) so
+	// -bench accepts them alongside the SPEC-like workloads.
+	_ "safespec/internal/attacks"
 )
 
 func main() {
@@ -37,6 +41,7 @@ func main() {
 		mode       = flag.String("mode", "wfc", "protection mode: baseline|wfb|wfc")
 		instrs     = flag.Uint64("instrs", 100_000, "committed instructions to simulate")
 		seed       = flag.Int64("seed", 0, "program-generator seed override (0 = benchmark default)")
+		threads    = flag.Int("threads", 1, "hardware threads (SMT contexts); 1 = single-thread core")
 		list       = flag.Bool("list", false, "list available benchmarks and exit")
 		occupancy  = flag.Bool("occupancy", false, "report shadow occupancy percentiles")
 		introspect = flag.Bool("introspect", false, "dump deep pipeline counters as JSON (schema safespec/introspect/v1) instead of the stats table")
@@ -58,9 +63,9 @@ func main() {
 		return
 	}
 	if *introspect {
-		err = runIntrospect(os.Stdout, *benchName, *mode, *instrs, *seed)
+		err = runIntrospect(os.Stdout, *benchName, *mode, *instrs, *seed, *threads)
 	} else {
-		err = run(os.Stdout, *benchName, *mode, *instrs, *occupancy, *seed)
+		err = run(os.Stdout, *benchName, *mode, *instrs, *occupancy, *seed, *threads)
 	}
 	if err != nil {
 		log.Error("run failed", "bench", *benchName, "mode", *mode, "err", err.Error())
@@ -68,13 +73,16 @@ func main() {
 	}
 }
 
-func run(w io.Writer, benchName, mode string, instrs uint64, occupancy bool, seed int64) error {
+func run(w io.Writer, benchName, mode string, instrs uint64, occupancy bool, seed int64, threads int) error {
 	cfg, err := modeConfig(mode)
 	if err != nil {
 		return err
 	}
 	cfg = cfg.WithLimits(instrs, 0)
 	cfg.SampleOccupancy = occupancy
+	if threads > 1 {
+		cfg.Pipeline.Threads = threads
+	}
 
 	job := sweep.Job{Bench: benchName, Mode: mode, Seed: seed, Config: cfg}
 	results, err := sweep.Run(context.Background(), []sweep.Job{job}, sweep.Options{Workers: 1})
@@ -91,10 +99,13 @@ func run(w io.Writer, benchName, mode string, instrs uint64, occupancy bool, see
 // tooling can detect incompatible changes: bump the schema string whenever
 // a field changes meaning or disappears (adding fields is compatible).
 type introspectDump struct {
-	Schema    string `json:"schema"`
-	Bench     string `json:"bench"`
-	Mode      string `json:"mode"`
-	Seed      int64  `json:"seed"`
+	Schema string `json:"schema"`
+	Bench  string `json:"bench"`
+	Mode   string `json:"mode"`
+	Seed   int64  `json:"seed"`
+	// Threads is the SMT context count; omitted under schema v1, which is
+	// only emitted for single-thread runs.
+	Threads   int    `json:"threads,omitempty"`
 	Cycles    uint64 `json:"cycles"`
 	Committed uint64 `json:"committed"`
 	Squashes  struct {
@@ -103,10 +114,21 @@ type introspectDump struct {
 		EntriesMispredict uint64 `json:"entries_mispredict"`
 		EntriesTrap       uint64 `json:"entries_trap"`
 	} `json:"squashes"`
-	// Occupancy keys: rob, issue_queue, completion_wheel.
+	// Occupancy keys: rob, issue_queue, completion_wheel. Under SMT these
+	// are the summed occupancies across threads.
 	Occupancy map[string]histSummary `json:"occupancy"`
+	// PerThread (schema v2 only) breaks ROB and issue-queue occupancy down
+	// by hardware thread, each over that thread's static partition.
+	PerThread []threadOccupancy `json:"per_thread,omitempty"`
 	// Shadow keys (SafeSpec modes only): dcache, icache, dtlb, itlb.
 	Shadow map[string]shadowSummary `json:"shadow,omitempty"`
+}
+
+// threadOccupancy is one hardware thread's occupancy block in schema v2.
+type threadOccupancy struct {
+	Thread     int         `json:"thread"`
+	ROB        histSummary `json:"rob"`
+	IssueQueue histSummary `json:"issue_queue"`
 }
 
 // histSummary condenses an occupancy histogram into the percentiles the
@@ -145,13 +167,17 @@ func summarize(h *stats.Histogram) histSummary {
 // dumps the deep counters. Introspection is deliberately not part of
 // core.Config, so the run's result-cache identity is the same as an
 // unobserved run's.
-func runIntrospect(w io.Writer, benchName, mode string, instrs uint64, seed int64) error {
+func runIntrospect(w io.Writer, benchName, mode string, instrs uint64, seed int64, threads int) error {
 	cfg, err := modeConfig(mode)
 	if err != nil {
 		return err
 	}
 	cfg = cfg.WithLimits(instrs, 0)
-	prog, err := workloads.Program(benchName, seed)
+	if threads > 1 {
+		cfg.Pipeline.Threads = threads
+	}
+	n := cfg.Pipeline.NumThreads()
+	prog, err := workloads.Program(benchName, seed, n)
 	if err != nil {
 		return err
 	}
@@ -159,8 +185,14 @@ func runIntrospect(w io.Writer, benchName, mode string, instrs uint64, seed int6
 	in := sim.CPU().EnableIntrospection()
 	res := sim.Run()
 
+	// Schema v1 is pinned for single-thread runs (downstream tooling parses
+	// it); SMT runs get v2, which adds threads and per_thread occupancy.
+	schema := "safespec/introspect/v1"
+	if n > 1 {
+		schema = "safespec/introspect/v2"
+	}
 	dump := introspectDump{
-		Schema:    "safespec/introspect/v1",
+		Schema:    schema,
 		Bench:     benchName,
 		Mode:      mode,
 		Seed:      seed,
@@ -171,6 +203,16 @@ func runIntrospect(w io.Writer, benchName, mode string, instrs uint64, seed int6
 			"issue_queue":      summarize(in.IQOccupancy),
 			"completion_wheel": summarize(in.WheelOccupancy),
 		},
+	}
+	if n > 1 {
+		dump.Threads = n
+		for tid := range in.ThreadROB {
+			dump.PerThread = append(dump.PerThread, threadOccupancy{
+				Thread:     tid,
+				ROB:        summarize(in.ThreadROB[tid]),
+				IssueQueue: summarize(in.ThreadIQ[tid]),
+			})
+		}
 	}
 	dump.Squashes.MispredictEvents = in.MispredictSquashes
 	dump.Squashes.TrapEvents = in.TrapSquashes

@@ -9,20 +9,20 @@ import (
 
 func TestRunModes(t *testing.T) {
 	for _, mode := range []string{"baseline", "wfb", "wfc"} {
-		if err := run(io.Discard, "exchange2", mode, 2000, true, 0); err != nil {
+		if err := run(io.Discard, "exchange2", mode, 2000, true, 0, 1); err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 		}
 	}
 }
 
 func TestRunUnknownBenchmark(t *testing.T) {
-	if err := run(io.Discard, "nope", "wfc", 1000, false, 0); err == nil {
+	if err := run(io.Discard, "nope", "wfc", 1000, false, 0, 1); err == nil {
 		t.Error("unknown benchmark must error")
 	}
 }
 
 func TestRunUnknownMode(t *testing.T) {
-	if err := run(io.Discard, "mcf", "turbo", 1000, false, 0); err == nil {
+	if err := run(io.Discard, "mcf", "turbo", 1000, false, 0, 1); err == nil {
 		t.Error("unknown mode must error")
 	}
 }
@@ -32,7 +32,7 @@ func TestRunUnknownMode(t *testing.T) {
 // partitioning the total.
 func TestRunIntrospect(t *testing.T) {
 	var buf strings.Builder
-	if err := runIntrospect(&buf, "exchange2", "wfc", 5_000, 0); err != nil {
+	if err := runIntrospect(&buf, "exchange2", "wfc", 5_000, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	var dump introspectDump
@@ -61,7 +61,7 @@ func TestRunIntrospect(t *testing.T) {
 
 func TestRunIntrospectBaselineOmitsShadow(t *testing.T) {
 	var buf strings.Builder
-	if err := runIntrospect(&buf, "exchange2", "baseline", 2_000, 0); err != nil {
+	if err := runIntrospect(&buf, "exchange2", "baseline", 2_000, 0, 1); err != nil {
 		t.Fatal(err)
 	}
 	if strings.Contains(buf.String(), `"shadow"`) {

@@ -37,6 +37,10 @@ import (
 	"safespec/internal/pprofserve"
 	"safespec/internal/resultcache"
 	"safespec/internal/sweep"
+
+	// Registers the attack kernels as named benches so leased jobs for
+	// security cells (e.g. smt-btb-v2) resolve on a bare worker.
+	_ "safespec/internal/attacks"
 )
 
 // config carries the flag surface (kept as a struct so tests can drive run

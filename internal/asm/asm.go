@@ -34,7 +34,10 @@ type Builder struct {
 	regions []isa.MemRegion
 	trap    string // label of trap handler, "" if none
 	entry   string // label of entry point, "" means index 0
-	errs    []error
+	// threadEntries holds per-hardware-thread entry labels ("" = program
+	// entry) for SMT programs.
+	threadEntries []string
+	errs          []error
 }
 
 type fixup struct {
@@ -75,6 +78,20 @@ func (b *Builder) SetTrapHandler(label string) { b.trap = label }
 
 // SetEntry declares the label execution starts from (default: index 0).
 func (b *Builder) SetEntry(label string) { b.entry = label }
+
+// SetThreadEntry assigns hardware thread tid its own entry label (SMT
+// programs: victim on thread 0, attacker on thread 1). Threads without an
+// assigned label start at the program entry point.
+func (b *Builder) SetThreadEntry(tid int, label string) {
+	if tid < 0 {
+		b.errs = append(b.errs, fmt.Errorf("asm: negative thread id %d", tid))
+		return
+	}
+	for len(b.threadEntries) <= tid {
+		b.threadEntries = append(b.threadEntries, "")
+	}
+	b.threadEntries[tid] = label
+}
 
 // Data installs an initial 64-bit value at a user-accessible address.
 func (b *Builder) Data(addr uint64, v int64) { b.data[addr] = v }
@@ -366,6 +383,20 @@ func (b *Builder) Build() (*isa.Program, error) {
 			return nil, fmt.Errorf("asm: undefined entry label %q", b.entry)
 		}
 		prog.Entry = idx
+	}
+	if len(b.threadEntries) > 0 {
+		prog.ThreadEntries = make([]int, len(b.threadEntries))
+		for tid, label := range b.threadEntries {
+			if label == "" {
+				prog.ThreadEntries[tid] = prog.Entry
+				continue
+			}
+			idx, ok := b.labels[label]
+			if !ok {
+				return nil, fmt.Errorf("asm: undefined thread %d entry label %q", tid, label)
+			}
+			prog.ThreadEntries[tid] = idx
+		}
 	}
 	return prog, nil
 }

@@ -81,6 +81,10 @@ type Attack struct {
 	// Setup, if non-nil, runs against the CPU before execution (Spectre v2
 	// uses it to poison the BTB, per the paper's threat model).
 	Setup func(cpu *pipeline.CPU, prog *isa.Program)
+	// Threads is the hardware-thread count the attack requires (0 or 1 for
+	// the single-threaded attacks; the SMT attacks need a sibling context).
+	// Execute applies it to the configuration under test.
+	Threads int
 	// MinGap is the timing gap (cycles) required between the fastest and
 	// second-fastest probe slot for the attacker to call it signal.
 	MinGap uint64
@@ -109,6 +113,12 @@ func Execute(a Attack, cfg core.Config) (Outcome, error) {
 	prog, err := a.Build(a.Secret)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("attacks: building %s: %w", a.Name, err)
+	}
+	if a.Threads > 1 {
+		// SMT attacks run against the same protection config with the
+		// sibling context enabled; everything else about the cell is
+		// unchanged so Table III/IV rows stay comparable.
+		cfg.Pipeline.Threads = a.Threads
 	}
 	sim := core.New(cfg, prog)
 	if a.Setup != nil {
@@ -234,7 +244,8 @@ func emitResultsRegion(b *asm.Builder) {
 	b.Region(ScratchBase, 4096, false)
 }
 
-// All returns the seven attacks in the order of Tables III and IV.
+// All returns the attacks in the order of Tables III and IV, with the SMT
+// cross-thread variant appended.
 func All() []Attack {
 	return []Attack{
 		Meltdown(),
@@ -243,5 +254,6 @@ func All() []Attack {
 		ICacheVariant(),
 		ITLBVariant(),
 		DTLBVariant(),
+		SMTBTBV2(),
 	}
 }

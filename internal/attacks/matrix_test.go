@@ -18,6 +18,10 @@ func TestLeakMatrix(t *testing.T) {
 		"spectre-icache": {baseline: true, wfb: false, wfc: false},
 		"spectre-itlb":   {baseline: true, wfb: false, wfc: false},
 		"spectre-dtlb":   {baseline: true, wfb: false, wfc: false},
+		// Cross-thread BTB injection: the sibling context trains the shared
+		// BTB, so the unprotected SMT core leaks; under SafeSpec the victim's
+		// transient fill lands in its private shadow d-cache and is annulled.
+		"smt-btb-v2": {baseline: true, wfb: false, wfc: false},
 	}
 	cfgs := []struct {
 		name string

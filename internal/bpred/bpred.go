@@ -48,6 +48,16 @@ type Stats struct {
 	RetPredicted, RetMispredicted uint64
 }
 
+// Add accumulates o into s (summing sibling SMT views into core totals).
+func (s *Stats) Add(o Stats) {
+	s.CondPredicted += o.CondPredicted
+	s.CondMispredicted += o.CondMispredicted
+	s.IndPredicted += o.IndPredicted
+	s.IndMispredicted += o.IndMispredicted
+	s.RetPredicted += o.RetPredicted
+	s.RetMispredicted += o.RetMispredicted
+}
+
 // MispredictRate returns total mispredictions over total predictions.
 func (s Stats) MispredictRate() float64 {
 	mis := s.CondMispredicted + s.IndMispredicted + s.RetMispredicted
@@ -92,6 +102,38 @@ func New(cfg Config) *Predictor {
 
 // Config returns the predictor configuration.
 func (p *Predictor) Config() Config { return p.cfg }
+
+// SiblingView returns a predictor sharing p's trained tables — the pattern
+// history table and the BTB backing arrays — with private global history,
+// return-address stack and statistics. This models SMT front-end sharing:
+// sibling hardware threads predict through the same tables, which is exactly
+// the channel cross-thread branch-target-injection attacks exploit (one
+// thread trains a BTB entry whose index/tag another thread's branch hits).
+func (p *Predictor) SiblingView() *Predictor {
+	return &Predictor{
+		cfg:      p.cfg,
+		pht:      p.pht,
+		histMask: p.histMask,
+		phtMask:  p.phtMask,
+		btb:      p.btb,
+		ras:      make([]int, len(p.ras)),
+	}
+}
+
+// SharesTablesWith reports whether p and q are views over the same backing
+// tables (one is a SiblingView of the other, or both of a common base).
+func (p *Predictor) SharesTablesWith(q *Predictor) bool {
+	return len(p.pht) > 0 && len(q.pht) > 0 && &p.pht[0] == &q.pht[0]
+}
+
+// ResetPrivate clears only the view-private state — history, RAS, stats —
+// leaving the shared tables untouched. Sibling views use it when the base
+// predictor was reset in place (its Reset already cleared the tables).
+func (p *Predictor) ResetPrivate() {
+	p.history = 0
+	p.rasTop = 0
+	p.Stats = Stats{}
+}
 
 func (p *Predictor) phtIndex(pc int) uint64 {
 	return (uint64(pc) ^ p.history) & p.phtMask

@@ -385,6 +385,11 @@ type Program struct {
 	// Symbols maps label names to instruction indices (for debugging and
 	// for indirect-jump target computation in attack code).
 	Symbols map[string]int
+	// ThreadEntries optionally gives per-hardware-thread entry points for
+	// SMT runs: thread t starts at ThreadEntries[t] when the slice covers
+	// it, and at Entry otherwise (so a single-threaded program runs as
+	// duplicate contexts on every extra thread).
+	ThreadEntries []int
 }
 
 // CodeBase is the virtual address where the instruction stream is mapped.

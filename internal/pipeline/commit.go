@@ -9,15 +9,17 @@ import (
 // shadowZero is the invalid shadow handle.
 var shadowZero shadow.Handle
 
-// commit retires up to CommitWidth finished instructions from the ROB head,
-// in order. Faults are raised here (precise exceptions): the faulting
-// instruction's effects — including its shadow state, under WFC — are
-// annulled, everything younger is squashed, and the front end vectors to
-// the trap handler.
-func (c *CPU) commit() {
-	for n := 0; n < c.cfg.CommitWidth && c.count > 0; n++ {
-		idx := c.head
-		e := &c.rob[idx]
+// commit retires finished instructions from thread t's ROB head, in order.
+// budget is the remaining CommitWidth shared across threads this cycle; one
+// unit is consumed per committed instruction. Faults are raised here
+// (precise exceptions): the faulting instruction's effects — including its
+// shadow state, under WFC — are annulled, everything younger on the same
+// thread is squashed, and that thread's front end vectors to the trap
+// handler.
+func (c *CPU) commit(t *thread, budget *int) {
+	for *budget > 0 && t.count > 0 {
+		idx := t.head
+		e := &t.rob[idx]
 		if e.state != stDone {
 			return
 		}
@@ -27,7 +29,7 @@ func (c *CPU) commit() {
 			if c.tracing() {
 				c.tracef("TRAP    %s fault=%v", traceEntry(e), e.fault)
 			}
-			c.trap(e)
+			c.trap(t, e)
 			return
 		}
 		if c.tracing() {
@@ -36,9 +38,9 @@ func (c *CPU) commit() {
 
 		// Apply architectural effects.
 		if e.in.HasDest() {
-			c.regs[e.in.Rd] = e.val
-			if ref := c.renm[e.in.Rd]; ref.has && ref.idx == idx && ref.seq == e.seq {
-				c.renm[e.in.Rd] = renameRef{}
+			t.regs[e.in.Rd] = e.val
+			if ref := t.renm[e.in.Rd]; ref.has && ref.idx == idx && ref.seq == e.seq {
+				t.renm[e.in.Rd] = renameRef{}
 			}
 		}
 		switch isa.ClassOf(e.in.Op) {
@@ -46,83 +48,91 @@ func (c *CPU) commit() {
 			// TSO: the memory write and the cache update happen here, at
 			// commit, so stores never expose speculative state (paper
 			// Section IV-B).
-			if err := c.ms.Mem.WritePhys(e.pa, e.sdata); err != nil {
+			if err := t.ms.Mem.WritePhys(e.pa, e.sdata); err != nil {
 				// Unmapped stores fault instead (checked at execute), so a
 				// physical write failure is a simulator bug.
 				panic("pipeline: committed store to unmapped frame")
 			}
-			c.ms.Hier.FillData(e.pa)
+			t.ms.Hier.FillData(e.pa)
 			c.St.CommittedStores++
+			t.st.CommittedStores++
 		case isa.ClassLoad:
 			c.St.CommittedLoads++
+			t.st.CommittedLoads++
 		case isa.ClassFlush:
 			// clflush takes effect at commit so that squashed flushes leave
 			// no trace. It also purges the shadow caches: a flushed line
 			// must not be observable anywhere.
-			c.ms.FlushLine(e.va)
+			t.ms.FlushLine(e.va)
 		case isa.ClassFence:
-			c.fenceActive--
+			t.fenceActive--
 		case isa.ClassHalt:
-			c.halted = true
+			t.halted = true
 		}
 
 		// SafeSpec state motion: WFC moves at commit; under WFB anything
 		// already moved at issue/resolution leaves nothing behind and this
 		// call is a no-op (moveShadow is idempotent).
 		if c.cfg.Mode.SafeSpec() {
-			c.moveShadow(e)
+			c.moveShadow(t, e)
 		}
 
 		if e.isLoad {
-			c.ldqCount--
+			t.ldqCount--
 		}
 		if e.isStore {
-			c.stqCount--
-			clearBit(c.storeMask, idx)
+			t.stqCount--
+			clearBit(t.storeMask, idx)
 		}
 		if e.tagBit != 0 {
 			// A correctly-resolved branch already released its tag in
 			// clearTag; reaching commit with a live tag means the branch
 			// resolved this cycle — clear defensively.
-			c.activeTags &^= e.tagBit
+			t.activeTags &^= e.tagBit
 			e.tagBit = 0
 		}
 		// Branch resolution already recycled the RAS snapshot; keep the
 		// free list exact if one ever survives to commit.
-		c.releaseRASSnap(e)
+		t.releaseRASSnap(e)
 
-		c.head = (c.head + 1) % len(c.rob)
-		c.count--
+		t.head = (t.head + 1) % len(t.rob)
+		t.count--
 		c.St.Committed++
+		t.st.Committed++
+		*budget--
 
-		if c.halted {
+		if t.halted {
 			return
 		}
 	}
 }
 
-// trap raises the fault carried by e: e and everything younger are
-// squashed (annulling their shadow state — this is what stops Meltdown
-// under WFC), and the front end vectors to the program's trap handler.
-func (c *CPU) trap(e *entry) {
+// trap raises the fault carried by e on thread t: e and everything younger
+// on t are squashed (annulling their shadow state — this is what stops
+// Meltdown under WFC), and t's front end vectors to the program's trap
+// handler. Sibling threads are unaffected: faults are a per-context event.
+func (c *CPU) trap(t *thread, e *entry) {
 	c.St.Faults++
+	t.st.Faults++
 	handler := c.prog.TrapHandler
 
 	// Squash the whole window including the faulting instruction itself.
 	if in := c.intro; in != nil {
 		in.TrapSquashes++
-		in.SquashedByTrap += uint64(c.count) - 1 // minus the faulting instruction, matching Stats.Squashed
+		in.SquashedByTrap += uint64(t.count) - 1 // minus the faulting instruction, matching Stats.Squashed
 	}
-	c.squashAll()
+	c.squashAll(t)
 	c.St.Squashed-- // the faulting instruction counts as a fault, not a squash
+	t.st.Squashed--
 
 	if handler < 0 {
-		c.halted = true
+		t.halted = true
 		return
 	}
 	c.St.Traps++
-	c.fenceActive = 0
-	c.flushFetch(handler)
+	t.st.Traps++
+	t.fenceActive = 0
+	c.flushFetch(t, handler)
 }
 
 // moveShadow transfers e's shadow state to the committed structures: cache
@@ -130,8 +140,8 @@ func (c *CPU) trap(e *entry) {
 // committed state" arrow of Figure 3). Shared entries are force-freed: once
 // the state is committed, remaining speculative references would hit the
 // committed structures anyway.
-func (c *CPU) moveShadow(e *entry) {
-	ms := c.ms
+func (c *CPU) moveShadow(t *thread, e *entry) {
+	ms := t.ms
 	if !c.cfg.Mode.SafeSpec() {
 		return
 	}

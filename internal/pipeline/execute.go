@@ -5,54 +5,55 @@ import (
 	"safespec/internal/mem"
 )
 
-// execute runs the issue and writeback logic for one cycle: finished
-// instructions write back (resolving branches, possibly squashing), and
-// waiting instructions with ready operands issue subject to the issue width
-// and port limits. The event-driven scheduler (sched.go) touches only the
-// entries that act this cycle; the reference scan rediscovers them by
-// walking the whole window and is kept for differential testing.
-func (c *CPU) execute() {
+// execute runs the issue and writeback logic for thread t this cycle:
+// finished instructions write back (resolving branches, possibly
+// squashing), and waiting instructions with ready operands issue subject to
+// the issue width and port limits. issued/loads/stores are the port budgets
+// shared across threads this cycle. The event-driven scheduler (sched.go)
+// touches only the entries that act this cycle; the reference scan
+// rediscovers them by walking the whole window and is kept for differential
+// testing.
+func (c *CPU) execute(t *thread, issued, loads, stores *int) {
 	if c.refSched {
-		c.executeScan()
+		c.executeScan(t, issued, loads, stores)
 		return
 	}
-	c.executeEvent()
+	c.executeEvent(t, issued, loads, stores)
 }
 
 // executeScan is the reference O(ROB-entries) issue/writeback stage.
-func (c *CPU) executeScan() {
-	issued, loads, stores := 0, 0, 0
-	for i := 0; i < c.count; i++ {
-		idx := c.slot(i)
-		e := &c.rob[idx]
+func (c *CPU) executeScan(t *thread, issued, loads, stores *int) {
+	for i := 0; i < t.count; i++ {
+		idx := t.slot(i)
+		e := &t.rob[idx]
 		switch e.state {
 		case stExec:
 			if e.completeAt <= c.cycle {
 				c.active = true
-				if squashed := c.writeback(idx, e); squashed {
+				if squashed := c.writeback(t, idx, e); squashed {
 					return // younger entries are gone; resume next cycle
 				}
 			}
 		case stWait:
-			if issued >= c.cfg.IssueWidth {
+			if *issued >= c.cfg.IssueWidth {
 				continue
 			}
-			if e.isLoad && loads >= 2 {
+			if e.isLoad && *loads >= 2 {
 				continue
 			}
-			if e.isStore && stores >= 1 {
+			if e.isStore && *stores >= 1 {
 				continue
 			}
-			if c.tryIssue(idx, e) != issueOK {
+			if c.tryIssue(t, idx, e) != issueOK {
 				continue
 			}
 			c.active = true
-			issued++
+			*issued++
 			if e.isLoad {
-				loads++
+				*loads++
 			}
 			if e.isStore {
-				stores++
+				*stores++
 			}
 		}
 	}
@@ -70,13 +71,13 @@ const (
 	issueBlocked                      // structural retry: blocked memory, CSR serialization, unresolved older store
 )
 
-// tryIssue attempts to begin execution of e. It reports failure when
-// operands are not ready, a structural condition blocks, or the memory
+// tryIssue attempts to begin execution of e on thread t. It reports failure
+// when operands are not ready, a structural condition blocks, or the memory
 // system asked for a retry (shadow Block policy, unresolved older store
 // address).
-func (c *CPU) tryIssue(idx int, e *entry) issueOutcome {
-	v1, ok1 := c.resolveSrc(e.reg1, e.src1)
-	v2, ok2 := c.resolveSrc(e.reg2, e.src2)
+func (c *CPU) tryIssue(t *thread, idx int, e *entry) issueOutcome {
+	v1, ok1 := t.resolveSrc(e.reg1, e.src1)
+	v2, ok2 := t.resolveSrc(e.reg2, e.src2)
 	if !ok1 || !ok2 {
 		return issueOperands
 	}
@@ -91,14 +92,14 @@ func (c *CPU) tryIssue(idx int, e *entry) issueOutcome {
 	case isa.ClassCSR:
 		// rdcycle is serializing: it issues only from the ROB head, after
 		// everything older has committed, so it observes a stable time.
-		if idx != c.head {
+		if idx != t.head {
 			return issueBlocked
 		}
 		e.val = int64(c.cycle)
 	case isa.ClassLoad:
-		return c.issueLoad(idx, e, v1)
+		return c.issueLoad(t, idx, e, v1)
 	case isa.ClassStore:
-		return c.issueStore(idx, e, v1, v2)
+		return c.issueStore(t, idx, e, v1, v2)
 	case isa.ClassBranch:
 		e.actualTaken = evalBranch(op, v1, v2)
 		if e.actualTaken {
@@ -129,25 +130,25 @@ func (c *CPU) tryIssue(idx int, e *entry) issueOutcome {
 
 	e.state = stExec
 	e.completeAt = c.cycle + lat
-	c.iqCount--
-	c.schedIssued(idx, e)
+	t.iqCount--
+	c.schedIssued(t, idx, e)
 	if c.tracing() {
 		c.tracef("issue   %s", traceEntry(e))
 	}
-	c.wfbMoveIfSafe(e)
+	c.wfbMoveIfSafe(t, e)
 	return issueOK
 }
 
 // issueLoad performs the memory access for a load: store-to-load forwarding
 // against older stores, else a full dTLB + D-cache access.
-func (c *CPU) issueLoad(idx int, e *entry, v1 int64) issueOutcome {
+func (c *CPU) issueLoad(t *thread, idx int, e *entry, v1 int64) issueOutcome {
 	va := uint64(v1 + e.in.Imm)
 	e.va = va
 
 	// Walk older stores, youngest-first, over the store bitmap. An older
 	// store with an unresolved address blocks the load (no
 	// memory-dependence speculation).
-	if s, blocked := c.olderStoreScan(idx, va); blocked {
+	if s, blocked := c.olderStoreScan(t, idx, va); blocked {
 		return issueBlocked
 	} else if s != nil {
 		if s.fault != mem.FaultNone {
@@ -158,13 +159,13 @@ func (c *CPU) issueLoad(idx int, e *entry, v1 int64) issueOutcome {
 		e.val = s.sdata
 		e.state = stExec
 		e.completeAt = c.cycle + uint64(c.cfg.StoreForwardLatency)
-		c.iqCount--
-		c.schedIssued(idx, e)
+		t.iqCount--
+		c.schedIssued(t, idx, e)
 		c.St.StoreForwards++
 		return issueOK
 	}
 
-	res := c.ms.LoadAccess(va, e.seq, e.mask)
+	res := t.ms.LoadAccess(va, e.seq, e.mask)
 	if res.blocked {
 		return issueBlocked
 	}
@@ -184,20 +185,20 @@ func (c *CPU) issueLoad(idx int, e *entry, v1 int64) issueOutcome {
 	e.dtlbHandle = res.dtlbHandle
 	e.state = stExec
 	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op)) + uint64(res.latency)
-	c.iqCount--
-	c.schedIssued(idx, e)
+	t.iqCount--
+	c.schedIssued(t, idx, e)
 	if c.tracing() {
 		c.tracef("issue   %s va=%#x lat=%d fault=%v", traceEntry(e), va, res.latency, res.fault)
 	}
-	c.wfbMoveIfSafe(e)
+	c.wfbMoveIfSafe(t, e)
 	return issueOK
 }
 
 // issueStore resolves a store's address and captures its data. The write
 // itself happens at commit (TSO).
-func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) issueOutcome {
+func (c *CPU) issueStore(t *thread, idx int, e *entry, v1, v2 int64) issueOutcome {
 	va := uint64(v1 + e.in.Imm)
-	res := c.ms.StoreAccess(va, e.seq, e.mask)
+	res := t.ms.StoreAccess(va, e.seq, e.mask)
 	if res.blocked {
 		return issueBlocked
 	}
@@ -210,20 +211,20 @@ func (c *CPU) issueStore(idx int, e *entry, v1, v2 int64) issueOutcome {
 	e.dtlbHandle = res.dtlbHandle
 	e.state = stExec
 	e.completeAt = c.cycle + uint64(isa.Latency(e.in.Op))
-	c.iqCount--
-	c.schedIssued(idx, e)
-	c.wfbMoveIfSafe(e)
+	t.iqCount--
+	c.schedIssued(t, idx, e)
+	c.wfbMoveIfSafe(t, e)
 	return issueOK
 }
 
 // writeback finishes e: marks it done, wakes its register dependents, and
 // resolves control flow. It reports whether a squash occurred.
-func (c *CPU) writeback(idx int, e *entry) bool {
-	c.schedRetire(idx)
+func (c *CPU) writeback(t *thread, idx int, e *entry) bool {
+	c.schedRetire(t, idx)
 	e.state = stDone
-	c.wakeWaiters(idx)
+	c.wakeWaiters(t, idx)
 	if isa.IsBranchLike(e.in.Op) {
-		if squashed := c.resolveBranch(idx, e); squashed {
+		if squashed := c.resolveBranch(t, idx, e); squashed {
 			return true
 		}
 	}
@@ -236,16 +237,16 @@ func (c *CPU) writeback(idx int, e *entry) bool {
 // immediately — even if the instruction itself may later fault. This is
 // exactly why WFB does not stop Meltdown (paper Table III): the faulting
 // load's side effects have no branch to wait for.
-func (c *CPU) wfbMoveIfSafe(e *entry) {
+func (c *CPU) wfbMoveIfSafe(t *thread, e *entry) {
 	if c.cfg.Mode == ModeWFB && e.mask == 0 {
-		c.moveShadow(e)
+		c.moveShadow(t, e)
 	}
 }
 
 // resolveBranch checks the prediction for a resolved control transfer,
 // trains the predictor, clears the branch tag, and squashes on mispredict.
 // It reports whether a squash occurred.
-func (c *CPU) resolveBranch(idx int, e *entry) bool {
+func (c *CPU) resolveBranch(t *thread, idx int, e *entry) bool {
 	op := e.in.Op
 	correct := true
 	if isa.IsPredicted(op) {
@@ -257,17 +258,17 @@ func (c *CPU) resolveBranch(idx int, e *entry) bool {
 		}
 		switch isa.ClassOf(op) {
 		case isa.ClassBranch:
-			c.bp.UpdateCond(e.pc, e.histSnap, e.actualTaken, correct)
+			t.bp.UpdateCond(e.pc, e.histSnap, e.actualTaken, correct)
 		case isa.ClassJumpInd:
-			c.bp.UpdateIndirect(e.pc, e.actualTarget, correct)
+			t.bp.UpdateIndirect(e.pc, e.actualTarget, correct)
 		case isa.ClassRet:
-			c.bp.UpdateReturn(correct)
+			t.bp.UpdateReturn(correct)
 		}
 	}
 
 	if correct {
-		c.releaseRASSnap(e)
-		c.clearTag(e)
+		t.releaseRASSnap(e)
+		c.clearTag(t, e)
 		return false
 	}
 
@@ -277,41 +278,42 @@ func (c *CPU) resolveBranch(idx int, e *entry) bool {
 		c.tracef("MISPRED %s predicted=%d actual=%d", traceEntry(e), e.predTarget, e.actualTarget)
 	}
 	c.St.Mispredicts++
+	t.st.Mispredicts++
 	if in := c.intro; in != nil {
 		in.MispredictSquashes++
-		in.SquashedByMispredict += uint64(c.count - (c.ordinal(idx) + 1))
+		in.SquashedByMispredict += uint64(t.count - (t.ordinal(idx) + 1))
 	}
-	c.squashYounger(idx)
-	c.bp.RestoreHistory(e.histSnap)
-	c.bp.RestoreRAS(e.rasTop, e.rasSnap)
-	c.releaseRASSnap(e)
+	c.squashYounger(t, idx)
+	t.bp.RestoreHistory(e.histSnap)
+	t.bp.RestoreRAS(e.rasTop, e.rasSnap)
+	t.releaseRASSnap(e)
 	switch isa.ClassOf(op) {
 	case isa.ClassBranch:
-		c.bp.SpeculateHistory(e.actualTaken)
+		t.bp.SpeculateHistory(e.actualTaken)
 	case isa.ClassJumpInd:
 		if op == isa.OpCalli {
-			c.bp.PushReturn(e.pc + 1)
+			t.bp.PushReturn(e.pc + 1)
 		}
 	case isa.ClassRet:
 		// Re-pop the (restored) RAS to consume the return.
-		c.bp.PredictReturn()
+		t.bp.PredictReturn()
 	}
-	c.clearTag(e)
-	c.flushFetch(e.actualTarget)
+	c.clearTag(t, e)
+	c.flushFetch(t, e.actualTarget)
 	return true
 }
 
 // clearTag releases e's branch tag and clears the bit from all younger
 // entries' masks, applying the WFB motion rule to entries that become safe.
-func (c *CPU) clearTag(e *entry) {
+func (c *CPU) clearTag(t *thread, e *entry) {
 	bit := e.tagBit
 	if bit == 0 {
 		return
 	}
 	e.tagBit = 0
-	c.activeTags &^= bit
-	for i := 0; i < c.count; i++ {
-		ent := &c.rob[c.slot(i)]
+	t.activeTags &^= bit
+	for i := 0; i < t.count; i++ {
+		ent := &t.rob[t.slot(i)]
 		if ent.mask&bit == 0 {
 			continue
 		}
@@ -319,59 +321,60 @@ func (c *CPU) clearTag(e *entry) {
 		// WFB: entries freed of their last branch dependency become safe;
 		// whatever shadow state they have accumulated moves now (entries
 		// still waiting to issue will move their future fills at issue).
-		c.wfbMoveIfSafe(ent)
+		c.wfbMoveIfSafe(t, ent)
 	}
 }
 
-// squashYounger removes every ROB entry younger than the one at idx,
-// releasing shadow state as squashed and returning queue capacity.
-func (c *CPU) squashYounger(idx int) {
-	keep := c.ordinal(idx) + 1
-	for i := c.count - 1; i >= keep; i-- {
-		c.squashEntry(c.slot(i))
+// squashYounger removes every ROB entry of thread t younger than the one at
+// idx, releasing shadow state as squashed and returning queue capacity.
+func (c *CPU) squashYounger(t *thread, idx int) {
+	keep := t.ordinal(idx) + 1
+	for i := t.count - 1; i >= keep; i-- {
+		c.squashEntry(t, t.slot(i))
 	}
-	c.count = keep
-	c.rebuildRename()
+	t.count = keep
+	t.rebuildRename()
 }
 
-// squashAll removes every ROB entry (trap flush).
-func (c *CPU) squashAll() {
-	for i := c.count - 1; i >= 0; i-- {
-		c.squashEntry(c.slot(i))
+// squashAll removes every ROB entry of thread t (trap flush).
+func (c *CPU) squashAll(t *thread) {
+	for i := t.count - 1; i >= 0; i-- {
+		c.squashEntry(t, t.slot(i))
 	}
-	c.count = 0
-	c.rebuildRename()
+	t.count = 0
+	t.rebuildRename()
 }
 
-// squashEntry annuls the entry in ROB slot idx: shadow state is released in
-// place (the SafeSpec "annul update to the shadow state" arrow in Figure 3)
-// and the scheduler drops any queued work for it.
-func (c *CPU) squashEntry(idx int) {
-	e := &c.rob[idx]
-	c.schedSquash(idx)
+// squashEntry annuls the entry in t's ROB slot idx: shadow state is
+// released in place (the SafeSpec "annul update to the shadow state" arrow
+// in Figure 3) and the scheduler drops any queued work for it.
+func (c *CPU) squashEntry(t *thread, idx int) {
+	e := &t.rob[idx]
+	c.schedSquash(t, idx)
 	c.St.Squashed++
+	t.st.Squashed++
 	if e.state == stWait {
-		c.iqCount--
+		t.iqCount--
 	}
 	if e.isLoad {
-		c.ldqCount--
+		t.ldqCount--
 	}
 	if e.isStore {
-		c.stqCount--
+		t.stqCount--
 	}
 	if e.tagBit != 0 {
-		c.activeTags &^= e.tagBit
+		t.activeTags &^= e.tagBit
 	}
 	if e.in.Op == isa.OpFence {
-		c.fenceActive--
+		t.fenceActive--
 	}
-	c.releaseRASSnap(e)
-	c.releaseShadow(e, false)
+	t.releaseRASSnap(e)
+	c.releaseShadow(t, e, false)
 }
 
 // releaseShadow drops all shadow handles of e with the given disposition.
-func (c *CPU) releaseShadow(e *entry, committed bool) {
-	ms := c.ms
+func (c *CPU) releaseShadow(t *thread, e *entry, committed bool) {
+	ms := t.ms
 	if ms.ShD != nil {
 		for _, h := range e.dhs() {
 			if ms.ShD.StillValid(h) {

@@ -7,33 +7,34 @@ import (
 	"safespec/internal/shadow"
 )
 
-// fetch runs the front end for one cycle: up to FetchWidth instructions are
-// pulled from the instruction stream along the predicted path, charging
-// I-cache/iTLB time per line crossed. A taken (predicted or static) control
-// transfer ends the fetch group.
-func (c *CPU) fetch() {
-	if !c.fetchValid || c.cycle < c.fetchStallUntil {
+// fetch runs the front end of thread t for one cycle: up to FetchWidth
+// instructions are pulled from the instruction stream along the predicted
+// path, charging I-cache/iTLB time per line crossed. A taken (predicted or
+// static) control transfer ends the fetch group. Under SMT one thread owns
+// the entire fetch stage each cycle (round-robin in Step).
+func (c *CPU) fetch(t *thread) {
+	if !t.fetchValid || c.cycle < t.fetchStallUntil {
 		return
 	}
 	// Bounded fetch buffer (two dispatch groups).
-	if c.fbLen >= 2*c.cfg.DispatchWidth {
+	if t.fbLen >= 2*c.cfg.DispatchWidth {
 		return
 	}
 	for fetched := 0; fetched < c.cfg.FetchWidth; fetched++ {
-		if c.fetchPC < 0 || c.fetchPC >= len(c.prog.Code) {
+		if t.fetchPC < 0 || t.fetchPC >= len(c.prog.Code) {
 			// Ran off the code (wrong-path or program end): wait for a
 			// redirect; if none ever comes the pipeline drains and halts.
-			c.fetchValid = false
+			t.fetchValid = false
 			return
 		}
-		lineVA := isa.PCByte(c.fetchPC) &^ uint64(cache.LineSize-1)
-		if lineVA == c.lastFetchLine {
+		lineVA := isa.PCByte(t.fetchPC) &^ uint64(cache.LineSize-1)
+		if lineVA == t.lastFetchLine {
 			// Same-line sequential fetch: no cache port needed, but for
 			// the Figure 15 accounting attribute the reuse to wherever the
 			// line currently resides — the shadow structure while the line
 			// is still speculative, the committed L1I after it moves.
 			c.St.IFetches++
-			inShadow, inL1 := c.ms.ClassifyILine(c.lastFetchPALine)
+			inShadow, inL1 := t.ms.ClassifyILine(t.lastFetchPALine)
 			switch {
 			case inShadow:
 				c.St.IFetchShadowHits++
@@ -45,15 +46,15 @@ func (c *CPU) fetch() {
 				c.St.IFetchL1Hits++
 			}
 		}
-		if lineVA != c.lastFetchLine {
+		if lineVA != t.lastFetchLine {
 			c.active = true
 			if c.tracing() {
-				c.tracef("ifetch  pc=%d line=%#x", c.fetchPC, lineVA)
+				c.tracef("ifetch  pc=%d line=%#x", t.fetchPC, lineVA)
 			}
-			res := c.ms.FetchAccess(lineVA, c.seqCtr, c.activeTags)
+			res := t.ms.FetchAccess(lineVA, t.seqCtr, t.activeTags)
 			if res.blocked {
 				// Shadow structure full under the Block policy: retry.
-				c.fetchStallUntil = c.cycle + 1
+				t.fetchStallUntil = c.cycle + 1
 				return
 			}
 			c.St.IFetches++
@@ -65,76 +66,76 @@ func (c *CPU) fetch() {
 			default:
 				c.St.IFetchMisses++
 			}
-			c.lastFetchLine = lineVA
-			c.lastFetchPALine = res.paLine
+			t.lastFetchLine = lineVA
+			t.lastFetchPALine = res.paLine
 			if res.iHandle.Valid() {
-				c.releasePendingIH()
-				c.pendingIH = res.iHandle
+				t.releasePendingIH()
+				t.pendingIH = res.iHandle
 			}
 			if res.itlbHandle.Valid() {
-				c.releasePendingITLBH()
-				c.pendingITLBH = res.itlbHandle
+				t.releasePendingITLBH()
+				t.pendingITLBH = res.itlbHandle
 			}
 			if res.nDH > 0 {
-				c.releasePendingDH()
-				c.pendingDH, c.nPendingDH = res.dHandles, res.nDH
+				t.releasePendingDH()
+				t.pendingDH, t.nPendingDH = res.dHandles, res.nDH
 			}
 			if res.stall > 0 {
-				c.fetchStallUntil = c.cycle + uint64(res.stall)
+				t.fetchStallUntil = c.cycle + uint64(res.stall)
 				return
 			}
 		}
-		in := c.prog.Code[c.fetchPC]
+		in := c.prog.Code[t.fetchPC]
 		// Build the record directly in the (pre-zeroed) ring slot; fbCommit
 		// publishes it. No abort path runs between here and the commit.
-		rec := c.fbNext()
-		rec.pc = c.fetchPC
+		rec := t.fbNext()
+		rec.pc = t.fetchPC
 		rec.in = in
 		// The first instruction fetched after a line fill owns that line's
 		// shadow entries.
-		if c.pendingIH.Valid() {
-			rec.iHandle, c.pendingIH = c.pendingIH, shadow.Handle{}
+		if t.pendingIH.Valid() {
+			rec.iHandle, t.pendingIH = t.pendingIH, shadow.Handle{}
 		}
-		if c.pendingITLBH.Valid() {
-			rec.itlbHandle, c.pendingITLBH = c.pendingITLBH, shadow.Handle{}
+		if t.pendingITLBH.Valid() {
+			rec.itlbHandle, t.pendingITLBH = t.pendingITLBH, shadow.Handle{}
 		}
-		if c.nPendingDH > 0 {
-			rec.dHandles, rec.nDH = c.pendingDH, c.nPendingDH
-			c.nPendingDH = 0
+		if t.nPendingDH > 0 {
+			rec.dHandles, rec.nDH = t.pendingDH, t.nPendingDH
+			t.nPendingDH = 0
 		}
 
 		redirected := false
 		switch isa.ClassOf(in.Op) {
 		case isa.ClassBranch:
 			rec.predicted = true
-			rec.histSnap = c.bp.HistorySnapshot()
-			rec.rasSnap = c.getRASBuf()
-			rec.rasTop = c.bp.SnapshotRASInto(rec.rasSnap)
-			pred := c.bp.PredictCond(rec.pc, in.Target)
+			rec.histSnap = t.bp.HistorySnapshot()
+			rec.rasSnap = c.getRASBuf(t)
+			rec.rasTop = t.bp.SnapshotRASInto(rec.rasSnap)
+			pred := t.bp.PredictCond(rec.pc, in.Target)
 			rec.predTaken = pred.Taken
 			rec.predTarget = pred.Target
-			c.bp.SpeculateHistory(pred.Taken)
+			t.bp.SpeculateHistory(pred.Taken)
 			if pred.Taken {
-				c.fetchPC = pred.Target
+				t.fetchPC = pred.Target
 				redirected = true
 			} else {
-				c.fetchPC++
+				t.fetchPC++
 			}
 		case isa.ClassJump:
 			// Direct jump/call: target statically known, never mispredicts.
 			if in.Op == isa.OpCall {
-				c.bp.PushReturn(rec.pc + 1)
+				t.bp.PushReturn(rec.pc + 1)
 			}
 			rec.predTaken = true
 			rec.predTarget = in.Target
-			c.fetchPC = in.Target
+			t.fetchPC = in.Target
 			redirected = true
 		case isa.ClassJumpInd:
 			rec.predicted = true
-			rec.histSnap = c.bp.HistorySnapshot()
-			rec.rasSnap = c.getRASBuf()
-			rec.rasTop = c.bp.SnapshotRASInto(rec.rasSnap)
-			pred := c.bp.PredictIndirect(rec.pc)
+			rec.histSnap = t.bp.HistorySnapshot()
+			rec.rasSnap = c.getRASBuf(t)
+			rec.rasTop = t.bp.SnapshotRASInto(rec.rasSnap)
+			pred := t.bp.PredictIndirect(rec.pc)
 			rec.predTaken = true
 			if pred.HasTarget {
 				rec.predTarget = pred.Target
@@ -144,88 +145,90 @@ func (c *CPU) fetch() {
 				rec.predTarget = rec.pc + 1
 			}
 			if in.Op == isa.OpCalli {
-				c.bp.PushReturn(rec.pc + 1)
+				t.bp.PushReturn(rec.pc + 1)
 			}
-			c.fetchPC = rec.predTarget
+			t.fetchPC = rec.predTarget
 			redirected = true
 		case isa.ClassRet:
 			rec.predicted = true
-			rec.histSnap = c.bp.HistorySnapshot()
-			rec.rasSnap = c.getRASBuf()
-			rec.rasTop = c.bp.SnapshotRASInto(rec.rasSnap)
-			pred := c.bp.PredictReturn()
+			rec.histSnap = t.bp.HistorySnapshot()
+			rec.rasSnap = c.getRASBuf(t)
+			rec.rasTop = t.bp.SnapshotRASInto(rec.rasSnap)
+			pred := t.bp.PredictReturn()
 			rec.predTaken = true
 			if pred.HasTarget {
 				rec.predTarget = pred.Target
 			} else {
 				rec.predTarget = rec.pc + 1
 			}
-			c.fetchPC = rec.predTarget
+			t.fetchPC = rec.predTarget
 			redirected = true
 		case isa.ClassHalt:
-			c.fetchValid = false
-			c.fbCommit()
+			t.fetchValid = false
+			t.fbCommit()
 			c.active = true
 			return
 		default:
-			c.fetchPC++
+			t.fetchPC++
 		}
 
-		c.fbCommit()
+		t.fbCommit()
 		c.active = true
 		if redirected {
 			// A taken transfer ends the fetch group and invalidates the
 			// straight-line same-line optimization.
-			c.lastFetchLine = ^uint64(0)
+			t.lastFetchLine = ^uint64(0)
 			return
 		}
 	}
 }
 
-// dispatch moves instructions from the fetch buffer into the ROB, renaming
-// their operands and allocating IQ/LDQ/STQ capacity and branch tags.
-func (c *CPU) dispatch() {
-	for n := 0; n < c.cfg.DispatchWidth && c.fbLen > 0; n++ {
-		if c.fenceActive > 0 {
+// dispatch moves instructions from thread t's fetch buffer into its ROB
+// partition, renaming their operands and allocating its IQ/LDQ/STQ shares
+// and branch tags. budget is the remaining DispatchWidth shared across
+// threads this cycle; one unit is consumed per dispatched instruction.
+func (c *CPU) dispatch(t *thread, budget *int) {
+	for *budget > 0 && t.fbLen > 0 {
+		if t.fenceActive > 0 {
 			return
 		}
-		if c.count == len(c.rob) || c.iqCount == c.cfg.IQSize {
+		if t.count == len(t.rob) || t.iqCount == t.iqMax {
 			return
 		}
-		rec := c.fbFront()
+		rec := t.fbFront()
 		class := isa.ClassOf(rec.in.Op)
 		isLoad := class == isa.ClassLoad
 		isStore := class == isa.ClassStore
-		if isLoad && c.ldqCount == c.cfg.LDQSize {
+		if isLoad && t.ldqCount == t.ldqMax {
 			return
 		}
-		if isStore && c.stqCount == c.cfg.STQSize {
+		if isStore && t.stqCount == t.stqMax {
 			return
 		}
 		var tagBit uint64
 		if rec.predicted {
-			tagBit = c.freeTag()
+			tagBit = c.freeTag(t)
 			if tagBit == 0 {
 				return // out of branch checkpoints
 			}
 		}
 
-		idx := c.tail()
-		c.count++
-		c.seqCtr++
-		e := &c.rob[idx]
+		idx := t.tail()
+		t.count++
+		t.seqCtr++
+		e := &t.rob[idx]
 		// Field-by-field reset instead of `*e = entry{...}`: the composite
 		// literal zero-fills the whole slot — dominated by the 96-byte
 		// inline handle array — on every dispatch. Stale dHandles contents
 		// are unreachable behind nDH = 0; every other field is (re)assigned
 		// here or below.
-		e.seq = c.seqCtr
+		e.seq = t.seqCtr
 		e.pc = rec.pc
 		e.in = rec.in
 		e.state = stWait
 		e.completeAt = 0
 		e.val = 0
-		e.mask = c.activeTags
+		e.mask = t.activeTags
 		e.tagBit = tagBit
 		e.predTaken = rec.predTaken
 		e.predTarget = rec.predTarget
@@ -246,31 +249,33 @@ func (c *CPU) dispatch() {
 		e.itlbHandle = rec.itlbHandle
 		e.addDHs(rec.dHandles[:rec.nDH])
 		if tagBit != 0 {
-			c.activeTags |= tagBit
+			t.activeTags |= tagBit
 		}
 
 		// Operand renaming.
 		e.reg1, e.reg2 = srcRegsOf(rec.in)
-		e.src1 = c.renameLookup(e.reg1)
-		e.src2 = c.renameLookup(e.reg2)
+		e.src1 = t.renameLookup(e.reg1)
+		e.src2 = t.renameLookup(e.reg2)
 		if rec.in.HasDest() {
-			c.renm[rec.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
+			t.renm[rec.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
 		}
-		c.schedDispatch(idx, e)
+		c.schedDispatch(t, idx, e)
 
-		c.iqCount++
+		t.iqCount++
 		if isLoad {
-			c.ldqCount++
+			t.ldqCount++
 		}
 		if isStore {
-			c.stqCount++
+			t.stqCount++
 		}
 		if rec.in.Op == isa.OpFence {
-			c.fenceActive++
+			t.fenceActive++
 		}
 		c.St.Dispatched++
+		t.st.Dispatched++
 		c.active = true
-		c.fbPop()
+		t.fbPop()
+		*budget--
 	}
 }
 
@@ -304,12 +309,13 @@ func srcRegsOf(in isa.Instr) (r1, r2 isa.Reg) {
 	return isa.Zero, isa.Zero
 }
 
-// freeTag allocates an unused branch-tag bit, or 0 if none remain.
-func (c *CPU) freeTag() uint64 {
-	limit := c.cfg.MaxBranchTags
+// freeTag allocates an unused branch-tag bit from t's share, or 0 if none
+// remain.
+func (c *CPU) freeTag(t *thread) uint64 {
+	limit := t.tagsMax
 	for b := 0; b < limit && b < 64; b++ {
 		bit := uint64(1) << uint(b)
-		if c.activeTags&bit == 0 {
+		if t.activeTags&bit == 0 {
 			return bit
 		}
 	}
@@ -317,57 +323,57 @@ func (c *CPU) freeTag() uint64 {
 }
 
 // releasePendingIH frees an unattached fetch-line shadow handle.
-func (c *CPU) releasePendingIH() {
-	if c.pendingIH.Valid() && c.ms.ShI != nil && c.ms.ShI.StillValid(c.pendingIH) {
-		c.ms.ShI.Release(c.pendingIH, false)
+func (t *thread) releasePendingIH() {
+	if t.pendingIH.Valid() && t.ms.ShI != nil && t.ms.ShI.StillValid(t.pendingIH) {
+		t.ms.ShI.Release(t.pendingIH, false)
 	}
-	c.pendingIH = shadow.Handle{}
+	t.pendingIH = shadow.Handle{}
 }
 
-func (c *CPU) releasePendingITLBH() {
-	if c.pendingITLBH.Valid() && c.ms.ShITLB != nil && c.ms.ShITLB.StillValid(c.pendingITLBH) {
-		c.ms.ShITLB.Release(c.pendingITLBH, false)
+func (t *thread) releasePendingITLBH() {
+	if t.pendingITLBH.Valid() && t.ms.ShITLB != nil && t.ms.ShITLB.StillValid(t.pendingITLBH) {
+		t.ms.ShITLB.Release(t.pendingITLBH, false)
 	}
-	c.pendingITLBH = shadow.Handle{}
+	t.pendingITLBH = shadow.Handle{}
 }
 
-func (c *CPU) releasePendingDH() {
-	for _, h := range c.pendingDH[:c.nPendingDH] {
-		if c.ms.ShD != nil && c.ms.ShD.StillValid(h) {
-			c.ms.ShD.Release(h, false)
+func (t *thread) releasePendingDH() {
+	for _, h := range t.pendingDH[:t.nPendingDH] {
+		if t.ms.ShD != nil && t.ms.ShD.StillValid(h) {
+			t.ms.ShD.Release(h, false)
 		}
 	}
-	c.nPendingDH = 0
+	t.nPendingDH = 0
 }
 
-// flushFetch clears the fetch buffer and any pending shadow handles, then
-// redirects the front end to pc.
-func (c *CPU) flushFetch(pc int) {
-	for i := 0; i < c.fbLen; i++ {
-		rec := &c.fetchBuf[(c.fbHead+i)%len(c.fetchBuf)]
-		if rec.iHandle.Valid() && c.ms.ShI != nil && c.ms.ShI.StillValid(rec.iHandle) {
-			c.ms.ShI.Release(rec.iHandle, false)
+// flushFetch clears thread t's fetch buffer and any pending shadow handles,
+// then redirects its front end to pc.
+func (c *CPU) flushFetch(t *thread, pc int) {
+	for i := 0; i < t.fbLen; i++ {
+		rec := &t.fetchBuf[(t.fbHead+i)%len(t.fetchBuf)]
+		if rec.iHandle.Valid() && t.ms.ShI != nil && t.ms.ShI.StillValid(rec.iHandle) {
+			t.ms.ShI.Release(rec.iHandle, false)
 		}
-		if rec.itlbHandle.Valid() && c.ms.ShITLB != nil && c.ms.ShITLB.StillValid(rec.itlbHandle) {
-			c.ms.ShITLB.Release(rec.itlbHandle, false)
+		if rec.itlbHandle.Valid() && t.ms.ShITLB != nil && t.ms.ShITLB.StillValid(rec.itlbHandle) {
+			t.ms.ShITLB.Release(rec.itlbHandle, false)
 		}
 		for _, h := range rec.dHandles[:rec.nDH] {
-			if c.ms.ShD != nil && c.ms.ShD.StillValid(h) {
-				c.ms.ShD.Release(h, false)
+			if t.ms.ShD != nil && t.ms.ShD.StillValid(h) {
+				t.ms.ShD.Release(h, false)
 			}
 		}
-		c.putRASBuf(rec.rasSnap)
+		t.putRASBuf(rec.rasSnap)
 		*rec = fetchRec{}
 	}
-	c.fbHead, c.fbLen = 0, 0
-	c.releasePendingIH()
-	c.releasePendingITLBH()
-	c.releasePendingDH()
-	c.fetchPC = pc
-	c.fetchValid = pc >= 0 && pc < len(c.prog.Code)
-	c.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
-	c.lastFetchLine = ^uint64(0)
+	t.fbHead, t.fbLen = 0, 0
+	t.releasePendingIH()
+	t.releasePendingITLBH()
+	t.releasePendingDH()
+	t.fetchPC = pc
+	t.fetchValid = pc >= 0 && pc < len(c.prog.Code)
+	t.fetchStallUntil = c.cycle + uint64(c.cfg.RedirectPenalty)
+	t.lastFetchLine = ^uint64(0)
 	if c.tracing() {
-		c.tracef("redirect fetch -> pc=%d valid=%v", pc, c.fetchValid)
+		c.tracef("redirect fetch -> pc=%d valid=%v", pc, t.fetchValid)
 	}
 }

@@ -24,10 +24,18 @@ type Introspection struct {
 
 	// Per-cycle occupancy histograms, sampled every stepped cycle and
 	// bulk-charged across fast-forwarded spans (occupancy cannot change
-	// while the core is idle).
+	// while the core is idle). Under SMT the three core histograms hold
+	// the summed occupancy across threads.
 	ROBOccupancy   *stats.Histogram // live ROB entries, [0, ROBSize]
 	IQOccupancy    *stats.Histogram // entries waiting to issue, [0, IQSize]
 	WheelOccupancy *stats.Histogram // in-flight completions on the timing wheel (0 under the reference scan scheduler)
+
+	// ThreadROB / ThreadIQ break occupancy down by hardware thread, each
+	// histogram spanning that thread's static partition. They are nil for
+	// single-thread cores, where the core-wide histograms already tell the
+	// whole story.
+	ThreadROB []*stats.Histogram
+	ThreadIQ  []*stats.Histogram
 }
 
 // EnableIntrospection attaches (or returns the already-attached)
@@ -42,6 +50,14 @@ func (c *CPU) EnableIntrospection() *Introspection {
 			IQOccupancy:    stats.NewHistogram(c.cfg.IQSize),
 			WheelOccupancy: stats.NewHistogram(c.cfg.ROBSize),
 		}
+		if len(c.ths) > 1 {
+			c.intro.ThreadROB = make([]*stats.Histogram, len(c.ths))
+			c.intro.ThreadIQ = make([]*stats.Histogram, len(c.ths))
+			for i := range c.ths {
+				c.intro.ThreadROB[i] = stats.NewHistogram(len(c.ths[i].rob))
+				c.intro.ThreadIQ[i] = stats.NewHistogram(c.ths[i].iqMax)
+			}
+		}
 	}
 	return c.intro
 }
@@ -53,7 +69,18 @@ func (c *CPU) Introspection() *Introspection { return c.intro }
 // `c.intro != nil`.
 func (c *CPU) sampleIntrospection() {
 	in := c.intro
-	in.ROBOccupancy.Add(c.count)
-	in.IQOccupancy.Add(c.iqCount)
-	in.WheelOccupancy.Add(c.wheelCount)
+	rob, iq, wheel := 0, 0, 0
+	for i := range c.ths {
+		t := &c.ths[i]
+		rob += t.count
+		iq += t.iqCount
+		wheel += t.wheelCount
+		if in.ThreadROB != nil {
+			in.ThreadROB[i].Add(t.count)
+			in.ThreadIQ[i].Add(t.iqCount)
+		}
+	}
+	in.ROBOccupancy.Add(rob)
+	in.IQOccupancy.Add(iq)
+	in.WheelOccupancy.Add(wheel)
 }

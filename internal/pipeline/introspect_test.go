@@ -12,7 +12,7 @@ import (
 // sample per cycle (fast-forwarded spans included), and enabling it does
 // not perturb the simulation's results.
 func TestIntrospectionCounters(t *testing.T) {
-	prog, err := workloads.Program("exchange2", 1)
+	prog, err := workloads.Program("exchange2", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestIntrospectionCounters(t *testing.T) {
 // TestIntrospectionDetachedOnReset: Reset must drop the attached block so a
 // reused simulator does not accidentally keep sampling into a stale one.
 func TestIntrospectionDetachedOnReset(t *testing.T) {
-	prog, err := workloads.Program("exchange2", 1)
+	prog, err := workloads.Program("exchange2", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

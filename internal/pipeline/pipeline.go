@@ -9,6 +9,14 @@
 // dispatch and fetch stages over the reorder buffer. Architectural values
 // flow through ROB tags (implicit register renaming); timing flows through
 // the cache/TLB/shadow models in MemSystem.
+//
+// The core supports SMT: Config.Threads hardware threads share the caches,
+// TLBs, branch-predictor tables and the stage widths, while every thread
+// owns its architectural registers, its static partition of the ROB/IQ/LSQ
+// capacity, its front end (PC, fetch ring, RAS) and — crucially for
+// SafeSpec — its own shadow structures. All per-thread state lives in the
+// thread struct below; a single-thread core is the exact machine this
+// package always modeled.
 package pipeline
 
 import (
@@ -49,6 +57,13 @@ type Config struct {
 	// StoreForwardLatency is the store-to-load forwarding time.
 	StoreForwardLatency int
 
+	// Threads is the number of hardware threads (SMT contexts) sharing the
+	// core. The zero value means one; it is deliberately NOT normalized to
+	// 1, so single-thread configurations marshal exactly as they did before
+	// SMT existed and sweep job hashes — and therefore warm result caches —
+	// stay stable. Use NumThreads for the effective count.
+	Threads int `json:",omitempty"`
+
 	// Mode selects baseline / SafeSpec-WFB / SafeSpec-WFC.
 	Mode Mode
 	// FaultsReturnData models Meltdown-vulnerable data forwarding on
@@ -61,7 +76,8 @@ type Config struct {
 	ITLB  tlb.Config
 	DTLB  tlb.Config
 
-	// Shadow policies (used when Mode.SafeSpec()).
+	// Shadow policies (used when Mode.SafeSpec()). Under SMT each thread
+	// gets its own structures at these sizes.
 	ShadowD    shadow.Policy
 	ShadowI    shadow.Policy
 	ShadowDTLB shadow.Policy
@@ -78,8 +94,26 @@ type Config struct {
 	DetectAnomalies bool
 }
 
+// NumThreads returns the effective hardware-thread count: Threads with a
+// floor of one and a cap that keeps every thread's static ROB partition
+// usable.
+func (c Config) NumThreads() int {
+	n := c.Threads
+	if n < 2 {
+		return 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	if c.ROBSize > 0 && n > c.ROBSize/8 && c.ROBSize/8 >= 2 {
+		n = c.ROBSize / 8
+	}
+	return n
+}
+
 // Normalize fills unset fields with the paper's defaults and returns the
-// completed config.
+// completed config. Threads is left alone: zero encodes "one thread" (see
+// the field comment).
 func (c Config) Normalize() Config {
 	def := func(p *int, v int) {
 		if *p == 0 {
@@ -216,12 +250,21 @@ type fetchRec struct {
 	nDH      int
 }
 
-// CPU is the simulated core bound to one program.
-type CPU struct {
-	cfg  Config
-	prog *isa.Program
-	ms   *MemSystem
-	bp   *bpred.Predictor
+// thread holds all core state that is architecturally private to one
+// hardware thread: registers and rename map, the thread's static ROB
+// partition, its share of the IQ/LSQ/branch-tag capacity, the front end
+// (PC, fetch ring, RAS snapshot pool), the event-scheduler bitmaps and
+// completion wheel over its partition, and — under SafeSpec — its shadow
+// structures and anomaly detectors. Everything else (caches, TLBs,
+// predictor tables, stage widths) is shared across threads.
+type thread struct {
+	id int
+
+	// ms is this thread's memory-system view: committed structures shared
+	// with every sibling, shadow structures private. bp likewise shares the
+	// predictor tables while keeping history/RAS/stats private.
+	ms *MemSystem
+	bp *bpred.Predictor
 
 	regs [isa.RegCount]int64
 	renm [isa.RegCount]renameRef
@@ -236,6 +279,10 @@ type CPU struct {
 	stqCount    int
 	activeTags  uint64
 	fenceActive int
+
+	// Static partition shares of the shared structures (full capacity for a
+	// single-thread core).
+	iqMax, ldqMax, stqMax, tagsMax int
 
 	fetchPC         int
 	fetchValid      bool
@@ -256,10 +303,10 @@ type CPU struct {
 	// predicted branch), so prediction allocates nothing in steady state.
 	rasFree [][]int
 
-	// Event-driven scheduler state (sched.go): slot bitmaps for ready and
-	// completed work, per-producer wakeup rows, the in-flight store bitmap,
-	// and the completion timing wheel. refSched selects the reference
-	// O(ROB) scan scheduler instead (differential-testing hook).
+	// Event-driven scheduler state (sched.go) over this thread's ROB
+	// partition: slot bitmaps for ready and completed work, per-producer
+	// wakeup rows, the in-flight store bitmap, and the completion timing
+	// wheel.
 	schedWords  int
 	readyMask   []uint64
 	compMask    []uint64
@@ -272,9 +319,39 @@ type CPU struct {
 	wheelBucket []int32
 	wheelCount  int
 	overflow    []int32
-	refSched    bool
 
-	cycle  uint64
+	// halted marks this thread finished (halt committed, or its pipeline
+	// drained with nowhere to fetch from).
+	halted bool
+
+	// detD / detDTLB are the Section VII anomaly detectors over this
+	// thread's data-side shadows (nil unless Config.DetectAnomalies is set
+	// in a SafeSpec mode).
+	detD, detDTLB *shadow.Detector
+
+	// st accumulates this thread's share of the run statistics (exported
+	// via Stats.PerThread for SMT runs).
+	st ThreadStats
+}
+
+// CPU is the simulated core bound to one program.
+type CPU struct {
+	cfg  Config
+	prog *isa.Program
+	// ms / bp alias thread 0's views for the accessor surface (Mem, MemSys,
+	// Predictor) and as the home of the shared committed structures.
+	ms *MemSystem
+	bp *bpred.Predictor
+
+	// ths holds the hardware threads; len(ths) == cfg.NumThreads().
+	ths []thread
+
+	// refSched selects the reference O(ROB) scan scheduler instead of the
+	// event-driven one (differential-testing hook).
+	refSched bool
+
+	cycle uint64
+	// halted reports the whole core stopped (every thread halted).
 	halted bool
 	// active records whether any stage changed state this cycle; when
 	// false the core can fast-forward to the next scheduled event.
@@ -282,11 +359,7 @@ type CPU struct {
 	// trace, when non-nil, receives per-event debug lines.
 	trace io.Writer
 
-	// detD / detDTLB are the Section VII anomaly detectors (nil unless
-	// Config.DetectAnomalies is set in a SafeSpec mode).
-	detD, detDTLB *shadow.Detector
-
-	// St accumulates run statistics.
+	// St accumulates run statistics across all threads.
 	St Stats
 
 	// sampleOcc enables per-cycle shadow occupancy sampling.
@@ -338,16 +411,18 @@ func NewWith(cfg Config, prog *isa.Program, m *mem.Memory) *CPU {
 
 // Reset rebinds the CPU to (cfg, prog, m) as if freshly constructed,
 // reusing every allocated structure whose geometry is unchanged: the ROB
-// and fetch ring, the cache hierarchy, TLBs, branch predictor and shadow
-// structures are cleared in place rather than reallocated. m must be a
-// memory holding prog's loaded image (a fresh BuildMemory result, or a
-// journaled one rolled back to its post-load state). A reset CPU produces
-// results identical to a new one; sweep executors rely on that to reuse one
-// simulator per goroutine across cells.
+// partitions and fetch rings, the cache hierarchy, TLBs, branch predictor
+// and shadow structures are cleared in place rather than reallocated. m
+// must be a memory holding prog's loaded image (a fresh BuildMemory result,
+// or a journaled one rolled back to its post-load state). A reset CPU
+// produces results identical to a new one; sweep executors rely on that to
+// reuse one simulator per goroutine across cells.
 func (c *CPU) Reset(cfg Config, prog *isa.Program, m *mem.Memory) {
 	cfg = cfg.Normalize()
 	old := c.cfg // zero value on first use
+	nT := cfg.NumThreads()
 
+	// Shared committed structures live in thread 0's MemSystem view.
 	if c.ms == nil {
 		c.ms = &MemSystem{}
 	}
@@ -390,57 +465,126 @@ func (c *CPU) Reset(cfg Config, prog *isa.Program, m *mem.Memory) {
 		c.bp = bpred.New(cfg.Bpred)
 	}
 
-	// Recycle RAS snapshots still held by in-flight state from a previous
-	// run, then drop the pool if the buffer size changed.
-	for i := range c.rob {
-		c.putRASBuf(c.rob[i].rasSnap)
-		c.rob[i] = entry{}
+	if len(c.ths) != nT {
+		c.ths = make([]thread, nT)
 	}
-	for i := range c.fetchBuf {
-		c.putRASBuf(c.fetchBuf[i].rasSnap)
-		c.fetchBuf[i] = fetchRec{}
-	}
-	if old.Bpred.RASEntries != cfg.Bpred.RASEntries {
-		c.rasFree = nil
-	}
-	if len(c.rob) != cfg.ROBSize {
-		c.rob = make([]entry, cfg.ROBSize)
-	}
-	if fbCap := 2*cfg.DispatchWidth + cfg.FetchWidth; len(c.fetchBuf) != fbCap {
-		c.fetchBuf = make([]fetchRec, fbCap)
+	// Static partition: each thread owns ROBSize/n ROB slots and 1/n of the
+	// IQ/LSQ/checkpoint capacity. For one thread these are the full sizes.
+	robPer := cfg.ROBSize / nT
+	iqPer := maxInt(cfg.IQSize/nT, 1)
+	ldqPer := maxInt(cfg.LDQSize/nT, 1)
+	stqPer := maxInt(cfg.STQSize/nT, 1)
+	tagsPer := maxInt(cfg.MaxBranchTags/nT, 1)
+	fbCap := 2*cfg.DispatchWidth + cfg.FetchWidth
+	c.cfg = cfg
+
+	for i := range c.ths {
+		t := &c.ths[i]
+		t.id = i
+		if i == 0 {
+			t.ms = ms
+			t.bp = c.bp
+		} else {
+			t.ms = resetSiblingMS(t.ms, ms, cfg)
+			if t.bp != nil && t.bp.SharesTablesWith(c.bp) {
+				t.bp.ResetPrivate()
+			} else {
+				t.bp = c.bp.SiblingView()
+			}
+		}
+
+		// Recycle RAS snapshots still held by in-flight state from a
+		// previous run, then drop the pool if the buffer size changed.
+		for j := range t.rob {
+			t.putRASBuf(t.rob[j].rasSnap)
+			t.rob[j] = entry{}
+		}
+		for j := range t.fetchBuf {
+			t.putRASBuf(t.fetchBuf[j].rasSnap)
+			t.fetchBuf[j] = fetchRec{}
+		}
+		if old.Bpred.RASEntries != cfg.Bpred.RASEntries {
+			t.rasFree = nil
+		}
+		if len(t.rob) != robPer {
+			t.rob = make([]entry, robPer)
+		}
+		if len(t.fetchBuf) != fbCap {
+			t.fetchBuf = make([]fetchRec, fbCap)
+		}
+		t.iqMax, t.ldqMax, t.stqMax, t.tagsMax = iqPer, ldqPer, stqPer, tagsPer
+		c.schedReset(t)
+
+		t.regs = [isa.RegCount]int64{}
+		t.renm = [isa.RegCount]renameRef{}
+		t.head, t.count = 0, 0
+		t.seqCtr, t.iqCount, t.ldqCount, t.stqCount = 0, 0, 0, 0
+		t.activeTags, t.fenceActive = 0, 0
+		t.fetchPC = prog.Entry
+		if t.id < len(prog.ThreadEntries) {
+			t.fetchPC = prog.ThreadEntries[t.id]
+		}
+		t.fetchValid = true
+		t.fetchStallUntil = 0
+		t.fbHead, t.fbLen = 0, 0
+		t.lastFetchLine = ^uint64(0)
+		t.lastFetchPALine = 0
+		t.pendingIH, t.pendingITLBH = shadow.Handle{}, shadow.Handle{}
+		t.nPendingDH = 0
+		t.halted = false
+		t.st = ThreadStats{}
+
+		if cfg.DetectAnomalies && cfg.Mode.SafeSpec() {
+			// Floors at 1/4 of capacity: benign 99.99th-percentile occupancy
+			// sits well below that (Figures 6-9), a contention attack must
+			// exceed it.
+			t.detD = shadow.NewDetector(cfg.ShadowD.Entries/4, 4, 1024)
+			t.detDTLB = shadow.NewDetector(cfg.ShadowDTLB.Entries/4, 4, 1024)
+		} else {
+			t.detD, t.detDTLB = nil, nil
+		}
 	}
 
-	c.cfg = cfg
-	c.schedReset()
 	c.prog = prog
-	c.regs = [isa.RegCount]int64{}
-	c.renm = [isa.RegCount]renameRef{}
-	c.head, c.count = 0, 0
-	c.seqCtr, c.iqCount, c.ldqCount, c.stqCount = 0, 0, 0, 0
-	c.activeTags, c.fenceActive = 0, 0
-	c.fetchPC = prog.Entry
-	c.fetchValid = true
-	c.fetchStallUntil = 0
-	c.fbHead, c.fbLen = 0, 0
-	c.lastFetchLine = ^uint64(0)
-	c.lastFetchPALine = 0
-	c.pendingIH, c.pendingITLBH = shadow.Handle{}, shadow.Handle{}
-	c.nPendingDH = 0
 	c.cycle, c.halted, c.active = 0, false, false
 	c.trace = nil
 	c.St = Stats{}
 	c.sampleOcc = false
 	c.intro = nil
+}
 
-	if cfg.DetectAnomalies && cfg.Mode.SafeSpec() {
-		// Floors at 1/4 of capacity: benign 99.99th-percentile occupancy
-		// sits well below that (Figures 6-9), a contention attack must
-		// exceed it.
-		c.detD = shadow.NewDetector(cfg.ShadowD.Entries/4, 4, 1024)
-		c.detDTLB = shadow.NewDetector(cfg.ShadowDTLB.Entries/4, 4, 1024)
-	} else {
-		c.detD, c.detDTLB = nil, nil
+func maxInt(a, b int) int {
+	if a > b {
+		return a
 	}
+	return b
+}
+
+// resetSiblingMS (re)builds a sibling hardware thread's memory-system view:
+// the committed structures — memory, cache hierarchy, TLBs, page walker —
+// are shared with the primary view, while the shadow structures are private
+// to the thread (SafeSpec speculative state is per-context by design).
+func resetSiblingMS(t *MemSystem, primary *MemSystem, cfg Config) *MemSystem {
+	if t == nil {
+		t = &MemSystem{}
+	}
+	t.Mode = primary.Mode
+	t.Mem = primary.Mem
+	t.Hier = primary.Hier
+	t.ITLB = primary.ITLB
+	t.DTLB = primary.DTLB
+	t.Walk = primary.Walk
+	t.FaultsReturnData = primary.FaultsReturnData
+	t.WalkerLatency = primary.WalkerLatency
+	if cfg.Mode.SafeSpec() {
+		t.ShD = resetShadow(t.ShD, cfg.ShadowD)
+		t.ShI = resetShadow(t.ShI, cfg.ShadowI)
+		t.ShDTLB = resetShadow(t.ShDTLB, cfg.ShadowDTLB)
+		t.ShITLB = resetShadow(t.ShITLB, cfg.ShadowITLB)
+	} else {
+		t.ShD, t.ShI, t.ShDTLB, t.ShITLB = nil, nil, nil, nil
+	}
+	return t
 }
 
 // resetShadow clears s in place when its policy matches, detaching any
@@ -455,40 +599,63 @@ func resetShadow(s *shadow.Structure, policy shadow.Policy) *shadow.Structure {
 	return shadow.New(policy)
 }
 
-// Detectors returns the anomaly detectors (nil when disabled).
-func (c *CPU) Detectors() (d, dtlb *shadow.Detector) { return c.detD, c.detDTLB }
+// Detectors returns thread 0's anomaly detectors (nil when disabled).
+func (c *CPU) Detectors() (d, dtlb *shadow.Detector) {
+	return c.ths[0].detD, c.ths[0].detDTLB
+}
 
 // Mem exposes the architectural memory (examples and attacks read results
 // out of it after a run).
 func (c *CPU) Mem() *mem.Memory { return c.ms.Mem }
 
-// MemSys exposes the memory system (tests inspect cache/shadow state).
+// MemSys exposes thread 0's memory system (tests inspect cache/shadow
+// state).
 func (c *CPU) MemSys() *MemSystem { return c.ms }
 
-// Predictor exposes the branch predictor (attack helpers poison it).
+// MemSysOf exposes the given thread's memory-system view.
+func (c *CPU) MemSysOf(tid int) *MemSystem { return c.ths[tid].ms }
+
+// Predictor exposes thread 0's branch predictor view (attack helpers poison
+// the shared tables through it).
 func (c *CPU) Predictor() *bpred.Predictor { return c.bp }
 
-// Reg returns the committed architectural value of r.
-func (c *CPU) Reg(r isa.Reg) int64 { return c.regs[r] }
+// PredictorOf exposes the given thread's predictor view. All views share
+// the PHT and BTB tables.
+func (c *CPU) PredictorOf(tid int) *bpred.Predictor { return c.ths[tid].bp }
+
+// Threads returns the number of hardware threads of this core.
+func (c *CPU) Threads() int { return len(c.ths) }
+
+// Reg returns the committed architectural value of r on thread 0.
+func (c *CPU) Reg(r isa.Reg) int64 { return c.ths[0].regs[r] }
+
+// RegOf returns the committed architectural value of r on thread tid.
+func (c *CPU) RegOf(tid int, r isa.Reg) int64 { return c.ths[tid].regs[r] }
 
 // Cycle returns the current cycle count.
 func (c *CPU) Cycle() uint64 { return c.cycle }
 
-// Halted reports whether the program has stopped.
+// Halted reports whether every thread has stopped.
 func (c *CPU) Halted() bool { return c.halted }
 
+// ThreadHalted reports whether thread tid has stopped.
+func (c *CPU) ThreadHalted(tid int) bool { return c.ths[tid].halted }
+
 // EnableOccupancySampling attaches occupancy histograms (sized to each
-// structure's capacity) to the shadow structures and samples them every
-// cycle. Call before Run. No-op in baseline mode.
+// structure's capacity) to every thread's shadow structures and samples
+// them every cycle. Call before Run. No-op in baseline mode.
 func (c *CPU) EnableOccupancySampling() {
 	if !c.cfg.Mode.SafeSpec() {
 		return
 	}
 	c.sampleOcc = true
-	attach(c.ms.ShD)
-	attach(c.ms.ShI)
-	attach(c.ms.ShDTLB)
-	attach(c.ms.ShITLB)
+	for i := range c.ths {
+		ms := c.ths[i].ms
+		attach(ms.ShD)
+		attach(ms.ShI)
+		attach(ms.ShDTLB)
+		attach(ms.ShITLB)
+	}
 }
 
 // Run executes until the program halts or a run limit is reached. It
@@ -504,31 +671,76 @@ func (c *CPU) Run() *Stats {
 // Step advances the core by one cycle, fast-forwarding over idle cycles
 // (all in-flight operations waiting on memory, nothing to fetch or commit)
 // to keep simulation time proportional to activity rather than latency.
+//
+// SMT interleave policy (deterministic): the commit, execute and dispatch
+// stages share their widths across threads, visiting threads round-robin
+// starting at cycle mod n; fetch is fully owned by thread cycle mod n each
+// cycle. With one thread every rotation degenerates to the original
+// single-thread stage order.
 func (c *CPU) Step() {
 	c.cycle++
 	c.St.Cycles++
 	c.active = false
-	c.commit()
-	if c.halted {
+	n := len(c.ths)
+	start := 0
+	if n > 1 {
+		start = int(c.cycle % uint64(n))
+	}
+
+	commitBudget := c.cfg.CommitWidth
+	for k := 0; k < n; k++ {
+		t := &c.ths[(start+k)%n]
+		if !t.halted {
+			c.commit(t, &commitBudget)
+		}
+	}
+	if c.refreshHalted() {
 		return
 	}
-	c.execute()
-	c.dispatch()
-	c.fetch()
+
+	issued, loads, stores := 0, 0, 0
+	for k := 0; k < n; k++ {
+		t := &c.ths[(start+k)%n]
+		if !t.halted {
+			c.execute(t, &issued, &loads, &stores)
+		}
+	}
+	dispatchBudget := c.cfg.DispatchWidth
+	for k := 0; k < n; k++ {
+		t := &c.ths[(start+k)%n]
+		if !t.halted {
+			c.dispatch(t, &dispatchBudget)
+		}
+	}
+	ft := &c.ths[start]
+	if !ft.halted {
+		c.fetch(ft)
+	}
+
 	if c.sampleOcc {
-		c.ms.SampleOccupancy()
+		for i := range c.ths {
+			c.ths[i].ms.SampleOccupancy()
+		}
 	}
 	if c.intro != nil {
 		c.sampleIntrospection()
 	}
-	if c.detD != nil {
-		c.detD.Observe(c.ms.ShD.Len())
-		c.detDTLB.Observe(c.ms.ShDTLB.Len())
+	for i := range c.ths {
+		t := &c.ths[i]
+		if t.detD != nil {
+			t.detD.Observe(t.ms.ShD.Len())
+			t.detDTLB.Observe(t.ms.ShDTLB.Len())
+		}
 	}
-	// Deadlock backstop: an empty pipeline with nowhere to fetch from means
-	// the program ran off the end of its code.
-	if c.count == 0 && c.fbLen == 0 && !c.fetchValid {
-		c.halted = true
+	// Deadlock backstop: an empty per-thread pipeline with nowhere to fetch
+	// from means that thread ran off the end of its code.
+	for i := range c.ths {
+		t := &c.ths[i]
+		if !t.halted && t.count == 0 && t.fbLen == 0 && !t.fetchValid {
+			t.halted = true
+		}
+	}
+	if c.refreshHalted() {
 		return
 	}
 	if !c.active {
@@ -536,32 +748,68 @@ func (c *CPU) Step() {
 	}
 }
 
-// fastForward jumps the clock to just before the next scheduled event when
-// the current cycle saw no state change: the very same stage outcomes would
-// repeat every cycle until an execution completes or the front-end stall
-// expires. The event scheduler peeks the completion wheel; the reference
-// scheduler re-scans the window.
-func (c *CPU) fastForward() {
-	if c.refSched {
-		c.fastForwardScan()
-		return
-	}
-	c.fastForwardEvent()
-}
-
-// fastForwardScan derives the next event by scanning every in-flight entry.
-func (c *CPU) fastForwardScan() {
-	next := c.cfg.MaxCycles
-	for i := 0; i < c.count; i++ {
-		e := &c.rob[c.slot(i)]
-		if e.state == stExec && e.completeAt > c.cycle && e.completeAt < next {
-			next = e.completeAt
+// refreshHalted recomputes the core-wide halt state (all threads halted).
+func (c *CPU) refreshHalted() bool {
+	for i := range c.ths {
+		if !c.ths[i].halted {
+			return false
 		}
 	}
-	if c.fetchValid && c.fetchStallUntil > c.cycle && c.fetchStallUntil < next {
-		next = c.fetchStallUntil
+	c.halted = true
+	return true
+}
+
+// fastForward jumps the clock to just before the next scheduled event when
+// the current cycle saw no state change: the very same stage outcomes would
+// repeat every cycle until an execution completes, a front-end stall
+// expires, or (under SMT) a runnable thread's next fetch slot comes up. The
+// event scheduler peeks each thread's completion wheel; the reference
+// scheduler re-scans the windows.
+func (c *CPU) fastForward() {
+	n := len(c.ths)
+	next := c.cfg.MaxCycles
+	for i := range c.ths {
+		t := &c.ths[i]
+		if t.halted {
+			continue
+		}
+		if c.refSched {
+			for j := 0; j < t.count; j++ {
+				e := &t.rob[t.slot(j)]
+				if e.state == stExec && e.completeAt > c.cycle && e.completeAt < next {
+					next = e.completeAt
+				}
+			}
+		} else if at, ok := c.wheelPeek(t); ok && at < next {
+			next = at
+		}
+		if !t.fetchValid {
+			continue
+		}
+		if t.fetchStallUntil > c.cycle {
+			if cand := alignFetchSlot(t.fetchStallUntil, t.id, n); cand < next {
+				next = cand
+			}
+		} else if n > 1 && t.fbLen < 2*c.cfg.DispatchWidth {
+			// A sibling thread that could fetch was simply not the fetch
+			// owner this cycle; its next slot is a real event. (With one
+			// thread this case cannot coexist with an idle cycle.)
+			if cand := alignFetchSlot(c.cycle+1, t.id, n); cand < next {
+				next = cand
+			}
+		}
 	}
 	c.skipTo(next)
+}
+
+// alignFetchSlot rounds base up to the next cycle owned by thread id under
+// the round-robin fetch rotation (identity for a single-thread core).
+func alignFetchSlot(base uint64, id, n int) uint64 {
+	if n <= 1 {
+		return base
+	}
+	r := (uint64(id) + uint64(n) - base%uint64(n)) % uint64(n)
+	return base + r
 }
 
 // skipTo advances the clock to just before cycle `next`, charging the
@@ -574,23 +822,40 @@ func (c *CPU) skipTo(next uint64) {
 	c.cycle += skipped
 	c.St.Cycles += skipped
 	if c.sampleOcc && c.cfg.Mode.SafeSpec() {
-		c.ms.ShD.SampleN(skipped)
-		c.ms.ShI.SampleN(skipped)
-		c.ms.ShDTLB.SampleN(skipped)
-		c.ms.ShITLB.SampleN(skipped)
+		for i := range c.ths {
+			ms := c.ths[i].ms
+			ms.ShD.SampleN(skipped)
+			ms.ShI.SampleN(skipped)
+			ms.ShDTLB.SampleN(skipped)
+			ms.ShITLB.SampleN(skipped)
+		}
 	}
 	if in := c.intro; in != nil {
 		// Occupancies are constant across a fast-forwarded span; charge the
 		// whole span in one bulk observation per histogram.
-		in.ROBOccupancy.AddN(c.count, skipped)
-		in.IQOccupancy.AddN(c.iqCount, skipped)
-		in.WheelOccupancy.AddN(c.wheelCount, skipped)
+		rob, iq, wheel := 0, 0, 0
+		for i := range c.ths {
+			t := &c.ths[i]
+			rob += t.count
+			iq += t.iqCount
+			wheel += t.wheelCount
+			if in.ThreadROB != nil {
+				in.ThreadROB[i].AddN(t.count, skipped)
+				in.ThreadIQ[i].AddN(t.iqCount, skipped)
+			}
+		}
+		in.ROBOccupancy.AddN(rob, skipped)
+		in.IQOccupancy.AddN(iq, skipped)
+		in.WheelOccupancy.AddN(wheel, skipped)
 	}
-	if c.detD != nil {
-		// Occupancy cannot change across skipped cycles, so the detectors
-		// take the span in one bulk observation instead of a call per cycle.
-		c.detD.ObserveN(c.ms.ShD.Len(), skipped)
-		c.detDTLB.ObserveN(c.ms.ShDTLB.Len(), skipped)
+	for i := range c.ths {
+		t := &c.ths[i]
+		if t.detD != nil {
+			// Occupancy cannot change across skipped cycles, so the detectors
+			// take the span in one bulk observation instead of a call per cycle.
+			t.detD.ObserveN(t.ms.ShD.Len(), skipped)
+			t.detDTLB.ObserveN(t.ms.ShDTLB.Len(), skipped)
+		}
 	}
 }
 
@@ -603,98 +868,98 @@ func attach(s *shadow.Structure) {
 // fbNext returns the next free fetch-buffer ring slot (zeroed by the pop
 // that vacated it) for in-place construction; fbCommit publishes it. The
 // ring is sized so the front end can never overflow it.
-func (c *CPU) fbNext() *fetchRec {
-	s := c.fbHead + c.fbLen
-	if n := len(c.fetchBuf); s >= n {
+func (t *thread) fbNext() *fetchRec {
+	s := t.fbHead + t.fbLen
+	if n := len(t.fetchBuf); s >= n {
 		s -= n
 	}
-	return &c.fetchBuf[s]
+	return &t.fetchBuf[s]
 }
 
 // fbCommit appends the record built in the fbNext slot to the ring.
-func (c *CPU) fbCommit() { c.fbLen++ }
+func (t *thread) fbCommit() { t.fbLen++ }
 
 // fbFront returns the oldest buffered fetch record.
-func (c *CPU) fbFront() *fetchRec { return &c.fetchBuf[c.fbHead] }
+func (t *thread) fbFront() *fetchRec { return &t.fetchBuf[t.fbHead] }
 
 // fbPop discards the oldest buffered fetch record.
-func (c *CPU) fbPop() {
-	c.fetchBuf[c.fbHead] = fetchRec{}
-	c.fbHead = (c.fbHead + 1) % len(c.fetchBuf)
-	c.fbLen--
+func (t *thread) fbPop() {
+	t.fetchBuf[t.fbHead] = fetchRec{}
+	t.fbHead = (t.fbHead + 1) % len(t.fetchBuf)
+	t.fbLen--
 }
 
 // getRASBuf returns a snapshot buffer of RAS depth, recycling released ones.
-func (c *CPU) getRASBuf() []int {
-	if n := len(c.rasFree); n > 0 {
-		buf := c.rasFree[n-1]
-		c.rasFree = c.rasFree[:n-1]
+func (c *CPU) getRASBuf(t *thread) []int {
+	if n := len(t.rasFree); n > 0 {
+		buf := t.rasFree[n-1]
+		t.rasFree = t.rasFree[:n-1]
 		return buf
 	}
 	return make([]int, c.cfg.Bpred.RASEntries)
 }
 
 // putRASBuf recycles a snapshot buffer; nil is ignored.
-func (c *CPU) putRASBuf(buf []int) {
+func (t *thread) putRASBuf(buf []int) {
 	if buf != nil {
-		c.rasFree = append(c.rasFree, buf)
+		t.rasFree = append(t.rasFree, buf)
 	}
 }
 
 // releaseRASSnap recycles an entry's RAS snapshot after its branch resolved.
-func (c *CPU) releaseRASSnap(e *entry) {
+func (t *thread) releaseRASSnap(e *entry) {
 	if e.rasSnap != nil {
-		c.putRASBuf(e.rasSnap)
+		t.putRASBuf(e.rasSnap)
 		e.rasSnap = nil
 	}
 }
 
 // ordinal returns the position of ROB slot idx relative to head, or -1 if
 // the slot is not live.
-func (c *CPU) ordinal(idx int) int {
-	o := idx - c.head
+func (t *thread) ordinal(idx int) int {
+	o := idx - t.head
 	if o < 0 {
-		o += len(c.rob)
+		o += len(t.rob)
 	}
-	if o >= c.count {
+	if o >= t.count {
 		return -1
 	}
 	return o
 }
 
 // live reports whether slot idx currently holds the entry with sequence seq.
-func (c *CPU) live(idx int, seq uint64) bool {
-	return c.ordinal(idx) >= 0 && c.rob[idx].seq == seq
+func (t *thread) live(idx int, seq uint64) bool {
+	return t.ordinal(idx) >= 0 && t.rob[idx].seq == seq
 }
 
 // slot returns the ROB index of the i-th oldest live entry.
-func (c *CPU) slot(i int) int {
-	s := c.head + i
-	if n := len(c.rob); s >= n {
+func (t *thread) slot(i int) int {
+	s := t.head + i
+	if n := len(t.rob); s >= n {
 		s -= n
 	}
 	return s
 }
 
 // tail returns the ROB index one past the youngest live entry.
-func (c *CPU) tail() int {
-	t := c.head + c.count
-	if n := len(c.rob); t >= n {
-		t -= n
+func (t *thread) tail() int {
+	tl := t.head + t.count
+	if n := len(t.rob); tl >= n {
+		tl -= n
 	}
-	return t
+	return tl
 }
 
 // resolveSrc reads an operand: from the committed register file, or from an
 // in-flight producer if the rename reference is still live.
-func (c *CPU) resolveSrc(r isa.Reg, ref renameRef) (int64, bool) {
+func (t *thread) resolveSrc(r isa.Reg, ref renameRef) (int64, bool) {
 	if r == isa.Zero {
 		return 0, true
 	}
-	if !ref.has || !c.live(ref.idx, ref.seq) {
-		return c.regs[r], true
+	if !ref.has || !t.live(ref.idx, ref.seq) {
+		return t.regs[r], true
 	}
-	p := &c.rob[ref.idx]
+	p := &t.rob[ref.idx]
 	if p.state != stDone {
 		return 0, false
 	}
@@ -702,12 +967,12 @@ func (c *CPU) resolveSrc(r isa.Reg, ref renameRef) (int64, bool) {
 }
 
 // renameLookup returns the current rename mapping for r.
-func (c *CPU) renameLookup(r isa.Reg) renameRef {
+func (t *thread) renameLookup(r isa.Reg) renameRef {
 	if r == isa.Zero {
 		return renameRef{}
 	}
-	ref := c.renm[r]
-	if ref.has && c.live(ref.idx, ref.seq) {
+	ref := t.renm[r]
+	if ref.has && t.live(ref.idx, ref.seq) {
 		return ref
 	}
 	return renameRef{}
@@ -715,21 +980,26 @@ func (c *CPU) renameLookup(r isa.Reg) renameRef {
 
 // rebuildRename reconstructs the rename map from the surviving ROB entries
 // after a squash.
-func (c *CPU) rebuildRename() {
-	for i := range c.renm {
-		c.renm[i] = renameRef{}
+func (t *thread) rebuildRename() {
+	for i := range t.renm {
+		t.renm[i] = renameRef{}
 	}
-	for i := 0; i < c.count; i++ {
-		idx := c.slot(i)
-		e := &c.rob[idx]
+	for i := 0; i < t.count; i++ {
+		idx := t.slot(i)
+		e := &t.rob[idx]
 		if e.in.HasDest() {
-			c.renm[e.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
+			t.renm[e.in.Rd] = renameRef{has: true, idx: idx, seq: e.seq}
 		}
 	}
 }
 
 // String summarizes the core state (debug helper).
 func (c *CPU) String() string {
-	return fmt.Sprintf("cpu{cycle=%d rob=%d/%d fetchPC=%d committed=%d}",
-		c.cycle, c.count, len(c.rob), c.fetchPC, c.St.Committed)
+	rob, robCap := 0, 0
+	for i := range c.ths {
+		rob += c.ths[i].count
+		robCap += len(c.ths[i].rob)
+	}
+	return fmt.Sprintf("cpu{cycle=%d threads=%d rob=%d/%d fetchPC=%d committed=%d}",
+		c.cycle, len(c.ths), rob, robCap, c.ths[0].fetchPC, c.St.Committed)
 }

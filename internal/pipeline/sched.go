@@ -3,12 +3,13 @@ package pipeline
 import "math/bits"
 
 // This file is the event-driven core scheduler. The original implementation
-// (kept as executeScan/fastForwardScan, selectable through a test hook)
-// rediscovers work by walking every in-flight ROB entry each cycle; with a
-// 224-entry window that walk dominates simulation time even though only a
-// handful of entries change state per cycle. The event-driven scheduler
-// keeps three kinds of derived state so each cycle touches only the entries
-// that act:
+// (kept as executeScan/the fastForward re-scan, selectable through a test
+// hook) rediscovers work by walking every in-flight ROB entry each cycle;
+// with a 224-entry window that walk dominates simulation time even though
+// only a handful of entries change state per cycle. The event-driven
+// scheduler keeps three kinds of derived state — per hardware thread, over
+// that thread's ROB partition — so each cycle touches only the entries that
+// act:
 //
 //   - readyMask: a slot bitmap of stWait entries worth attempting to issue —
 //     entries whose operands were ready at dispatch, plus entries woken when
@@ -44,44 +45,44 @@ const (
 	wheelOverflow = -2 // entry parked in the overflow list (completeAt beyond the horizon)
 )
 
-// schedReset (re)builds the scheduler state for the current config. Called
-// from Reset after the ROB geometry is final.
-func (c *CPU) schedReset() {
-	words := (len(c.rob) + 63) >> 6
-	if len(c.readyMask) != words || len(c.waiters) != len(c.rob)*words {
-		c.schedWords = words
-		c.readyMask = make([]uint64, words)
-		c.compMask = make([]uint64, words)
-		c.storeMask = make([]uint64, words)
-		c.waiters = make([]uint64, len(c.rob)*words)
+// schedReset (re)builds thread t's scheduler state for the current config.
+// Called from Reset after the thread's ROB geometry is final.
+func (c *CPU) schedReset(t *thread) {
+	words := (len(t.rob) + 63) >> 6
+	if len(t.readyMask) != words || len(t.waiters) != len(t.rob)*words {
+		t.schedWords = words
+		t.readyMask = make([]uint64, words)
+		t.compMask = make([]uint64, words)
+		t.storeMask = make([]uint64, words)
+		t.waiters = make([]uint64, len(t.rob)*words)
 	} else {
-		clearWords(c.readyMask)
-		clearWords(c.compMask)
-		clearWords(c.storeMask)
-		clearWords(c.waiters)
+		clearWords(t.readyMask)
+		clearWords(t.compMask)
+		clearWords(t.storeMask)
+		clearWords(t.waiters)
 	}
 
 	span := wheelSpan(c.cfg)
-	if len(c.bucketHead) != span {
-		c.bucketHead = make([]int32, span)
-		c.bucketOcc = make([]uint64, span>>6)
+	if len(t.bucketHead) != span {
+		t.bucketHead = make([]int32, span)
+		t.bucketOcc = make([]uint64, span>>6)
 	} else {
-		clearWords(c.bucketOcc)
+		clearWords(t.bucketOcc)
 	}
-	for i := range c.bucketHead {
-		c.bucketHead[i] = wheelNone
+	for i := range t.bucketHead {
+		t.bucketHead[i] = wheelNone
 	}
-	if len(c.wheelNext) != len(c.rob) {
-		c.wheelNext = make([]int32, len(c.rob))
-		c.wheelPrev = make([]int32, len(c.rob))
-		c.wheelBucket = make([]int32, len(c.rob))
-		c.overflow = make([]int32, 0, len(c.rob))
+	if len(t.wheelNext) != len(t.rob) {
+		t.wheelNext = make([]int32, len(t.rob))
+		t.wheelPrev = make([]int32, len(t.rob))
+		t.wheelBucket = make([]int32, len(t.rob))
+		t.overflow = make([]int32, 0, len(t.rob))
 	}
-	for i := range c.wheelBucket {
-		c.wheelBucket[i] = wheelNone
+	for i := range t.wheelBucket {
+		t.wheelBucket[i] = wheelNone
 	}
-	c.overflow = c.overflow[:0]
-	c.wheelCount = 0
+	t.overflow = t.overflow[:0]
+	t.wheelCount = 0
 }
 
 // wheelSpan sizes the completion wheel: a power of two strictly above the
@@ -109,226 +110,228 @@ func clearWords(w []uint64) {
 func setBit(mask []uint64, idx int)   { mask[idx>>6] |= 1 << uint(idx&63) }
 func clearBit(mask []uint64, idx int) { mask[idx>>6] &^= 1 << uint(idx&63) }
 
-// schedDispatch wires a freshly dispatched entry into the scheduler: stale
-// bits from the slot's previous occupant are dropped, the entry registers
-// with every unfinished producer, and an entry with no unfinished producer
-// enters the ready queue immediately.
-func (c *CPU) schedDispatch(idx int, e *entry) {
+// schedDispatch wires a freshly dispatched entry into thread t's scheduler:
+// stale bits from the slot's previous occupant are dropped, the entry
+// registers with every unfinished producer, and an entry with no unfinished
+// producer enters the ready queue immediately.
+func (c *CPU) schedDispatch(t *thread, idx int, e *entry) {
 	// The slot's waiter row belongs to the previous occupant (whose waiters,
 	// being younger, died with it); clear it before this entry can complete.
-	row := idx * c.schedWords
-	for w := 0; w < c.schedWords; w++ {
-		c.waiters[row+w] = 0
+	row := idx * t.schedWords
+	for w := 0; w < t.schedWords; w++ {
+		t.waiters[row+w] = 0
 	}
-	clearBit(c.readyMask, idx)
-	clearBit(c.compMask, idx)
+	clearBit(t.readyMask, idx)
+	clearBit(t.compMask, idx)
 	if e.isStore {
-		setBit(c.storeMask, idx)
+		setBit(t.storeMask, idx)
 	}
 
 	ready := true
-	if e.src1.has && c.rob[e.src1.idx].state != stDone {
-		setBit(c.waiters[e.src1.idx*c.schedWords:], idx)
+	if e.src1.has && t.rob[e.src1.idx].state != stDone {
+		setBit(t.waiters[e.src1.idx*t.schedWords:], idx)
 		ready = false
 	}
-	if e.src2.has && c.rob[e.src2.idx].state != stDone {
-		setBit(c.waiters[e.src2.idx*c.schedWords:], idx)
+	if e.src2.has && t.rob[e.src2.idx].state != stDone {
+		setBit(t.waiters[e.src2.idx*t.schedWords:], idx)
 		ready = false
 	}
 	if ready {
-		setBit(c.readyMask, idx)
+		setBit(t.readyMask, idx)
 	}
 }
 
-// wakeWaiters moves every entry registered on producer idx into the ready
-// queue. Stale registrations (waiters squashed since they registered) wake
-// slots that are dead or reused; both cases are filtered at attempt time.
-func (c *CPU) wakeWaiters(idx int) {
-	row := idx * c.schedWords
-	for w := 0; w < c.schedWords; w++ {
-		if bits := c.waiters[row+w]; bits != 0 {
-			c.readyMask[w] |= bits
-			c.waiters[row+w] = 0
+// wakeWaiters moves every entry registered on producer idx into thread t's
+// ready queue. Stale registrations (waiters squashed since they registered)
+// wake slots that are dead or reused; both cases are filtered at attempt
+// time.
+func (c *CPU) wakeWaiters(t *thread, idx int) {
+	row := idx * t.schedWords
+	for w := 0; w < t.schedWords; w++ {
+		if bits := t.waiters[row+w]; bits != 0 {
+			t.readyMask[w] |= bits
+			t.waiters[row+w] = 0
 		}
 	}
 }
 
 // schedIssued records a stWait -> stExec transition: the entry leaves the
 // ready queue and is scheduled for completion at e.completeAt.
-func (c *CPU) schedIssued(idx int, e *entry) {
-	clearBit(c.readyMask, idx)
+func (c *CPU) schedIssued(t *thread, idx int, e *entry) {
+	clearBit(t.readyMask, idx)
 	if e.completeAt <= c.cycle {
 		// Degenerate zero-latency issue: the scan discovers it next cycle,
 		// so park it as already due rather than in a lapped bucket.
-		setBit(c.compMask, idx)
+		setBit(t.compMask, idx)
 		return
 	}
-	c.wheelAdd(idx, e.completeAt)
+	c.wheelAdd(t, idx, e.completeAt)
 }
 
 // schedRetire drops an entry from all scheduler structures when it writes
 // back (the wheel link is already gone if the wheel drain surfaced it).
-func (c *CPU) schedRetire(idx int) {
-	c.wheelRemove(idx)
-	clearBit(c.readyMask, idx)
-	clearBit(c.compMask, idx)
+func (c *CPU) schedRetire(t *thread, idx int) {
+	c.wheelRemove(t, idx)
+	clearBit(t.readyMask, idx)
+	clearBit(t.compMask, idx)
 }
 
 // schedSquash drops an annulled entry from all scheduler structures.
-func (c *CPU) schedSquash(idx int) {
-	c.wheelRemove(idx)
-	clearBit(c.readyMask, idx)
-	clearBit(c.compMask, idx)
-	clearBit(c.storeMask, idx)
+func (c *CPU) schedSquash(t *thread, idx int) {
+	c.wheelRemove(t, idx)
+	clearBit(t.readyMask, idx)
+	clearBit(t.compMask, idx)
+	clearBit(t.storeMask, idx)
 }
 
-// wheelAdd schedules slot idx to complete at cycle `at` (> c.cycle).
-func (c *CPU) wheelAdd(idx int, at uint64) {
-	span := uint64(len(c.bucketHead))
+// wheelAdd schedules thread t's slot idx to complete at cycle `at`
+// (> c.cycle).
+func (c *CPU) wheelAdd(t *thread, idx int, at uint64) {
+	span := uint64(len(t.bucketHead))
 	if at-c.cycle >= span {
-		c.wheelBucket[idx] = wheelOverflow
-		c.overflow = append(c.overflow, int32(idx)) // within preallocated cap
+		t.wheelBucket[idx] = wheelOverflow
+		t.overflow = append(t.overflow, int32(idx)) // within preallocated cap
 		return
 	}
 	b := int(at & (span - 1))
-	head := c.bucketHead[b]
-	c.wheelNext[idx] = head
-	c.wheelPrev[idx] = wheelNone
+	head := t.bucketHead[b]
+	t.wheelNext[idx] = head
+	t.wheelPrev[idx] = wheelNone
 	if head != wheelNone {
-		c.wheelPrev[head] = int32(idx)
+		t.wheelPrev[head] = int32(idx)
 	}
-	c.bucketHead[b] = int32(idx)
-	c.wheelBucket[idx] = int32(b)
-	setBit(c.bucketOcc, b)
-	c.wheelCount++
+	t.bucketHead[b] = int32(idx)
+	t.wheelBucket[idx] = int32(b)
+	setBit(t.bucketOcc, b)
+	t.wheelCount++
 }
 
 // wheelRemove unschedules slot idx if it is scheduled (squash, or a
 // writeback under the reference scheduler, which never drains buckets).
-func (c *CPU) wheelRemove(idx int) {
-	b := c.wheelBucket[idx]
+func (c *CPU) wheelRemove(t *thread, idx int) {
+	b := t.wheelBucket[idx]
 	switch b {
 	case wheelNone:
 		return
 	case wheelOverflow:
-		for i, s := range c.overflow {
+		for i, s := range t.overflow {
 			if s == int32(idx) {
-				c.overflow[i] = c.overflow[len(c.overflow)-1]
-				c.overflow = c.overflow[:len(c.overflow)-1]
+				t.overflow[i] = t.overflow[len(t.overflow)-1]
+				t.overflow = t.overflow[:len(t.overflow)-1]
 				break
 			}
 		}
-		c.wheelBucket[idx] = wheelNone
+		t.wheelBucket[idx] = wheelNone
 		return
 	}
-	next, prev := c.wheelNext[idx], c.wheelPrev[idx]
+	next, prev := t.wheelNext[idx], t.wheelPrev[idx]
 	if next != wheelNone {
-		c.wheelPrev[next] = prev
+		t.wheelPrev[next] = prev
 	}
 	if prev != wheelNone {
-		c.wheelNext[prev] = next
+		t.wheelNext[prev] = next
 	} else {
-		c.bucketHead[b] = next
+		t.bucketHead[b] = next
 		if next == wheelNone {
-			clearBit(c.bucketOcc, int(b))
+			clearBit(t.bucketOcc, int(b))
 		}
 	}
-	c.wheelBucket[idx] = wheelNone
-	c.wheelCount--
+	t.wheelBucket[idx] = wheelNone
+	t.wheelCount--
 }
 
 // drainWheel moves every scheduled entry whose completeAt has passed into
 // compMask. Each occupied bucket holds exactly one completion time (every
 // entry completes within one wheel revolution of its issue), so testing the
 // bucket head decides the whole bucket.
-func (c *CPU) drainWheel() {
-	if c.wheelCount > 0 {
-		for w := range c.bucketOcc {
-			occ := c.bucketOcc[w]
+func (c *CPU) drainWheel(t *thread) {
+	if t.wheelCount > 0 {
+		for w := range t.bucketOcc {
+			occ := t.bucketOcc[w]
 			for occ != 0 {
 				b := w<<6 + bits.TrailingZeros64(occ)
 				occ &= occ - 1
-				if c.rob[c.bucketHead[b]].completeAt <= c.cycle {
-					c.drainBucket(b)
+				if t.rob[t.bucketHead[b]].completeAt <= c.cycle {
+					c.drainBucket(t, b)
 				}
 			}
 		}
 	}
-	for i := 0; i < len(c.overflow); {
-		idx := int(c.overflow[i])
-		if c.rob[idx].completeAt <= c.cycle {
-			setBit(c.compMask, idx)
-			c.wheelBucket[idx] = wheelNone
-			c.overflow[i] = c.overflow[len(c.overflow)-1]
-			c.overflow = c.overflow[:len(c.overflow)-1]
+	for i := 0; i < len(t.overflow); {
+		idx := int(t.overflow[i])
+		if t.rob[idx].completeAt <= c.cycle {
+			setBit(t.compMask, idx)
+			t.wheelBucket[idx] = wheelNone
+			t.overflow[i] = t.overflow[len(t.overflow)-1]
+			t.overflow = t.overflow[:len(t.overflow)-1]
 			continue
 		}
 		i++
 	}
 }
 
-// drainBucket empties bucket b into compMask.
-func (c *CPU) drainBucket(b int) {
-	for idx := c.bucketHead[b]; idx != wheelNone; {
-		next := c.wheelNext[idx]
-		setBit(c.compMask, int(idx))
-		c.wheelBucket[idx] = wheelNone
-		c.wheelCount--
+// drainBucket empties thread t's bucket b into compMask.
+func (c *CPU) drainBucket(t *thread, b int) {
+	for idx := t.bucketHead[b]; idx != wheelNone; {
+		next := t.wheelNext[idx]
+		setBit(t.compMask, int(idx))
+		t.wheelBucket[idx] = wheelNone
+		t.wheelCount--
 		idx = next
 	}
-	c.bucketHead[b] = wheelNone
-	clearBit(c.bucketOcc, b)
+	t.bucketHead[b] = wheelNone
+	clearBit(t.bucketOcc, b)
 }
 
-// wheelPeek returns the earliest scheduled completion strictly after the
-// current cycle (every due entry was drained and written back before an
+// wheelPeek returns thread t's earliest scheduled completion strictly after
+// the current cycle (every due entry was drained and written back before an
 // idle cycle can reach fastForward).
-func (c *CPU) wheelPeek() (next uint64, ok bool) {
-	if c.wheelCount > 0 {
-		for w := range c.bucketOcc {
-			occ := c.bucketOcc[w]
+func (c *CPU) wheelPeek(t *thread) (next uint64, ok bool) {
+	if t.wheelCount > 0 {
+		for w := range t.bucketOcc {
+			occ := t.bucketOcc[w]
 			for occ != 0 {
 				b := w<<6 + bits.TrailingZeros64(occ)
 				occ &= occ - 1
-				if at := c.rob[c.bucketHead[b]].completeAt; !ok || at < next {
+				if at := t.rob[t.bucketHead[b]].completeAt; !ok || at < next {
 					next, ok = at, true
 				}
 			}
 		}
 	}
-	for _, s := range c.overflow {
-		if at := c.rob[s].completeAt; !ok || at < next {
+	for _, s := range t.overflow {
+		if at := t.rob[s].completeAt; !ok || at < next {
 			next, ok = at, true
 		}
 	}
 	return next, ok
 }
 
-// executeEvent is the event-driven issue/writeback stage: one pass over the
-// set bits of readyMask|compMask in oldest-first ROB order, exactly the
-// entries the reference scan would have acted on. Bits set mid-pass by a
-// writeback's wakeup belong to younger entries and are reached by the same
-// pass, preserving same-cycle issue of woken dependents.
-func (c *CPU) executeEvent() {
-	c.drainWheel()
-	issued, loads, stores := 0, 0, 0
-	n := len(c.rob)
-	if c.head+c.count <= n {
-		c.executeRange(c.head, c.head+c.count, &issued, &loads, &stores)
+// executeEvent is the event-driven issue/writeback stage for thread t: one
+// pass over the set bits of readyMask|compMask in oldest-first ROB order,
+// exactly the entries the reference scan would have acted on. Bits set
+// mid-pass by a writeback's wakeup belong to younger entries and are
+// reached by the same pass, preserving same-cycle issue of woken
+// dependents.
+func (c *CPU) executeEvent(t *thread, issued, loads, stores *int) {
+	c.drainWheel(t)
+	n := len(t.rob)
+	if t.head+t.count <= n {
+		c.executeRange(t, t.head, t.head+t.count, issued, loads, stores)
 		return
 	}
-	if c.executeRange(c.head, n, &issued, &loads, &stores) {
+	if c.executeRange(t, t.head, n, issued, loads, stores) {
 		return
 	}
-	c.executeRange(0, c.head+c.count-n, &issued, &loads, &stores)
+	c.executeRange(t, 0, t.head+t.count-n, issued, loads, stores)
 }
 
-// executeRange processes scheduler bits for slots in [lo, hi), oldest
-// first. It reports whether a squash ended the cycle.
-func (c *CPU) executeRange(lo, hi int, issued, loads, stores *int) bool {
+// executeRange processes scheduler bits for thread t's slots in [lo, hi),
+// oldest first. It reports whether a squash ended the cycle.
+func (c *CPU) executeRange(t *thread, lo, hi int, issued, loads, stores *int) bool {
 	for cur := lo; cur < hi; {
 		w := cur >> 6
-		rem := (c.readyMask[w] | c.compMask[w]) >> uint(cur&63)
+		rem := (t.readyMask[w] | t.compMask[w]) >> uint(cur&63)
 		if rem == 0 {
 			cur = (w + 1) << 6
 			continue
@@ -343,24 +346,24 @@ func (c *CPU) executeRange(lo, hi int, issued, loads, stores *int) bool {
 		// Stale bits (a squashed waiter's registration waking a dead or
 		// reused slot) are filtered here, exactly like entries the scan
 		// would skip or fail without side effects.
-		ord := idx - c.head
+		ord := idx - t.head
 		if ord < 0 {
-			ord += len(c.rob)
+			ord += len(t.rob)
 		}
-		if ord >= c.count {
-			clearBit(c.readyMask, idx)
-			clearBit(c.compMask, idx)
+		if ord >= t.count {
+			clearBit(t.readyMask, idx)
+			clearBit(t.compMask, idx)
 			continue
 		}
-		e := &c.rob[idx]
+		e := &t.rob[idx]
 		switch e.state {
 		case stExec:
 			if e.completeAt > c.cycle {
-				clearBit(c.readyMask, idx) // stale wakeup of an issued entry
+				clearBit(t.readyMask, idx) // stale wakeup of an issued entry
 				continue
 			}
 			c.active = true
-			if squashed := c.writeback(idx, e); squashed {
+			if squashed := c.writeback(t, idx, e); squashed {
 				return true // younger entries are gone; resume next cycle
 			}
 		case stWait:
@@ -373,11 +376,11 @@ func (c *CPU) executeRange(lo, hi int, issued, loads, stores *int) bool {
 			if e.isStore && *stores >= 1 {
 				continue
 			}
-			switch c.tryIssue(idx, e) {
+			switch c.tryIssue(t, idx, e) {
 			case issueOperands:
 				// Not ready after all: drop the bit; the registration with
 				// the unfinished producer re-wakes it.
-				clearBit(c.readyMask, idx)
+				clearBit(t.readyMask, idx)
 			case issueBlocked:
 				// Structural retry (blocked memory, CSR serialization,
 				// unresolved older store): keep the bit, as the scan keeps
@@ -393,50 +396,37 @@ func (c *CPU) executeRange(lo, hi int, issued, loads, stores *int) bool {
 				}
 			}
 		default:
-			clearBit(c.readyMask, idx) // stale wakeup of a finished entry
+			clearBit(t.readyMask, idx) // stale wakeup of a finished entry
 		}
 	}
 	return false
 }
 
-// fastForwardEvent jumps the clock to just before the next scheduled event:
-// the wheel peek replaces the reference scheduler's O(ROB) re-scan.
-func (c *CPU) fastForwardEvent() {
-	next := c.cfg.MaxCycles
-	if at, ok := c.wheelPeek(); ok && at < next {
-		next = at
-	}
-	if c.fetchValid && c.fetchStallUntil > c.cycle && c.fetchStallUntil < next {
-		next = c.fetchStallUntil
-	}
-	c.skipTo(next)
-}
-
-// olderStoreScan walks the in-flight stores older than the load at idx,
-// youngest first, via the store bitmap — the event-driven replacement for
-// scanning every older ROB entry. found is the youngest older store whose
-// resolved address matches the load's doubleword; blocked reports an older
-// store with an unresolved address encountered first (no memory-dependence
-// speculation).
-func (c *CPU) olderStoreScan(idx int, va uint64) (found *entry, blocked bool) {
-	n := len(c.rob)
-	if idx >= c.head {
-		if e, blk := c.storeScanRange(c.head, idx, va); e != nil || blk {
+// olderStoreScan walks thread t's in-flight stores older than the load at
+// idx, youngest first, via the store bitmap — the event-driven replacement
+// for scanning every older ROB entry. found is the youngest older store
+// whose resolved address matches the load's doubleword; blocked reports an
+// older store with an unresolved address encountered first (no
+// memory-dependence speculation).
+func (c *CPU) olderStoreScan(t *thread, idx int, va uint64) (found *entry, blocked bool) {
+	n := len(t.rob)
+	if idx >= t.head {
+		if e, blk := c.storeScanRange(t, t.head, idx, va); e != nil || blk {
 			return e, blk
 		}
 		return nil, false
 	}
-	if e, blk := c.storeScanRange(0, idx, va); e != nil || blk {
+	if e, blk := c.storeScanRange(t, 0, idx, va); e != nil || blk {
 		return e, blk
 	}
-	return c.storeScanRange(c.head, n, va)
+	return c.storeScanRange(t, t.head, n, va)
 }
 
-// storeScanRange scans store slots in [lo, hi) youngest-first.
-func (c *CPU) storeScanRange(lo, hi int, va uint64) (found *entry, blocked bool) {
+// storeScanRange scans thread t's store slots in [lo, hi) youngest-first.
+func (c *CPU) storeScanRange(t *thread, lo, hi int, va uint64) (found *entry, blocked bool) {
 	for cur := hi; cur > lo; {
 		w := (cur - 1) >> 6
-		rem := c.storeMask[w] << uint(63-(cur-1)&63) // bits strictly below cur, MSB-aligned
+		rem := t.storeMask[w] << uint(63-(cur-1)&63) // bits strictly below cur, MSB-aligned
 		if rem == 0 {
 			cur = w << 6
 			continue
@@ -445,7 +435,7 @@ func (c *CPU) storeScanRange(lo, hi int, va uint64) (found *entry, blocked bool)
 		if cur < lo {
 			return nil, false
 		}
-		s := &c.rob[cur]
+		s := &t.rob[cur]
 		if !s.addrReady {
 			return nil, true
 		}

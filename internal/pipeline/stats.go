@@ -11,6 +11,20 @@ import (
 // newOccHist builds an occupancy histogram covering [0, capacity].
 func newOccHist(capacity int) *stats.Histogram { return stats.NewHistogram(capacity) }
 
+// ThreadStats is one hardware thread's share of the retirement-side
+// counters. For SMT runs Stats.PerThread carries one per thread; the
+// aggregate Stats fields always hold the core-wide totals.
+type ThreadStats struct {
+	Committed       uint64
+	CommittedLoads  uint64
+	CommittedStores uint64
+	Dispatched      uint64
+	Squashed        uint64
+	Mispredicts     uint64
+	Faults          uint64
+	Traps           uint64
+}
+
 // Stats collects everything the paper's figures need from one run.
 type Stats struct {
 	// Cycles is the total simulated cycles.
@@ -53,8 +67,15 @@ type Stats struct {
 	ShD, ShI         shadow.Stats
 	ShDTLB, ShITLB   shadow.Stats
 
-	// Occupancy histograms (non-nil only when sampling was enabled).
+	// Occupancy histograms (non-nil only when sampling was enabled). Under
+	// SMT these aggregate every thread's private shadow structures.
 	OccD, OccI, OccDTLB, OccITLB *stats.Histogram
+
+	// PerThread breaks the retirement counters down by hardware thread.
+	// It is nil for single-thread runs so their serialized form — and with
+	// it the sweep result-cache keys and golden JSONL — is unchanged from
+	// before SMT existed.
+	PerThread []ThreadStats `json:",omitempty"`
 }
 
 // IPC returns committed instructions per cycle.
@@ -78,7 +99,10 @@ func (s *Stats) IShadowHitShare() float64 {
 	return stats.Rate(s.IFetchShadowHits, s.IFetchShadowHits+s.IFetchL1Hits)
 }
 
-// finalizeStats snapshots subsystem counters into St.
+// finalizeStats snapshots subsystem counters into St. Shared structures
+// (caches, TLBs) snapshot directly; per-thread structures (predictor views,
+// shadow structures, occupancy histograms) are summed across threads for
+// SMT runs.
 func (c *CPU) finalizeStats() {
 	c.St.L1I = c.ms.Hier.L1I.Stats
 	c.St.L1D = c.ms.Hier.L1D.Stats
@@ -86,15 +110,62 @@ func (c *CPU) finalizeStats() {
 	c.St.L3 = c.ms.Hier.L3.Stats
 	c.St.ITLB = c.ms.ITLB.Stats
 	c.St.DTLB = c.ms.DTLB.Stats
-	c.St.Bpred = c.bp.Stats
-	if c.cfg.Mode.SafeSpec() {
-		c.St.ShD = c.ms.ShD.Stats
-		c.St.ShI = c.ms.ShI.Stats
-		c.St.ShDTLB = c.ms.ShDTLB.Stats
-		c.St.ShITLB = c.ms.ShITLB.Stats
-		c.St.OccD = c.ms.ShD.Occupancy
-		c.St.OccI = c.ms.ShI.Occupancy
-		c.St.OccDTLB = c.ms.ShDTLB.Occupancy
-		c.St.OccITLB = c.ms.ShITLB.Occupancy
+	if len(c.ths) == 1 {
+		c.St.Bpred = c.bp.Stats
+		if c.cfg.Mode.SafeSpec() {
+			c.St.ShD = c.ms.ShD.Stats
+			c.St.ShI = c.ms.ShI.Stats
+			c.St.ShDTLB = c.ms.ShDTLB.Stats
+			c.St.ShITLB = c.ms.ShITLB.Stats
+			c.St.OccD = c.ms.ShD.Occupancy
+			c.St.OccI = c.ms.ShI.Occupancy
+			c.St.OccDTLB = c.ms.ShDTLB.Occupancy
+			c.St.OccITLB = c.ms.ShITLB.Occupancy
+		}
+		return
 	}
+
+	c.St.Bpred = bpred.Stats{}
+	c.St.ShD, c.St.ShI = shadow.Stats{}, shadow.Stats{}
+	c.St.ShDTLB, c.St.ShITLB = shadow.Stats{}, shadow.Stats{}
+	for i := range c.ths {
+		t := &c.ths[i]
+		c.St.Bpred.Add(t.bp.Stats)
+		if c.cfg.Mode.SafeSpec() {
+			c.St.ShD.Add(t.ms.ShD.Stats)
+			c.St.ShI.Add(t.ms.ShI.Stats)
+			c.St.ShDTLB.Add(t.ms.ShDTLB.Stats)
+			c.St.ShITLB.Add(t.ms.ShITLB.Stats)
+		}
+	}
+	if c.cfg.Mode.SafeSpec() && c.sampleOcc {
+		// Aggregated histograms allocate at finalize time only — never on
+		// the per-cycle path.
+		c.St.OccD = mergeOcc(c.ths, func(ms *MemSystem) *shadow.Structure { return ms.ShD })
+		c.St.OccI = mergeOcc(c.ths, func(ms *MemSystem) *shadow.Structure { return ms.ShI })
+		c.St.OccDTLB = mergeOcc(c.ths, func(ms *MemSystem) *shadow.Structure { return ms.ShDTLB })
+		c.St.OccITLB = mergeOcc(c.ths, func(ms *MemSystem) *shadow.Structure { return ms.ShITLB })
+	}
+	c.St.PerThread = make([]ThreadStats, len(c.ths))
+	for i := range c.ths {
+		c.St.PerThread[i] = c.ths[i].st
+	}
+}
+
+// mergeOcc sums the occupancy histograms of one shadow structure kind
+// across all threads.
+func mergeOcc(ths []thread, pick func(*MemSystem) *shadow.Structure) *stats.Histogram {
+	var cap int
+	for i := range ths {
+		if s := pick(ths[i].ms); s != nil {
+			cap = s.Policy().Entries
+		}
+	}
+	h := newOccHist(cap)
+	for i := range ths {
+		if s := pick(ths[i].ms); s != nil {
+			h.Merge(s.Occupancy)
+		}
+	}
+	return h
 }

@@ -114,6 +114,20 @@ type Stats struct {
 	Flushes uint64
 }
 
+// Add accumulates o into s (summing per-thread shadow structures into
+// core-wide totals for SMT runs).
+func (s *Stats) Add(o Stats) {
+	s.Allocs += o.Allocs
+	s.Hits += o.Hits
+	s.Lookups += o.Lookups
+	s.Committed += o.Committed
+	s.Squashed += o.Squashed
+	s.DroppedFull += o.DroppedFull
+	s.BlockedCycles += o.BlockedCycles
+	s.Replaced += o.Replaced
+	s.Flushes += o.Flushes
+}
+
 // HitRate returns Hits/Lookups.
 func (s Stats) HitRate() float64 { return stats.Rate(s.Hits, s.Lookups) }
 

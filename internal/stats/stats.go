@@ -65,6 +65,20 @@ func (h *Histogram) Add(v int) {
 	}
 }
 
+// Merge folds o's samples into h (used to aggregate per-thread occupancy
+// histograms into a core-wide view). Values beyond h's range clamp to its
+// top bucket, like Add.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for v, n := range o.counts {
+		if n != 0 {
+			h.AddN(v, n)
+		}
+	}
+}
+
 // N returns the number of samples recorded.
 func (h *Histogram) N() uint64 { return h.n }
 

@@ -1,0 +1,94 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"safespec/internal/sweep"
+)
+
+// The golden files below were generated from the pre-SMT-refactor tree
+// (set UPDATE_GOLDEN=1 to regenerate — only ever from a commit whose
+// single-thread output is known-good). They pin two things across the
+// per-thread pipeline refactor and any future change:
+//
+//   - the JSONL sink bytes of the pinned Quick matrix (the exact stream CI
+//     compares across worker counts, the grid and the result cache), and
+//   - every Quick job's content-address (sweep.Job.Hash), so warm result
+//     caches written before the refactor stay valid for Threads=1 cells.
+
+const (
+	goldenJSONL  = "testdata/quick_threads1.jsonl"
+	goldenHashes = "testdata/quick_threads1.hashes"
+)
+
+func quickJobs(t *testing.T) []sweep.Job {
+	t.Helper()
+	jobs, err := sweep.Quick().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func maybeUpdate(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("UPDATE_GOLDEN") == "" {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, got, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGoldenQuickJSONLByteIdentity runs the pinned Quick matrix locally and
+// requires the JSONL sink output to be byte-identical to the saved
+// pre-refactor stream.
+func TestGoldenQuickJSONLByteIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full Quick matrix")
+	}
+	var buf bytes.Buffer
+	_, err := sweep.Run(context.Background(), quickJobs(t),
+		sweep.Options{Workers: 4, Sinks: []sweep.Sink{sweep.NewJSONL(&buf)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	maybeUpdate(t, goldenJSONL, buf.Bytes())
+	want, err := os.ReadFile(goldenJSONL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Quick-matrix JSONL diverged from pre-refactor golden (%d vs %d bytes);\n"+
+			"single-thread results must stay byte-identical", buf.Len(), len(want))
+	}
+}
+
+// TestGoldenQuickJobHashes pins every Quick job's content address: a changed
+// hash would silently invalidate (or worse, alias) warm result-cache entries
+// for unchanged single-thread cells.
+func TestGoldenQuickJobHashes(t *testing.T) {
+	var buf bytes.Buffer
+	for _, j := range quickJobs(t) {
+		h, err := j.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(j.String() + " " + h + "\n")
+	}
+	maybeUpdate(t, goldenHashes, buf.Bytes())
+	want, err := os.ReadFile(goldenHashes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("Quick-matrix job hashes diverged from pre-refactor golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}

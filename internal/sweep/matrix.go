@@ -31,15 +31,19 @@ type Job struct {
 // so seed/config fans never re-assemble the same kernel and simulator reuse
 // can detect an unchanged program by pointer identity.
 func (j Job) Program() (*isa.Program, error) {
-	return workloads.Program(j.Bench, j.Seed)
+	return workloads.Program(j.Bench, j.Seed, j.Config.Pipeline.NumThreads())
 }
 
 // String labels the job in errors and logs.
 func (j Job) String() string {
-	if j.Seed != 0 {
-		return fmt.Sprintf("%s/%s/seed=%d", j.Bench, j.Mode, j.Seed)
+	s := j.Bench + "/" + j.Mode
+	if n := j.Config.Pipeline.NumThreads(); n > 1 {
+		s = fmt.Sprintf("%s/t%d", s, n)
 	}
-	return j.Bench + "/" + j.Mode
+	if j.Seed != 0 {
+		s = fmt.Sprintf("%s/seed=%d", s, j.Seed)
+	}
+	return s
 }
 
 // ModeSpec pairs a configuration label with its base config. Run limits and
@@ -75,6 +79,11 @@ type MatrixSpec struct {
 	// SampleOccupancy enables the shadow-occupancy histograms needed by the
 	// Figures 6-9 sizing study.
 	SampleOccupancy bool
+	// Threads is the SMT axis: hardware-thread counts to run each
+	// (benchmark, mode) pair under (nil = single-thread only). A value of 1
+	// leaves the config untouched, so single-thread jobs hash — and hit the
+	// result cache — exactly as they did before the axis existed.
+	Threads []int
 }
 
 // Jobs expands the spec into the full job list, benchmark-major so that all
@@ -86,7 +95,9 @@ func (m MatrixSpec) Jobs() ([]Job, error) {
 	}
 	for _, name := range benches {
 		if _, err := workloads.ByName(name); err != nil {
-			return nil, err
+			if !workloads.Registered(name) {
+				return nil, err
+			}
 		}
 	}
 	modes := m.Modes
@@ -97,13 +108,22 @@ func (m MatrixSpec) Jobs() ([]Job, error) {
 	if seeds == nil {
 		seeds = []int64{0}
 	}
-	jobs := make([]Job, 0, len(benches)*len(modes)*len(seeds))
+	threads := m.Threads
+	if threads == nil {
+		threads = []int{1}
+	}
+	jobs := make([]Job, 0, len(benches)*len(modes)*len(seeds)*len(threads))
 	for _, bench := range benches {
 		for _, mode := range modes {
-			cfg := mode.Config.WithLimits(m.Instructions, m.MaxCycles)
-			cfg.SampleOccupancy = m.SampleOccupancy
-			for _, seed := range seeds {
-				jobs = append(jobs, Job{Bench: bench, Mode: mode.Name, Seed: seed, Config: cfg})
+			for _, th := range threads {
+				cfg := mode.Config.WithLimits(m.Instructions, m.MaxCycles)
+				cfg.SampleOccupancy = m.SampleOccupancy
+				if th > 1 {
+					cfg.Pipeline.Threads = th
+				}
+				for _, seed := range seeds {
+					jobs = append(jobs, Job{Bench: bench, Mode: mode.Name, Seed: seed, Config: cfg})
+				}
 			}
 		}
 	}

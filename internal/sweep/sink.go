@@ -24,9 +24,13 @@ type Sink interface {
 // never wall-clock times — so sink output is byte-identical across runs and
 // worker counts.
 type Row struct {
-	Bench           string  `json:"bench"`
-	Mode            string  `json:"mode"`
-	Seed            int64   `json:"seed"`
+	Bench string `json:"bench"`
+	Mode  string `json:"mode"`
+	Seed  int64  `json:"seed"`
+	// Threads is the SMT hardware-thread count; it is omitted for
+	// single-thread cells so pre-SMT rows (and the golden JSONL pinning
+	// them) are byte-identical.
+	Threads         int     `json:"threads,omitempty"`
 	Cycles          uint64  `json:"cycles"`
 	Committed       uint64  `json:"committed"`
 	IPC             float64 `json:"ipc"`
@@ -43,6 +47,9 @@ type Row struct {
 // MakeRow projects a Result onto its serialized form.
 func MakeRow(r Result) Row {
 	row := Row{Bench: r.Job.Bench, Mode: r.Job.Mode, Seed: r.Job.Seed}
+	if n := r.Job.Config.Pipeline.NumThreads(); n > 1 {
+		row.Threads = n
+	}
 	if r.Err != nil {
 		row.Err = r.Err.Error()
 		return row
@@ -89,7 +96,7 @@ func NewCSV(w io.Writer) *CSV { return &CSV{w: csv.NewWriter(w)} }
 func (c *CSV) Observe(r Result) error {
 	if !c.header {
 		c.header = true
-		if err := c.w.Write([]string{"bench", "mode", "seed", "cycles", "committed",
+		if err := c.w.Write([]string{"bench", "mode", "seed", "threads", "cycles", "committed",
 			"ipc", "mispredicts", "d_miss_rate", "i_miss_rate",
 			"d_shadow_hit_share", "i_shadow_hit_share",
 			"commit_rate_d", "commit_rate_i", "err"}); err != nil {
@@ -97,10 +104,15 @@ func (c *CSV) Observe(r Result) error {
 		}
 	}
 	row := MakeRow(r)
+	threads := row.Threads
+	if threads == 0 {
+		threads = 1
+	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 	return c.w.Write([]string{
 		row.Bench, row.Mode,
 		strconv.FormatInt(row.Seed, 10),
+		strconv.Itoa(threads),
 		strconv.FormatUint(row.Cycles, 10),
 		strconv.FormatUint(row.Committed, 10),
 		f(row.IPC),
@@ -142,13 +154,17 @@ type Aggregate struct {
 	order []cellKey
 }
 
-type cellKey struct{ bench, mode string }
+type cellKey struct {
+	bench, mode string
+	threads     int
+}
 
-// CellStat summarizes one (bench, mode) cell across its seed fan: the
-// number of successful runs and the mean IPC with its 95% confidence
+// CellStat summarizes one (bench, mode, threads) cell across its seed fan:
+// the number of successful runs and the mean IPC with its 95% confidence
 // half-width (0 when the cell holds a single seed).
 type CellStat struct {
 	Bench, Mode string
+	Threads     int
 	N           int
 	MeanIPC     float64
 	CI95        float64
@@ -170,7 +186,7 @@ func (a *Aggregate) Observe(r Result) error {
 	}
 	a.Committed += r.Res.Committed
 	a.Cycles += r.Res.Cycles
-	k := cellKey{r.Job.Bench, r.Job.Mode}
+	k := cellKey{r.Job.Bench, r.Job.Mode, r.Job.Config.Pipeline.NumThreads()}
 	if a.cells == nil {
 		a.cells = make(map[cellKey][]float64)
 	}
@@ -189,7 +205,7 @@ func (a *Aggregate) Cells() []CellStat {
 	for _, k := range a.order {
 		xs := a.cells[k]
 		mean, half := stats.MeanCI95(xs)
-		out = append(out, CellStat{Bench: k.bench, Mode: k.mode, N: len(xs), MeanIPC: mean, CI95: half})
+		out = append(out, CellStat{Bench: k.bench, Mode: k.mode, Threads: k.threads, N: len(xs), MeanIPC: mean, CI95: half})
 	}
 	return out
 }

@@ -345,10 +345,10 @@ func TestCSVRows(t *testing.T) {
 	if len(lines) != 4 { // header + 3 rows
 		t.Fatalf("want header + 3 rows, got %d lines", len(lines))
 	}
-	if !strings.HasPrefix(lines[0], "bench,mode,seed,cycles,committed,ipc") {
+	if !strings.HasPrefix(lines[0], "bench,mode,seed,threads,cycles,committed,ipc") {
 		t.Errorf("bad header: %s", lines[0])
 	}
-	if !strings.HasPrefix(lines[1], "exchange2,baseline,0,") {
+	if !strings.HasPrefix(lines[1], "exchange2,baseline,0,1,") {
 		t.Errorf("bad first row: %s", lines[1])
 	}
 }

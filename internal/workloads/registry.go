@@ -97,10 +97,39 @@ func ByName(name string) (Workload, error) {
 	return Workload{}, fmt.Errorf("workloads: unknown benchmark %q", name)
 }
 
-// progKey identifies one memoized program build.
+// extraBenches holds named kernels registered from outside this package —
+// attack programs from internal/attacks, which run as ordinary sweep
+// benchmarks so security cells flow through the same matrix, result-cache
+// and grid machinery as performance cells. A plain registration call (from
+// the registering package's init) avoids a workloads -> attacks import,
+// which would cycle through the attacks tests.
+var extraBenches sync.Map
+
+// Register adds an extra named kernel builder. The builder receives the
+// effective hardware-thread count so multi-threaded kernels can lay out
+// per-thread entry points; registration replaces any previous builder for
+// the name.
+func Register(name string, build func(threads int) (*isa.Program, error)) {
+	extraBenches.Store(name, build)
+}
+
+// Registered reports whether name resolves to a runnable kernel: one of the
+// SPEC-like workloads or a registered extra bench.
+func Registered(name string) bool {
+	if _, ok := extraBenches.Load(name); ok {
+		return true
+	}
+	_, err := ByName(name)
+	return err == nil
+}
+
+// progKey identifies one memoized program build. The thread count is part
+// of the key so SMT and single-thread cells can never alias on a shared
+// program pointer even when a kernel lays out per-thread entries.
 type progKey struct {
-	name string
-	seed int64
+	name    string
+	seed    int64
+	threads int
 }
 
 // progCache memoizes assembled programs per (benchmark, seed): generation
@@ -115,9 +144,25 @@ type progKey struct {
 var progCache sync.Map
 
 // Program returns the memoized kernel for the named benchmark under the
-// given generator seed (0 selects the workload's per-name default). All
-// callers of the same (name, seed) observe the same *isa.Program.
-func Program(name string, seed int64) (*isa.Program, error) {
+// given generator seed (0 selects the workload's per-name default) and
+// hardware-thread count (values below 2 normalize to 1). All callers of the
+// same (name, seed, threads) observe the same *isa.Program.
+func Program(name string, seed int64, threads int) (*isa.Program, error) {
+	if threads < 2 {
+		threads = 1
+	}
+	if b, ok := extraBenches.Load(name); ok {
+		key := progKey{name: name, seed: seed, threads: threads}
+		if p, ok := progCache.Load(key); ok {
+			return p.(*isa.Program), nil
+		}
+		p, err := b.(func(int) (*isa.Program, error))(threads)
+		if err != nil {
+			return nil, fmt.Errorf("workloads: building %s: %w", name, err)
+		}
+		got, _ := progCache.LoadOrStore(key, p)
+		return got.(*isa.Program), nil
+	}
 	w, err := ByName(name)
 	if err != nil {
 		return nil, err
@@ -125,7 +170,7 @@ func Program(name string, seed int64) (*isa.Program, error) {
 	if seed != 0 {
 		w.Spec.Seed = seed
 	}
-	key := progKey{name: name, seed: w.Spec.Seed}
+	key := progKey{name: name, seed: w.Spec.Seed, threads: threads}
 	if p, ok := progCache.Load(key); ok {
 		return p.(*isa.Program), nil
 	}
