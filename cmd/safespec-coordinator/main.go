@@ -25,7 +25,15 @@
 // loopback. Jobs are leased with a TTL (-lease-ttl): a crashed worker's
 // jobs are requeued to the surviving fleet. A sweep whose submitting bench
 // process disappears is abandoned after -sweep-ttl, so coordinator memory
-// holds steady over days. The -pprof listener additionally serves
+// holds steady over days.
+//
+// With -state-dir the coordinator journals every sweep mutation to disk
+// and recovers in-flight sweeps on restart: delivered results serve
+// existing cursors without re-simulation, undelivered jobs re-enter the
+// queue, and clients (safespec-bench -remote) ride the restart out
+// transparently. SIGTERM/SIGINT drains gracefully — leases stop, in-flight
+// requests finish within -drain-timeout, state is snapshotted — while
+// kill -9 is recovered from the journal. The -pprof listener additionally serves
 // Prometheus-style metrics on /metrics and a live read-only HTML results
 // page on /status — unauthenticated by design, so keep it on loopback or
 // an operations network.
@@ -59,6 +67,8 @@ type config struct {
 	leaseTTL  time.Duration
 	retries   int
 	sweepTTL  time.Duration
+	stateDir  string
+	drainWait time.Duration
 	quiet     bool
 	logLevel  string
 	logFormat string
@@ -77,6 +87,8 @@ func main() {
 	flag.DurationVar(&c.leaseTTL, "lease-ttl", 0, "job lease duration; size it above the slowest single job (default 2m)")
 	flag.IntVar(&c.retries, "lease-retries", 0, "lease grants per job before it fails as lost (default 5)")
 	flag.DurationVar(&c.sweepTTL, "sweep-ttl", 0, "abandon a sweep whose client stopped polling this long ago (default 10m)")
+	flag.StringVar(&c.stateDir, "state-dir", "", "journal sweep state under this directory and recover it on restart (empty disables durability)")
+	flag.DurationVar(&c.drainWait, "drain-timeout", 5*time.Second, "on SIGTERM/SIGINT, wait this long for in-flight requests to finish before closing")
 	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-sweep progress lines (same as -log-level warn)")
 	flag.StringVar(&c.logLevel, "log-level", "info", "log level: debug|info|warn|error")
 	flag.StringVar(&c.logFormat, "log-format", "text", "log format: text|json")
@@ -116,6 +128,11 @@ func run(ctx context.Context, c config) error {
 		SweepTTL: c.sweepTTL,
 		Log:      log,
 	})
+	if c.stateDir != "" {
+		if err := server.OpenState(c.stateDir); err != nil {
+			return err
+		}
+	}
 	if c.pprofAddr != "" {
 		addr, err := pprofserve.Serve(c.pprofAddr, server.OpsHandler())
 		if err != nil {
@@ -154,12 +171,29 @@ func run(ctx context.Context, c config) error {
 	}()
 	select {
 	case <-ctx.Done():
-		srv.Close()
+		// Graceful drain: stop granting leases, wake parked long-polls so
+		// in-flight requests finish, then give Shutdown a bounded window
+		// before forcing the listener closed. Exit 0 either way — shutdown
+		// is an operator action, not a failure.
+		log.Info("draining", "timeout", c.drainWait.String())
+		server.Drain()
+		shutCtx, cancelShut := context.WithTimeout(context.Background(), c.drainWait)
+		if serr := srv.Shutdown(shutCtx); serr != nil {
+			srv.Close()
+		}
+		cancelShut()
 		<-errc
 		err = nil
 	case err = <-errc:
 		if err == http.ErrServerClosed {
 			err = nil
+		}
+	}
+	if c.stateDir != "" {
+		// Fold the journal into a final snapshot; a kill -9 skips this and
+		// replays the journal on the next start instead.
+		if cerr := server.CloseState(); cerr != nil {
+			log.Error("state close failed", "err", cerr.Error())
 		}
 	}
 	s := server.Stats()

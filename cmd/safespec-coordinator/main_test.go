@@ -2,7 +2,9 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -105,5 +107,114 @@ func TestCoordinatorBadListenAddr(t *testing.T) {
 	err := run(context.Background(), config{listen: "256.256.256.256:0", quiet: true, info: io.Discard})
 	if err == nil {
 		t.Fatal("bogus listen address must error")
+	}
+}
+
+// TestCoordinatorStateSurvivesRestart: with -state-dir, a sweep submitted
+// to one coordinator process is served by the next one — the restart
+// announces the recovery, the submission nonce resolves to the same sweep
+// id, and the sweep's result cursor answers.
+func TestCoordinatorStateSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+
+	start := func() (url string, recovered chan string, cancel context.CancelFunc, done chan error) {
+		infoR, infoW := io.Pipe()
+		ctx, cancelRun := context.WithCancel(context.Background())
+		done = make(chan error, 1)
+		go func() {
+			err := run(ctx, config{listen: "127.0.0.1:0", stateDir: dir,
+				drainWait: 2 * time.Second, info: infoW})
+			infoW.Close()
+			done <- err
+		}()
+		urlc := make(chan string, 1)
+		recovered = make(chan string, 1)
+		go func() {
+			sc := bufio.NewScanner(infoR)
+			for sc.Scan() {
+				line := sc.Text()
+				if strings.Contains(line, "coordinator listening") {
+					if _, addr, ok := strings.Cut(line, "url="); ok {
+						urlc <- strings.Fields(addr)[0]
+					}
+				}
+				if strings.Contains(line, "state recovered") {
+					select {
+					case recovered <- line:
+					default:
+					}
+				}
+			}
+		}()
+		select {
+		case url = <-urlc:
+		case <-time.After(10 * time.Second):
+			t.Fatal("coordinator never announced its address")
+		}
+		return url, recovered, cancelRun, done
+	}
+
+	submit := func(url, nonce string) string {
+		t.Helper()
+		spec := sweep.Quick()
+		spec.Benchmarks = []string{"exchange2"}
+		spec.Instructions = 2_000
+		jobs, err := spec.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(grid.SubmitRequest{Jobs: jobs[:1], Nonce: nonce})
+		resp, err := http.Post(url+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("submit: status %d", resp.StatusCode)
+		}
+		var sr grid.SubmitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		return sr.SweepID
+	}
+
+	url1, _, cancel1, done1 := start()
+	id := submit(url1, "n-cmd-restart")
+	cancel1()
+	select {
+	case err := <-done1:
+		if err != nil {
+			t.Fatalf("first coordinator exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("first coordinator did not exit")
+	}
+
+	url2, rec2, cancel2, done2 := start()
+	defer func() {
+		cancel2()
+		<-done2
+	}()
+	select {
+	case line := <-rec2:
+		if !strings.Contains(line, "sweeps=1") {
+			t.Errorf("recovery line reports wrong sweep count: %s", line)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("restarted coordinator never logged state recovery")
+	}
+	// The nonce resolves to the recovered sweep, not a fresh one.
+	if got := submit(url2, "n-cmd-restart"); got != id {
+		t.Fatalf("nonce resolved to %s after restart, want %s", got, id)
+	}
+	// And its result cursor answers.
+	resp, err := http.Get(url2 + "/v1/sweeps/" + id + "/results?after=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered sweep cursor: status %d, want 200", resp.StatusCode)
 	}
 }

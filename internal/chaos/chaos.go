@@ -1,0 +1,263 @@
+// Package chaos is a seeded, deterministic fault injector for exercising
+// the grid's fault-tolerance paths in tests. It wraps an http.RoundTripper
+// to inject the failure modes a real fleet sees — dropped connections,
+// latency spikes, mid-restart 5xx, truncated responses, and single-bit
+// in-transit damage — and exposes a byte corruptor for the result cache's
+// read seam (resultcache.SetReadFault), so the same verification machinery
+// that catches a flipped disk bit is covered by tests.
+//
+// All randomness flows from one seeded source guarded by a mutex: a test
+// that performs the same operation sequence against the same seed sees the
+// same fault pattern. Under concurrency the schedule still perturbs which
+// request draws which fault, so end-to-end tests assert *outcomes*
+// (byte-identical results, zero lost cells), not fault placement.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config sets the per-operation fault probabilities (each in [0,1],
+// independent rolls, applied in the order the fields are declared).
+type Config struct {
+	// Seed feeds the deterministic random source.
+	Seed int64
+
+	// Drop is the probability a request's connection dies — half the time
+	// before the request is sent (the server never sees it), half the time
+	// after the response is produced (the server committed, the client
+	// never hears). The second half is what makes idempotency bugs visible.
+	Drop float64
+
+	// Delay is the probability a request is stalled by a uniform random
+	// pause up to MaxDelay before being forwarded.
+	Delay float64
+
+	// MaxDelay bounds injected pauses; zero means 50ms.
+	MaxDelay time.Duration
+
+	// Err500 is the probability the injector answers 500 itself without
+	// forwarding — the shape of a coordinator or fronting proxy
+	// mid-restart.
+	Err500 float64
+
+	// PartialBody is the probability a response body is truncated halfway
+	// through, ending in an unexpected-EOF read error.
+	PartialBody float64
+
+	// FlipByte is the probability one random byte is flipped — rolled
+	// independently for the request body (when present) and the response
+	// body, and used by Corrupt for cache-entry damage. Flipped bytes are
+	// what the X-Safespec-Sum wire checksums and the cache entry checksum
+	// exist to catch.
+	FlipByte float64
+}
+
+// Stats counts injected faults (and Passed, requests forwarded untouched).
+type Stats struct {
+	Drops, Delays, Errs, Partials, Flips, Passed uint64
+}
+
+// Injector draws faults from one seeded source. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	st  Stats
+}
+
+// New returns an injector rolling faults per cfg from cfg.Seed.
+func New(cfg Config) *Injector {
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 50 * time.Millisecond
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Stats snapshots the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.st
+}
+
+// roll draws one uniform variate and reports whether it lands under p.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Float64() < p
+}
+
+// flipIndex picks the byte to damage in an n-byte body.
+func (in *Injector) flipIndex(n int) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.rng.Intn(n)
+}
+
+// pause picks an injected delay duration in (0, MaxDelay].
+func (in *Injector) pause() time.Duration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return time.Duration(in.rng.Int63n(int64(in.cfg.MaxDelay))) + 1
+}
+
+// count bumps one counter under the lock.
+func (in *Injector) count(f func(*Stats)) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f(&in.st)
+}
+
+// errDropped is the transport-shaped error surfaced for a killed
+// connection; retry loops treat it like any network fault.
+var errDropped = errors.New("chaos: connection dropped")
+
+// Transport wraps inner (nil selects http.DefaultTransport) with fault
+// injection. Install it on a client's Transport field.
+func (in *Injector) Transport(inner http.RoundTripper) http.RoundTripper {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &transport{in: in, inner: inner}
+}
+
+type transport struct {
+	in    *Injector
+	inner http.RoundTripper
+}
+
+// RoundTrip applies the configured faults around one forwarded request.
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	in := t.in
+	dropAfter := false
+	if in.roll(in.cfg.Drop) {
+		in.count(func(s *Stats) { s.Drops++ })
+		// Half the drops happen after the server has processed the
+		// request — the dangerous half.
+		if !in.roll(0.5) {
+			return nil, errDropped
+		}
+		dropAfter = true
+	}
+	if in.roll(in.cfg.Delay) {
+		in.count(func(s *Stats) { s.Delays++ })
+		select {
+		case <-time.After(in.pause()):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if in.roll(in.cfg.Err500) {
+		in.count(func(s *Stats) { s.Errs++ })
+		return &http.Response{
+			Status:        "500 Internal Server Error",
+			StatusCode:    http.StatusInternalServerError,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        http.Header{},
+			Body:          io.NopCloser(strings.NewReader("chaos: injected fault\n")),
+			ContentLength: -1,
+			Request:       req,
+		}, nil
+	}
+	if req.GetBody != nil && in.roll(in.cfg.FlipByte) {
+		if creq, err := flipRequestBody(in, req); err == nil {
+			in.count(func(s *Stats) { s.Flips++ })
+			req = creq
+		}
+	}
+	resp, err := t.inner.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if dropAfter {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		return nil, errDropped
+	}
+	if in.roll(in.cfg.PartialBody) {
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+		resp.Body.Close()
+		if rerr == nil && len(b) > 0 {
+			in.count(func(s *Stats) { s.Partials++ })
+			resp.Body = io.NopCloser(&errAfter{r: strings.NewReader(string(b[:len(b)/2]))})
+			return resp, nil
+		}
+		resp.Body = io.NopCloser(strings.NewReader(string(b)))
+	}
+	if in.roll(in.cfg.FlipByte) {
+		b, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<26))
+		resp.Body.Close()
+		if rerr == nil && len(b) > 0 {
+			in.count(func(s *Stats) { s.Flips++ })
+			b[in.flipIndex(len(b))] ^= 0x20
+			resp.Body = io.NopCloser(strings.NewReader(string(b)))
+			return resp, nil
+		}
+		resp.Body = io.NopCloser(strings.NewReader(string(b)))
+	}
+	in.count(func(s *Stats) { s.Passed++ })
+	return resp, nil
+}
+
+// flipRequestBody clones req with one body byte flipped (length is
+// preserved, so Content-Length stays truthful and only the checksum
+// betrays the damage).
+func flipRequestBody(in *Injector, req *http.Request) (*http.Request, error) {
+	rc, err := req.GetBody()
+	if err != nil {
+		return nil, err
+	}
+	b, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil || len(b) == 0 {
+		if err == nil {
+			err = fmt.Errorf("empty body")
+		}
+		return nil, err
+	}
+	b[in.flipIndex(len(b))] ^= 0x20
+	creq := req.Clone(req.Context())
+	creq.Body = io.NopCloser(strings.NewReader(string(b)))
+	creq.ContentLength = int64(len(b))
+	return creq, nil
+}
+
+// errAfter yields its reader's bytes then an unexpected EOF — a response
+// whose connection died mid-body.
+type errAfter struct{ r io.Reader }
+
+func (e *errAfter) Read(p []byte) (int, error) {
+	n, err := e.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Corrupt flips one random byte of b (in a copy) with probability
+// Config.FlipByte — the read-fault hook for resultcache.SetReadFault.
+// Entries damaged this way must surface as checksum errors, which the
+// cache degrades to misses.
+func (in *Injector) Corrupt(b []byte) []byte {
+	if len(b) == 0 || !in.roll(in.cfg.FlipByte) {
+		return b
+	}
+	in.count(func(s *Stats) { s.Flips++ })
+	c := append([]byte(nil), b...)
+	c[in.flipIndex(len(c))] ^= 0x20
+	return c
+}

@@ -1,0 +1,166 @@
+package chaos
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoServer answers every request with a fixed JSON-ish body and echoes
+// the request body length in a header so tests can see request mutation.
+func echoServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		b, _ := io.ReadAll(req.Body)
+		w.Header().Set("X-Echo-Body", string(b))
+		io.WriteString(w, `{"ok":true,"payload":"0123456789abcdef"}`)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// outcome classifies one request for determinism comparison.
+func outcome(client *http.Client, url string) string {
+	resp, err := client.Post(url, "application/json", strings.NewReader(`{"n":42}`))
+	if err != nil {
+		return "err:" + errClass(err)
+	}
+	defer resp.Body.Close()
+	b, rerr := io.ReadAll(resp.Body)
+	switch {
+	case resp.StatusCode == http.StatusInternalServerError:
+		return "500"
+	case rerr != nil:
+		return "partial"
+	case string(b) != `{"ok":true,"payload":"0123456789abcdef"}`:
+		return "flipped:" + string(b)
+	case resp.Header.Get("X-Echo-Body") != `{"n":42}`:
+		return "reqflip:" + resp.Header.Get("X-Echo-Body")
+	default:
+		return "ok"
+	}
+}
+
+func errClass(err error) string {
+	if strings.Contains(err.Error(), "connection dropped") {
+		return "dropped"
+	}
+	return "other"
+}
+
+// TestTransportDeterministic: the same seed and the same sequential request
+// sequence produce the same fault pattern, outcome for outcome.
+func TestTransportDeterministic(t *testing.T) {
+	srv := echoServer(t)
+	cfg := Config{Seed: 7, Drop: 0.2, Err500: 0.2, PartialBody: 0.2, FlipByte: 0.2, MaxDelay: time.Millisecond}
+	run := func() ([]string, Stats) {
+		in := New(cfg)
+		client := &http.Client{Transport: in.Transport(nil)}
+		var got []string
+		for i := 0; i < 40; i++ {
+			got = append(got, outcome(client, srv.URL))
+		}
+		return got, in.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d diverged between identically seeded runs: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Fatalf("fault counters diverged: %+v vs %+v", sa, sb)
+	}
+	if sa.Drops == 0 || sa.Errs == 0 || sa.Partials == 0 || sa.Flips == 0 {
+		t.Fatalf("40 requests at 20%% rates should hit every fault class: %+v", sa)
+	}
+}
+
+// TestTransportFaultShapes pins each injected fault's observable shape at
+// probability 1 (drop excepted — it coin-flips pre/post send).
+func TestTransportFaultShapes(t *testing.T) {
+	srv := echoServer(t)
+
+	t.Run("err500", func(t *testing.T) {
+		in := New(Config{Seed: 1, Err500: 1})
+		got := outcome(&http.Client{Transport: in.Transport(nil)}, srv.URL)
+		if got != "500" {
+			t.Fatalf("want synthesized 500, got %q", got)
+		}
+	})
+	t.Run("drop", func(t *testing.T) {
+		in := New(Config{Seed: 1, Drop: 1})
+		for i := 0; i < 8; i++ {
+			if got := outcome(&http.Client{Transport: in.Transport(nil)}, srv.URL); !strings.HasPrefix(got, "err:dropped") {
+				t.Fatalf("want dropped connection, got %q", got)
+			}
+		}
+		if st := in.Stats(); st.Drops != 8 {
+			t.Fatalf("drop counter %d, want 8", st.Drops)
+		}
+	})
+	t.Run("partial", func(t *testing.T) {
+		in := New(Config{Seed: 1, PartialBody: 1})
+		if got := outcome(&http.Client{Transport: in.Transport(nil)}, srv.URL); got != "partial" {
+			t.Fatalf("want truncated body read error, got %q", got)
+		}
+	})
+	t.Run("flip", func(t *testing.T) {
+		in := New(Config{Seed: 1, FlipByte: 1})
+		got := outcome(&http.Client{Transport: in.Transport(nil)}, srv.URL)
+		// Both the request and the response roll at p=1: the echoed request
+		// body and/or the response body must differ from what was sent.
+		if got == "ok" {
+			t.Fatalf("flip at p=1 left request and response untouched")
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		in := New(Config{Seed: 1, Delay: 1, MaxDelay: 5 * time.Millisecond})
+		if got := outcome(&http.Client{Transport: in.Transport(nil)}, srv.URL); got != "ok" {
+			t.Fatalf("delay must not alter the exchange, got %q", got)
+		}
+		if st := in.Stats(); st.Delays != 1 || st.Passed != 1 {
+			t.Fatalf("delay counters: %+v", st)
+		}
+	})
+}
+
+// TestCorrupt: the cache-read corruptor flips exactly one byte on a copy,
+// deterministically for a fixed seed, and leaves the original alone.
+func TestCorrupt(t *testing.T) {
+	orig := []byte(`{"version":1,"key":"ab","res":{"committed":5}}`)
+	in := New(Config{Seed: 3, FlipByte: 1})
+	got := in.Corrupt(append([]byte(nil), orig...))
+	if bytes.Equal(got, orig) {
+		t.Fatal("Corrupt at p=1 returned the bytes unchanged")
+	}
+	diff := 0
+	for i := range orig {
+		if got[i] != orig[i] {
+			diff++
+		}
+	}
+	if diff != 1 || len(got) != len(orig) {
+		t.Fatalf("Corrupt changed %d bytes (len %d->%d), want exactly 1", diff, len(orig), len(got))
+	}
+	in2 := New(Config{Seed: 3, FlipByte: 1})
+	if !bytes.Equal(in2.Corrupt(append([]byte(nil), orig...)), got) {
+		t.Fatal("identically seeded corruptors disagreed")
+	}
+	// The input slice itself must not be mutated in place.
+	keep := append([]byte(nil), orig...)
+	in.Corrupt(keep)
+	if !bytes.Equal(keep, orig) {
+		t.Fatal("Corrupt mutated its input")
+	}
+	// p=0 never corrupts.
+	off := New(Config{Seed: 3})
+	if !bytes.Equal(off.Corrupt(keep), orig) {
+		t.Fatal("Corrupt with FlipByte=0 altered bytes")
+	}
+}

@@ -149,6 +149,24 @@ func (a *authenticator) resolve(authorization string) *tenantState {
 	return match
 }
 
+// byName resolves a tenant by its journaled name during state recovery
+// (tokens are never written to disk, so name is the durable identity).
+// nil when the name no longer exists in the token configuration.
+func (a *authenticator) byName(name string) *tenantState {
+	if a.anonymous != nil {
+		if name == a.anonymous.Name {
+			return a.anonymous
+		}
+		return nil
+	}
+	for _, ts := range a.tenants {
+		if ts.Name == name {
+			return ts
+		}
+	}
+	return nil
+}
+
 // bucket is a token-bucket rate limiter (one per rate-limited tenant). It
 // is hand-rolled because the repo deliberately has no dependencies outside
 // the standard library.

@@ -33,8 +33,12 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
+	"io"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"safespec/internal/core"
@@ -138,6 +142,11 @@ type Coordinator struct {
 	// server-stamped Timing) right after delivery; the Server wires it to
 	// the metrics histograms. Set before any worker traffic, never after.
 	observe func(sweep.Result)
+
+	// draining stops lease grants during graceful shutdown: workers see an
+	// empty queue (204) and idle, while in-flight results are still
+	// accepted — finished work is never thrown away at the door.
+	draining atomic.Bool
 
 	mu      sync.Mutex
 	pending *list.List       // *task FIFO; retried jobs go to the front
@@ -271,8 +280,15 @@ func (c *Coordinator) requeueExpiredLocked(now time.Time) (exhausted []*task) {
 	return exhausted
 }
 
-// lease hands the oldest pending job to a worker.
+// drain stops lease grants; results for already-granted leases are still
+// accepted.
+func (c *Coordinator) drain() { c.draining.Store(true) }
+
+// lease hands the oldest pending job to a worker (none while draining).
 func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
+	if c.draining.Load() {
+		return LeaseResponse{}, false
+	}
 	c.mu.Lock()
 	now := c.opts.now()
 	exhausted := c.requeueExpiredLocked(now)
@@ -426,8 +442,31 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusOK)
 }
 
+// sumHeader carries a CRC32-IEEE checksum (lowercase hex) of the JSON
+// body, on requests and responses alike. TCP checksums are weak and a
+// fault-injecting proxy (or chaos test) can flip a byte that still parses
+// as valid JSON — silently corrupting a result. Peers that predate the
+// header simply omit it and are accepted unverified.
+const sumHeader = "X-Safespec-Sum"
+
+func bodySum(b []byte) string {
+	return strconv.FormatUint(uint64(crc32.ChecksumIEEE(b)), 16)
+}
+
 func decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {
-	if err := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxBody)).Decode(v); err != nil {
+	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
+	if err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if sum := req.Header.Get(sumHeader); sum != "" && sum != bodySum(body) {
+		// 503, not 400: the sender's copy is intact and a retry with fresh
+		// bytes will succeed — a 4xx would make a worker discard a finished
+		// result over a transit fault.
+		http.Error(w, "body checksum mismatch (damaged in transit)", http.StatusServiceUnavailable)
+		return false
+	}
+	if err := json.Unmarshal(body, v); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
@@ -435,6 +474,12 @@ func decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encode: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	w.Header().Set(sumHeader, bodySum(b))
+	w.Write(b)
 }

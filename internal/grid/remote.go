@@ -13,9 +13,11 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
+	"safespec/internal/backoff"
 	"safespec/internal/core"
 	"safespec/internal/sweep"
 )
@@ -55,12 +57,19 @@ type RemoteExecutor struct {
 
 	mu        sync.Mutex
 	sweepID   string
+	nonce     string            // stable submission nonce: the recovery key across coordinator restarts
+	jobs      map[int]sweep.Job // everything submitted, for re-submission after a restart
+	received  map[int]bool      // indexes already dispatched (dedupes re-streamed results)
 	submitted map[int]bool
 	waiters   map[int]chan sweep.Result // Execute calls parked on an index
 	arrived   map[int]sweep.Result      // streamed results nobody asked for yet
 	streamCtx context.CancelFunc        // non-nil while the streamer runs
 	streamEnd chan struct{}             // closed when the streamer exits
 	streamErr error                     // terminal stream failure, set before streamEnd closes
+
+	// recMu serializes restart recovery: one goroutine re-resolves the
+	// sweep by nonce while the rest observe the already-updated sweep id.
+	recMu sync.Mutex
 }
 
 // defaultPollWait balances held-open connections against poll chatter; it
@@ -119,30 +128,47 @@ func (r *RemoteExecutor) log() *slog.Logger {
 // first Execute call even polls. Transport errors are retried briefly — a
 // coordinator mid-restart should not fail the sweep.
 func (r *RemoteExecutor) Submit(ctx context.Context, jobs []sweep.Job) error {
-	resp, err := r.openSweep(ctx, jobs)
+	r.mu.Lock()
+	nonce := r.nonceLocked()
+	r.mu.Unlock()
+	resp, err := r.openSweep(ctx, jobs, nonce)
 	if err != nil {
 		return fmt.Errorf("grid: submit sweep to %s: %w", r.URL, err)
 	}
 	r.mu.Lock()
 	r.sweepID = resp.SweepID
 	r.submitted = make(map[int]bool, len(jobs))
-	for i := range jobs {
+	r.jobs = make(map[int]sweep.Job, len(jobs))
+	for i, j := range jobs {
 		r.submitted[i] = true
+		r.jobs[i] = j
 	}
 	r.mu.Unlock()
 	r.log().Info("sweep submitted", "sweep", resp.SweepID, "coordinator", r.URL, "jobs", len(jobs))
 	return nil
 }
 
+// nonceLocked returns the executor's stable submission nonce, minting it
+// on first use. One nonce spans the whole sweep's lifetime (Close resets
+// it): it makes the creation POST idempotent against lost responses AND
+// serves as the recovery key a restarted coordinator resolves the sweep
+// by. Caller holds r.mu.
+func (r *RemoteExecutor) nonceLocked() string {
+	if r.nonce == "" {
+		r.nonce = newNonce()
+	}
+	return r.nonce
+}
+
 // openSweep POSTs a sweep-creation request carrying jobs (nil opens an
 // empty sweep for incremental submission). The nonce makes the retried
 // POST idempotent: if an attempt landed but its response was lost, the
 // coordinator hands back the existing sweep instead of double-running it.
-func (r *RemoteExecutor) openSweep(ctx context.Context, jobs []sweep.Job) (SubmitResponse, error) {
-	req := SubmitRequest{Jobs: jobs, Nonce: newNonce()}
+func (r *RemoteExecutor) openSweep(ctx context.Context, jobs []sweep.Job, nonce string) (SubmitResponse, error) {
+	req := SubmitRequest{Jobs: jobs, Nonce: nonce}
 	var resp SubmitResponse
-	status, err := r.retry(ctx, func() (int, error) {
-		return doJSON(ctx, r.client(), http.MethodPost, r.URL+"/v1/sweeps", r.Token,
+	status, err := r.retry(ctx, func() (int, http.Header, error) {
+		return doJSONHdr(ctx, r.client(), http.MethodPost, r.URL+"/v1/sweeps", r.Token,
 			req, &resp)
 	})
 	if err == nil && status != http.StatusOK {
@@ -220,10 +246,18 @@ func (r *RemoteExecutor) startStreamLocked(id string) {
 	go r.stream(ctx, id, r.streamEnd)
 }
 
+// maxStreamRecoveries bounds consecutive restart recoveries before the
+// stream gives up: a coordinator that loses the sweep again and again
+// without ever delivering a batch is misconfigured, not mid-restart.
+const maxStreamRecoveries = 5
+
 // stream long-polls the sweep's result batches and dispatches each result
 // to the Execute call waiting on its index (or parks it for an Execute yet
 // to ask). It exits on Close's cancellation or a terminal coordinator
-// answer; transport faults, 5xx and 429 are ridden out by retry.
+// answer; transport faults, 5xx and 429 are ridden out by retry, and a
+// coordinator restart (404 for the sweep id, or a connection that stays
+// refused past the retry budget) is ridden out by re-resolving the sweep
+// through its submission nonce and resuming the batch cursor.
 func (r *RemoteExecutor) stream(ctx context.Context, id string, end chan struct{}) {
 	defer close(end)
 	wait := r.PollWait
@@ -231,35 +265,134 @@ func (r *RemoteExecutor) stream(ctx context.Context, id string, end chan struct{
 		wait = defaultPollWait
 	}
 	after := 0
+	recoveries := 0
+	recoverSweep := func(cause string) bool {
+		if recoveries++; recoveries > maxStreamRecoveries {
+			return false
+		}
+		newID, err := r.reresolve(ctx, id)
+		if err != nil {
+			r.log().Warn("sweep recovery failed", "sweep", id, "cause", cause, "err", err.Error())
+			return false
+		}
+		if newID != id {
+			// A coordinator without durable state opened a fresh sweep: its
+			// log starts empty, so the cursor restarts and the received-set
+			// dedupe swallows any cells streamed twice.
+			id, after = newID, 0
+		}
+		return true
+	}
 	for {
 		url := fmt.Sprintf("%s/v1/sweeps/%s/results?after=%d&wait=%s", r.URL, id, after, wait)
 		var batch ResultBatch
-		status, err := r.retry(ctx, func() (int, error) {
-			return doJSON(ctx, r.client(), http.MethodGet, url, r.Token, nil, &batch)
+		status, err := r.retry(ctx, func() (int, http.Header, error) {
+			return doJSONHdr(ctx, r.client(), http.MethodGet, url, r.Token, nil, &batch)
 		})
 		switch {
 		case ctx.Err() != nil:
 			r.setStreamErr(fmt.Errorf("stream stopped: %w", ctx.Err()))
 			return
 		case err != nil:
-			r.setStreamErr(fmt.Errorf("grid: stream %s: %w", id, err))
-			return
+			// The retry budget is exhausted — the shape of a coordinator
+			// down for longer than a blip. Re-resolving retries the
+			// connection again and re-establishes the sweep if the process
+			// that answers is a fresh one.
+			if !recoverSweep("unreachable: " + err.Error()) {
+				r.setStreamErr(fmt.Errorf("grid: stream %s: %w", id, err))
+				return
+			}
 		case status == http.StatusOK:
+			recoveries = 0
 			for _, res := range batch.Results {
 				r.dispatch(res)
 			}
 			after = batch.Next
 		case status == http.StatusNotFound:
-			// A restarted coordinator assigns fresh random sweep ids, so a
-			// surviving client can only ever see its sweep vanish — never
-			// adopt another client's results.
-			r.setStreamErr(fmt.Errorf("grid: sweep %s expired on coordinator %s (restart, or client idle past the sweep TTL?)", id, r.URL))
-			return
+			// The coordinator restarted (or abandoned the sweep past its
+			// TTL). The sweep id is random so it can never collide with
+			// another client's; the nonce re-resolves our own sweep — on a
+			// durable coordinator the very same one, cursor intact.
+			if !recoverSweep("sweep id lost (coordinator restart)") {
+				r.setStreamErr(fmt.Errorf("grid: sweep %s expired on coordinator %s (restart without -state-dir, or client idle past the sweep TTL?)", id, r.URL))
+				return
+			}
+		case status == http.StatusBadRequest:
+			// A stale cursor (recovered log shorter than our position, which
+			// a lost unsynced journal tail can produce): restart the stream
+			// from zero and let the received-set drop the duplicates.
+			if after == 0 || !recoverSweep("stale cursor") {
+				r.setStreamErr(fmt.Errorf("grid: stream %s: %w", id, statusErr(status)))
+				return
+			}
+			after = 0
 		default:
 			r.setStreamErr(fmt.Errorf("grid: stream %s: %w", id, statusErr(status)))
 			return
 		}
 	}
+}
+
+// reresolve recovers from a coordinator that no longer serves lostID: it
+// re-submits the sweep under the executor's stable nonce — a coordinator
+// with durable state answers with the surviving sweep, a stateless one
+// opens a fresh sweep — then idempotently re-posts every known job, so
+// cells the restart never saw are enqueued and cells it recovered are
+// no-ops. Returns the current sweep id. Concurrent callers serialize on
+// recMu; late ones observe the already-updated id and return immediately.
+func (r *RemoteExecutor) reresolve(ctx context.Context, lostID string) (string, error) {
+	r.recMu.Lock()
+	defer r.recMu.Unlock()
+	r.mu.Lock()
+	if r.sweepID != lostID && r.sweepID != "" {
+		id := r.sweepID
+		r.mu.Unlock()
+		return id, nil
+	}
+	nonce := r.nonce
+	jobs := make(map[int]sweep.Job, len(r.jobs))
+	for i, j := range r.jobs {
+		jobs[i] = j
+	}
+	r.mu.Unlock()
+	if nonce == "" {
+		return "", fmt.Errorf("sweep %s has no submission nonce to recover by", lostID)
+	}
+	var resp SubmitResponse
+	status, err := r.retry(ctx, func() (int, http.Header, error) {
+		return doJSONHdr(ctx, r.client(), http.MethodPost, r.URL+"/v1/sweeps", r.Token,
+			SubmitRequest{Nonce: nonce}, &resp)
+	})
+	if err == nil && status != http.StatusOK {
+		err = statusErr(status)
+	}
+	if err != nil {
+		return "", fmt.Errorf("re-resolve by nonce: %w", err)
+	}
+	indexes := make([]int, 0, len(jobs))
+	for i := range jobs {
+		indexes = append(indexes, i)
+	}
+	sort.Ints(indexes)
+	for _, i := range indexes {
+		status, err := r.retry(ctx, func() (int, http.Header, error) {
+			return doJSONHdr(ctx, r.client(), http.MethodPost,
+				fmt.Sprintf("%s/v1/sweeps/%s/jobs", r.URL, resp.SweepID), r.Token,
+				JobRequest{Index: i, Job: jobs[i]}, nil)
+		})
+		if err == nil && status != http.StatusOK {
+			err = statusErr(status)
+		}
+		if err != nil {
+			return "", fmt.Errorf("re-submit job %d: %w", i, err)
+		}
+	}
+	r.mu.Lock()
+	r.sweepID = resp.SweepID
+	r.mu.Unlock()
+	r.log().Info("sweep recovered after coordinator restart",
+		"lost", lostID, "sweep", resp.SweepID, "jobs_resubmitted", len(jobs), "resumed", resp.SweepID == lostID)
+	return resp.SweepID, nil
 }
 
 func (r *RemoteExecutor) setStreamErr(err error) {
@@ -270,10 +403,20 @@ func (r *RemoteExecutor) setStreamErr(err error) {
 
 // dispatch hands one streamed result to the Execute call parked on its
 // index, or stores it until that call arrives (batches deliver results in
-// completion order, which need not match the order Execute calls ask).
+// completion order, which need not match the order Execute calls ask). An
+// index already dispatched is dropped: restart recovery can replay the
+// stream from an earlier cursor, and each cell must reach sweep.Run
+// exactly once.
 func (r *RemoteExecutor) dispatch(res sweep.Result) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.received[res.Index] {
+		return
+	}
+	if r.received == nil {
+		r.received = make(map[int]bool)
+	}
+	r.received[res.Index] = true
 	if ch, ok := r.waiters[res.Index]; ok {
 		delete(r.waiters, res.Index)
 		ch <- res
@@ -293,13 +436,14 @@ func (r *RemoteExecutor) dispatch(res sweep.Result) {
 func (r *RemoteExecutor) ensure(ctx context.Context, index int, j sweep.Job) (string, error) {
 	r.mu.Lock()
 	if r.sweepID == "" {
-		resp, err := r.openSweep(ctx, nil)
+		resp, err := r.openSweep(ctx, nil, r.nonceLocked())
 		if err != nil {
 			r.mu.Unlock()
 			return "", fmt.Errorf("grid: open sweep on %s: %w", r.URL, err)
 		}
 		r.sweepID = resp.SweepID
 		r.submitted = make(map[int]bool)
+		r.jobs = make(map[int]sweep.Job)
 		r.log().Info("sweep opened for incremental submission", "sweep", resp.SweepID, "coordinator", r.URL)
 	}
 	id := r.sweepID
@@ -309,19 +453,35 @@ func (r *RemoteExecutor) ensure(ctx context.Context, index int, j sweep.Job) (st
 		// that Run produces one) would double-post, which the server treats
 		// as a no-op anyway.
 		r.submitted[index] = true
+		r.jobs[index] = j
 	}
 	r.mu.Unlock()
 	if !claimed {
-		status, err := r.retry(ctx, func() (int, error) {
-			return doJSON(ctx, r.client(), http.MethodPost,
-				fmt.Sprintf("%s/v1/sweeps/%s/jobs", r.URL, id), r.Token,
-				JobRequest{Index: index, Job: j}, nil)
-		})
-		if err == nil && status != http.StatusOK {
-			err = statusErr(status)
-		}
-		if err != nil {
-			return "", fmt.Errorf("grid: submit job %d to sweep %s: %w", index, id, err)
+		// A 404 mid-loop means the coordinator restarted between opening
+		// the sweep and this submission: re-resolve by nonce and re-post to
+		// the current id. Bounded — each pass either succeeds, recovers, or
+		// returns the terminal error.
+		for pass := 0; ; pass++ {
+			status, err := r.retry(ctx, func() (int, http.Header, error) {
+				return doJSONHdr(ctx, r.client(), http.MethodPost,
+					fmt.Sprintf("%s/v1/sweeps/%s/jobs", r.URL, id), r.Token,
+					JobRequest{Index: index, Job: j}, nil)
+			})
+			if err == nil && status == http.StatusNotFound && pass < maxStreamRecoveries {
+				newID, rerr := r.reresolve(ctx, id)
+				if rerr == nil {
+					id = newID
+					continue
+				}
+				err = fmt.Errorf("%w (recovery failed: %v)", statusErr(status), rerr)
+			}
+			if err == nil && status != http.StatusOK {
+				err = statusErr(status)
+			}
+			if err != nil {
+				return "", fmt.Errorf("grid: submit job %d to sweep %s: %w", index, id, err)
+			}
+			break
 		}
 	}
 	return id, nil
@@ -336,6 +496,7 @@ func (r *RemoteExecutor) Close() error {
 	id := r.sweepID
 	cancel, end := r.streamCtx, r.streamEnd
 	r.sweepID, r.submitted = "", nil
+	r.nonce, r.jobs, r.received = "", nil, nil
 	r.waiters, r.arrived = nil, nil
 	r.streamCtx, r.streamEnd = nil, nil
 	r.mu.Unlock()
@@ -371,38 +532,47 @@ func (r *RemoteExecutor) Stats(ctx context.Context) (ServerSnapshot, error) {
 	return snap, nil
 }
 
+// remoteRetry is the executor's backoff schedule for transport faults,
+// 5xx and 429 alike.
+var remoteRetry = backoff.Policy{Base: 250 * time.Millisecond, Cap: 5 * time.Second}
+
 // retry runs fn until it returns a status that is neither 5xx nor 429
 // without a transport error, backing off between attempts, and hands the
 // final status to the caller to interpret. Transport faults and 5xx are
 // retried alike (both are the shape of a coordinator or fronting proxy
 // mid-restart); 429 is the coordinator's rate limiter asking exactly for
-// this backoff, so treating it as terminal would fail a sweep the tenant
-// was merely pacing.
-func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, error)) (int, error) {
-	backoff := 250 * time.Millisecond
+// this backoff — its Retry-After, when present, overrides the schedule —
+// so treating it as terminal would fail a sweep the tenant was merely
+// pacing.
+func (r *RemoteExecutor) retry(ctx context.Context, fn func() (int, http.Header, error)) (int, error) {
 	var status int
 	var err error
+	var hint time.Duration
 	for attempt := 0; attempt < 8; attempt++ {
 		if attempt > 0 {
-			if !sleep(ctx, backoff) {
+			pause := remoteRetry.PauseHint(attempt-1, hint)
+			if !sleep(ctx, pause) {
 				return 0, ctx.Err()
 			}
-			backoff = min(2*backoff, 5*time.Second)
 		}
-		status, err = fn()
+		var hdr http.Header
+		status, hdr, err = fn()
 		if err == nil && status < 500 && status != http.StatusTooManyRequests {
 			return status, nil
 		}
 		if ctx.Err() != nil {
 			return 0, ctx.Err()
 		}
+		hint = 0
+		pause := remoteRetry.Pause(attempt)
 		switch {
 		case err != nil:
-			r.log().Warn("coordinator unreachable, backing off", "coordinator", r.URL, "err", err.Error(), "pause", backoff.String())
+			r.log().Warn("coordinator unreachable, backing off", "coordinator", r.URL, "err", err.Error(), "pause", pause.String())
 		case status == http.StatusTooManyRequests:
-			r.log().Info("coordinator rate limit, backing off", "coordinator", r.URL, "pause", backoff.String())
+			hint = retryAfter(hdr)
+			r.log().Info("coordinator rate limit, backing off", "coordinator", r.URL, "pause", remoteRetry.PauseHint(attempt, hint).String())
 		default:
-			r.log().Warn("coordinator error, backing off", "coordinator", r.URL, "status", status, "pause", backoff.String())
+			r.log().Warn("coordinator error, backing off", "coordinator", r.URL, "status", status, "pause", pause.String())
 		}
 	}
 	if err == nil {
@@ -443,15 +613,20 @@ func doJSON(ctx context.Context, client *http.Client, method, url, token string,
 
 // doJSONHdr is doJSON also returning the response headers (nil on
 // transport failure), for callers that interpret advisory headers such as
-// a 429's Retry-After.
+// a 429's Retry-After. Requests are stamped with a body checksum, and a
+// 200 response carrying one is verified before decoding: a mismatch (a
+// byte damaged in transit that might still parse as JSON) is returned as
+// a transport-shaped error so retry loops fetch fresh bytes.
 func doJSONHdr(ctx context.Context, client *http.Client, method, url, token string, in, out any) (int, http.Header, error) {
 	var body io.Reader
+	var sum string
 	if in != nil {
 		b, err := json.Marshal(in)
 		if err != nil {
 			return 0, nil, err
 		}
 		body = bytes.NewReader(b)
+		sum = bodySum(b)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
@@ -459,6 +634,7 @@ func doJSONHdr(ctx context.Context, client *http.Client, method, url, token stri
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set(sumHeader, sum)
 	}
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
@@ -472,7 +648,14 @@ func doJSONHdr(ctx context.Context, client *http.Client, method, url, token stri
 		resp.Body.Close()
 	}()
 	if out != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(io.LimitReader(resp.Body, maxBody)).Decode(out); err != nil {
+		b, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+		if err != nil {
+			return resp.StatusCode, resp.Header, err
+		}
+		if want := resp.Header.Get(sumHeader); want != "" && want != bodySum(b) {
+			return resp.StatusCode, resp.Header, fmt.Errorf("response body checksum mismatch (damaged in transit)")
+		}
+		if err := json.Unmarshal(b, out); err != nil {
 			return resp.StatusCode, resp.Header, err
 		}
 	}

@@ -47,6 +47,15 @@ type Server struct {
 	// time through an OnCollect hook.
 	reg *obs.Registry
 
+	// store, when non-nil, journals every sweep mutation so a restart
+	// resumes where this process left off. Set once by OpenState before
+	// Handler serves; handlers read it without s.mu.
+	store *stateStore
+	// draining flips on Drain(): leases stop, long-polls return
+	// immediately, and drainCh wakes parked result polls.
+	draining atomic.Bool
+	drainCh  chan struct{}
+
 	authFailures    atomic.Uint64
 	resultsStreamed atomic.Uint64
 
@@ -218,9 +227,144 @@ func NewServer(opts ServerOptions) *Server {
 		auth:    newAuthenticator(tenants, opts.now),
 		sweeps:  make(map[string]*sweepState),
 		byNonce: make(map[string]string),
+		drainCh: make(chan struct{}),
 	}
 	s.reg = s.newRegistry()
 	return s
+}
+
+// OpenState attaches a durable state directory (safespec-coordinator
+// -state-dir): sweeps journaled by a previous process are recovered —
+// completed results serve existing cursors, jobs whose leases died with
+// that process re-enter the queue — and every future sweep mutation is
+// journaled. Call it before Handler starts serving.
+func (s *Server) OpenState(dir string) error {
+	store, recovered, torn, err := openState(dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.store = store
+	var sweeps, results, requeued, dropped int
+	for _, rs := range recovered {
+		tenant := s.auth.byName(rs.Tenant)
+		if tenant == nil {
+			// The token file changed across the restart and the owner is
+			// gone. Every lookup is tenant-scoped, so an ownerless sweep
+			// would be unreachable forever; drop it instead of leaking it.
+			s.journal(journalRecord{Op: opClose, Sweep: rs.ID})
+			dropped++
+			continue
+		}
+		requeued += s.adoptLocked(rs, tenant)
+		sweeps++
+		results += len(rs.Log)
+	}
+	s.mu.Unlock()
+	s.opts.Log.Info("state recovered", "dir", dir, "sweeps", sweeps,
+		"results", results, "jobs_requeued", requeued,
+		"sweeps_dropped", dropped, "torn_bytes", torn)
+	return nil
+}
+
+// adoptLocked rebuilds one recovered sweep's live state: logged results
+// become completed slots (their ready channels already closed, the
+// completion log in its original order so client cursors keep indexing
+// correctly), and jobs without a result re-enter the coordinator queue —
+// their leases died with the previous process. Caller holds s.mu; returns
+// the number of requeued jobs.
+func (s *Server) adoptLocked(rs recoveredSweep, tenant *tenantState) int {
+	now := s.opts.now()
+	st := &sweepState{
+		id:       rs.ID,
+		nonce:    rs.Nonce,
+		tenant:   tenant,
+		slots:    make(map[int]*slot, len(rs.Jobs)),
+		logGrew:  make(chan struct{}),
+		created:  now,
+		lastSeen: now,
+	}
+	st.mu.Lock()
+	for i := range rs.Log {
+		res := rs.Log[i]
+		sl := &slot{job: res.Job, res: &res, ready: make(chan struct{})}
+		close(sl.ready)
+		st.slots[res.Index] = sl
+		st.log = append(st.log, res)
+		st.completed++
+		if res.Timing != nil {
+			st.spans.Add(*res.Timing)
+			st.timed++
+		}
+	}
+	requeue := make([]int, 0, len(rs.Jobs))
+	for idx := range rs.Jobs {
+		if _, done := st.slots[idx]; !done {
+			requeue = append(requeue, idx)
+		}
+	}
+	sort.Ints(requeue) // deterministic queue order across recoveries
+	for _, idx := range requeue {
+		s.enqueueSlotLocked(st, idx, rs.Jobs[idx])
+	}
+	st.mu.Unlock()
+	s.sweeps[st.id] = st
+	if st.nonce != "" {
+		s.byNonce[st.nonce] = st.id
+	}
+	tenant.activeSweeps++
+	return len(requeue)
+}
+
+// CloseState folds the journal into a final snapshot and closes the state
+// store (the graceful half of shutdown; kill -9 skips it and replays the
+// journal instead). The server must no longer be mutating sweeps.
+func (s *Server) CloseState() error {
+	s.mu.Lock()
+	store := s.store
+	if store == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	sweeps := make([]sweepSnapshot, 0, len(s.sweeps))
+	for _, st := range s.sweeps {
+		st.mu.Lock()
+		ss := sweepSnapshot{ID: st.id, Nonce: st.nonce, Tenant: st.tenant.Name,
+			Log: append([]sweep.Result(nil), st.log...)}
+		for idx, sl := range st.slots {
+			ss.Jobs = append(ss.Jobs, jobEntry{Index: idx, Job: sl.job})
+		}
+		st.mu.Unlock()
+		sort.Slice(ss.Jobs, func(i, j int) bool { return ss.Jobs[i].Index < ss.Jobs[j].Index })
+		sweeps = append(sweeps, ss)
+	}
+	s.mu.Unlock()
+	sort.Slice(sweeps, func(i, j int) bool { return sweeps[i].ID < sweeps[j].ID })
+	return store.close(sweeps)
+}
+
+// journal appends one mutation when a state store is attached. Failures
+// degrade durability, not the running process — the in-memory state stays
+// authoritative — so they are logged rather than failing the request.
+func (s *Server) journal(rec journalRecord) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.append(rec); err != nil {
+		s.opts.Log.Error("journal append failed", "op", rec.Op, "sweep", rec.Sweep, "err", err.Error())
+	}
+}
+
+// Drain puts the server into shutdown mode: the coordinator stops
+// granting leases (workers see an idle queue, not an error) and parked
+// result long-polls return their current batch immediately, so in-flight
+// client requests finish inside the drain deadline instead of holding the
+// HTTP server open for a full poll window.
+func (s *Server) Drain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.coord.drain()
+		close(s.drainCh)
+	}
 }
 
 // Stats snapshots the server and its embedded coordinator.
@@ -323,6 +467,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		created:  now,
 		lastSeen: now,
 	}
+	s.journal(journalRecord{Op: opOpen, Sweep: st.id, Nonce: sr.Nonce, Tenant: tenant.Name})
 	for i, j := range sr.Jobs {
 		s.addJob(st, i, j)
 	}
@@ -453,7 +598,7 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
 				http.StatusBadRequest)
 			return
 		}
-		if len(st.log) > after || time.Now().After(deadline) || wait <= 0 {
+		if len(st.log) > after || time.Now().After(deadline) || wait <= 0 || s.draining.Load() {
 			batch := ResultBatch{
 				SweepID:   st.id,
 				Next:      len(st.log),
@@ -474,6 +619,8 @@ func (s *Server) handleResults(w http.ResponseWriter, req *http.Request) {
 		case <-grew:
 			timer.Stop()
 		case <-timer.C:
+		case <-s.drainCh: // shutdown: next loop returns the current batch
+			timer.Stop()
 		case <-req.Context().Done():
 			timer.Stop()
 			return
@@ -519,6 +666,7 @@ func (s *Server) handleClose(w http.ResponseWriter, req *http.Request) {
 // releaseLocked removes a sweep from the server's indexes and returns its
 // quota slot to the owning tenant. Caller holds s.mu.
 func (s *Server) releaseLocked(st *sweepState) {
+	s.journal(journalRecord{Op: opClose, Sweep: st.id})
 	delete(s.sweeps, st.id)
 	if st.nonce != "" {
 		delete(s.byNonce, st.nonce)
@@ -559,6 +707,18 @@ func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
 	if _, dup := st.slots[index]; dup {
 		return true // idempotent resubmission
 	}
+	s.journal(journalRecord{Op: opJob, Sweep: st.id, Index: index, Job: &job})
+	s.enqueueSlotLocked(st, index, job)
+	return true
+}
+
+// enqueueSlotLocked creates the slot for one job and queues it on the
+// shared coordinator. Caller holds st.mu. The delivery closure journals
+// the result inside the same st.mu critical section that appends it to
+// the in-memory completion log, so journal order always equals log order
+// and a cursor a client held before a crash indexes the recovered log
+// identically.
+func (s *Server) enqueueSlotLocked(st *sweepState, index int, job sweep.Job) {
 	sl := &slot{job: job, ready: make(chan struct{})}
 	st.slots[index] = sl
 	sl.task = s.coord.enqueue(index, job, st.id, func(out outcome) {
@@ -570,6 +730,7 @@ func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
 			st.spans.Add(*out.timing)
 			st.timed++
 		}
+		s.journal(journalRecord{Op: opResult, Sweep: st.id, Result: res})
 		st.log = append(st.log, *res)
 		if st.logGrew != nil {
 			close(st.logGrew) // wake every batch long-poll
@@ -578,7 +739,6 @@ func (s *Server) addJob(st *sweepState, index int, job sweep.Job) bool {
 		st.mu.Unlock()
 		close(sl.ready)
 	})
-	return true
 }
 
 // abandonSweep withdraws a sweep's unfinished jobs from the coordinator

@@ -385,14 +385,15 @@ func TestReportTerminal4xx(t *testing.T) {
 	}{
 		{http.StatusBadRequest, 1, "permanently rejected"},
 		{http.StatusConflict, 1, "no longer valid"},
-		{http.StatusInternalServerError, 3, "unexpected status 500"},
+		{http.StatusInternalServerError, 8, "unexpected status 500"},
 	} {
 		var calls atomic.Int32
 		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 			calls.Add(1)
 			http.Error(w, "nope", tc.status)
 		}))
-		w := &Worker{Coordinator: srv.URL}
+		w := &Worker{Coordinator: srv.URL,
+			sleepFn: func(ctx context.Context, d time.Duration) bool { return true }}
 		err := w.report(context.Background(), srv.Client(), "lease-1",
 			sweep.Result{Err: errors.New("job error")})
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {

@@ -94,10 +94,11 @@ func TestResultBatchCursor(t *testing.T) {
 }
 
 // TestStreamCoordinatorRestart: a RemoteExecutor whose coordinator restarts
-// mid-stream must fail every in-flight Execute with the sweep-expired error
-// — and because restarted coordinators assign fresh random sweep ids, it
-// can never silently adopt a sweep some other client opened after the
-// restart.
+// mid-stream (losing all state) re-resolves its sweep by submission nonce,
+// re-submits the jobs the restarted process never saw, and completes every
+// in-flight Execute — and because restarted coordinators assign fresh random
+// sweep ids, it never silently adopts a sweep some other client opened after
+// the restart.
 func TestStreamCoordinatorRestart(t *testing.T) {
 	var handler atomic.Value // http.Handler
 	before := NewServer(ServerOptions{})
@@ -116,11 +117,15 @@ func TestStreamCoordinatorRestart(t *testing.T) {
 	oldID := re.sweepID
 	re.mu.Unlock()
 
-	errc := make(chan error, len(jobs))
+	type outcome struct {
+		res *core.Results
+		err error
+	}
+	outc := make(chan outcome, len(jobs))
 	for i, j := range jobs {
 		go func() {
-			_, err := re.Execute(context.Background(), i, j)
-			errc <- err
+			res, err := re.Execute(context.Background(), i, j)
+			outc <- outcome{res, err}
 		}()
 	}
 	// Wait until the stream is live (a waiter is parked), then "restart" the
@@ -137,7 +142,7 @@ func TestStreamCoordinatorRestart(t *testing.T) {
 	after := NewServer(ServerOptions{})
 	handler.Store(after.Handler())
 	// Another client opens a sweep on the restarted coordinator; the old id
-	// must not resolve to it.
+	// must not resolve to it, and recovery must not adopt it.
 	var foreign SubmitResponse
 	if _, err := doJSON(context.Background(), srv.Client(), http.MethodPost,
 		srv.URL+"/v1/sweeps", "", SubmitRequest{Jobs: jobs}, &foreign); err != nil {
@@ -147,19 +152,28 @@ func TestStreamCoordinatorRestart(t *testing.T) {
 		t.Fatalf("restarted coordinator reissued sweep id %s", oldID)
 	}
 
+	stop := startWorkers(t, srv.URL, 1)
+	defer stop()
 	for range jobs {
 		select {
-		case err := <-errc:
-			if err == nil || !strings.Contains(err.Error(), "expired on coordinator") {
-				t.Errorf("want sweep-expired error, got %v", err)
+		case out := <-outc:
+			if out.err != nil {
+				t.Errorf("Execute through restart: %v", out.err)
+			} else if out.res == nil || out.res.Committed == 0 {
+				t.Errorf("Execute through restart returned empty result %+v", out.res)
 			}
 		case <-time.After(30 * time.Second):
 			t.Fatal("Execute hung through the coordinator restart")
 		}
 	}
-	// The foreign sweep's queue is untouched: both its jobs still pending.
-	if s := after.Stats(); s.Pending != len(jobs) || s.Sweeps != 1 {
-		t.Errorf("restart survivor disturbed the foreign sweep: %+v", s)
+	re.mu.Lock()
+	newID := re.sweepID
+	re.mu.Unlock()
+	if newID == oldID {
+		t.Errorf("executor kept dead sweep id %s through the restart", oldID)
+	}
+	if newID == foreign.SweepID {
+		t.Errorf("recovery adopted the foreign sweep %s", foreign.SweepID)
 	}
 	if err := re.Close(); err != nil {
 		t.Errorf("close after restart: %v", err)

@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"safespec/internal/backoff"
 	"safespec/internal/obs"
 	"safespec/internal/sweep"
 )
@@ -141,7 +142,11 @@ func (w *Worker) Run(ctx context.Context) error {
 func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 	exec sweep.Executor, poll time.Duration) error {
 	log := w.log().With("worker", w.ID, "loop", loop)
-	backoff := poll
+	// The lease backoff schedule: first retry after one poll interval,
+	// doubling to 16x. failures counts consecutive lease faults (transport
+	// or 429) and resets on any answer from a healthy queue.
+	leaseRetry := backoff.Policy{Base: poll, Cap: 16 * poll}
+	failures := 0
 	var unreachableSince time.Time
 	for {
 		if ctx.Err() != nil {
@@ -163,10 +168,8 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 			// rate-limited coordinator is a reachable coordinator). The
 			// coordinator's Retry-After is authoritative when present; the
 			// doubling backoff covers coordinators that omit it.
-			pause := backoff
-			if hint > 0 {
-				pause = hint
-			}
+			pause := leaseRetry.PauseHint(failures, hint)
+			failures++
 			if w.Metrics != nil {
 				w.Metrics.Backoff429.Inc()
 			}
@@ -174,7 +177,6 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 			if !w.sleep(ctx, pause) {
 				return nil
 			}
-			backoff = min(2*backoff, 16*poll)
 			continue
 		case err != nil:
 			if unreachableSince.IsZero() {
@@ -184,20 +186,21 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 				return fmt.Errorf("grid: coordinator %s unreachable for %v: %w",
 					w.Coordinator, w.MaxIdle, err)
 			}
-			log.Warn("lease failed, backing off", "err", err.Error(), "pause", backoff.String())
-			if !w.sleep(ctx, backoff) {
+			pause := leaseRetry.Pause(failures)
+			failures++
+			log.Warn("lease failed, backing off", "err", err.Error(), "pause", pause.String())
+			if !w.sleep(ctx, pause) {
 				return nil
 			}
-			backoff = min(2*backoff, 16*poll)
 			continue
 		case !ok: // empty queue
-			unreachableSince, backoff = time.Time{}, poll
+			unreachableSince, failures = time.Time{}, 0
 			if !w.sleep(ctx, poll) {
 				return nil
 			}
 			continue
 		}
-		unreachableSince, backoff = time.Time{}, poll
+		unreachableSince, failures = time.Time{}, 0
 		if w.Metrics != nil {
 			w.Metrics.Leased.Inc()
 		}
@@ -312,28 +315,33 @@ func (w *Worker) lease(ctx context.Context, client *http.Client, loop int) (Leas
 	}
 }
 
-// report posts a finished lease, retrying transient transport errors a few
-// times before giving the job back to the coordinator via lease expiry.
-// Any 4xx other than 409 (stale lease, reported by the caller) and 429
-// (tenant rate limit — the limiter is asking for a backoff, and the
-// detached final report on shutdown must survive it too, or completed work
-// would be thrown away and redone) is terminal: the coordinator rejected
-// the payload itself, and retrying the same bytes can only fail the same
-// way. A 429 carrying Retry-After waits exactly that long.
+// reportTransport and reportRate are the report retry schedules: transport
+// faults and 5xx ride a fast doubling schedule whose eight attempts fit
+// the 10-second detached-report budget a shutting-down worker gets (a
+// coordinator mid-restart refuses connections for a few seconds — a
+// finished result must survive that, not be thrown away and re-simulated);
+// rate-limit rejections wait on the coarser bucket-refill scale.
+var (
+	reportTransport = backoff.Policy{Base: 200 * time.Millisecond, Cap: 2 * time.Second}
+	reportRate      = backoff.Policy{Base: time.Second, Cap: 8 * time.Second}
+)
+
+// report posts a finished lease, retrying transport errors and 5xx until
+// its backoff budget runs out, then giving the job back to the coordinator
+// via lease expiry. Any 4xx other than 409 (stale lease, reported by the
+// caller) and 429 (tenant rate limit — the limiter is asking for a
+// backoff, and the detached final report on shutdown must survive it too)
+// is terminal: the coordinator rejected the payload itself, and retrying
+// the same bytes can only fail the same way. A 429 carrying Retry-After
+// waits exactly that long.
 func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string, r sweep.Result) error {
 	var err error
 	var hint time.Duration
-	for attempt := 0; attempt < 3; attempt++ {
+	for attempt := 0; attempt < 8; attempt++ {
 		if attempt > 0 {
-			// Rate-limit rejections wait for the bucket to refill (preferring
-			// the coordinator's own Retry-After estimate); transport retries
-			// only need to skip a blip.
-			pause := time.Duration(attempt) * 200 * time.Millisecond
+			pause := reportTransport.Pause(attempt - 1)
 			if errors.Is(err, errRateLimited) {
-				pause = time.Duration(attempt) * time.Second
-				if hint > 0 {
-					pause = hint
-				}
+				pause = reportRate.PauseHint(attempt-1, hint)
 			}
 			if !w.sleep(ctx, pause) {
 				return ctx.Err()

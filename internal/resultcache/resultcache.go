@@ -23,6 +23,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sort"
@@ -45,22 +46,50 @@ const FormatVersion = 1
 type Cache struct {
 	dir string
 
+	// readFault, when non-nil, transforms raw entry bytes right after they
+	// are read from disk — a test seam for fault injection (see
+	// internal/chaos), so corruption-tolerance tests exercise the same
+	// verification path a flipped disk bit would.
+	readFault func([]byte) []byte
+
 	// hits/misses/puts/errs count Get/Put outcomes (errs counts corrupt or
 	// unreadable entries and failed writes, which degrade to misses rather
 	// than failing the sweep).
 	hits, misses, puts, errs atomic.Uint64
 }
 
+// SetReadFault installs f as a read-time corruption hook (test seam; nil
+// clears it). Set before concurrent use.
+func (c *Cache) SetReadFault(f func([]byte) []byte) { c.readFault = f }
+
 // Stats is a snapshot of the cache counters.
 type Stats struct {
 	Hits, Misses, Puts, Errors uint64
 }
 
-// envelope is the on-disk entry format.
+// envelope is the on-disk entry format. Sum is a CRC32-IEEE checksum
+// (lowercase hex) over the result's canonical JSON encoding: a flipped bit
+// inside a numeric field still parses as valid JSON, and without the
+// checksum it would silently poison every sweep that hits the entry.
+// Entries written before the field (empty Sum) are accepted unverified, so
+// FormatVersion stays 1.
 type envelope struct {
 	Version int           `json:"version"`
 	Key     string        `json:"key"`
+	Sum     string        `json:"sum,omitempty"`
 	Res     *core.Results `json:"res"`
+}
+
+// resSum is the checksum stored in envelope.Sum: CRC32-IEEE over the
+// result's own JSON encoding (deterministic — all fields are ordered
+// struct members). Verification re-encodes the parsed result, so any
+// in-band damage that survived the JSON parse changes the digest.
+func resSum(res *core.Results) (string, error) {
+	b, err := json.Marshal(res)
+	if err != nil {
+		return "", err
+	}
+	return strconv.FormatUint(uint64(crc32.ChecksumIEEE(b)), 16), nil
 }
 
 // Open creates (or reuses) a cache directory, enforcing the format version.
@@ -112,6 +141,9 @@ func (c *Cache) Get(key string) (*core.Results, bool, error) {
 		c.errs.Add(1)
 		return nil, false, fmt.Errorf("resultcache: %w", err)
 	}
+	if c.readFault != nil {
+		b = c.readFault(b)
+	}
 	var e envelope
 	if err := json.Unmarshal(b, &e); err != nil {
 		c.errs.Add(1)
@@ -121,6 +153,13 @@ func (c *Cache) Get(key string) (*core.Results, bool, error) {
 		c.errs.Add(1)
 		return nil, false, fmt.Errorf("resultcache: entry %s does not match its address (version %d, key %q)",
 			key, e.Version, e.Key)
+	}
+	if e.Sum != "" {
+		sum, serr := resSum(e.Res)
+		if serr != nil || sum != e.Sum {
+			c.errs.Add(1)
+			return nil, false, fmt.Errorf("resultcache: entry %s failed its checksum (bit rot or damaged write)", key)
+		}
 	}
 	c.hits.Add(1)
 	return e.Res, true, nil
@@ -135,8 +174,12 @@ func (c *Cache) Put(key string, res *core.Results) error {
 	if res == nil {
 		return fmt.Errorf("resultcache: refusing to store nil result under %s", key)
 	}
+	sum, err := resSum(res)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
 	var buf bytes.Buffer
-	if err := json.NewEncoder(&buf).Encode(envelope{Version: FormatVersion, Key: key, Res: res}); err != nil {
+	if err := json.NewEncoder(&buf).Encode(envelope{Version: FormatVersion, Key: key, Sum: sum, Res: res}); err != nil {
 		return fmt.Errorf("resultcache: %w", err)
 	}
 	dst := c.path(key)

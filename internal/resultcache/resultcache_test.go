@@ -3,12 +3,14 @@ package resultcache
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
 
 	"safespec/internal/core"
+	"safespec/internal/pipeline"
 	"safespec/internal/sweep"
 )
 
@@ -214,5 +216,95 @@ func TestSharedAcrossSeeds(t *testing.T) {
 	// 3 modes x 3 seeds, of which 3 cells (seed 5, each mode) are cached.
 	if got, want := counting.executed.Load(), int64(len(jobs3)-len(jobs1)); got != want {
 		t.Errorf("fan run executed %d, want %d (seed-5 cells should hit)", got, want)
+	}
+}
+
+// TestChecksumCatchesInBandDamage: a flipped byte inside a numeric result
+// field still parses as valid JSON — only the entry checksum can catch it.
+// Such an entry must error (degrading to a miss), never serve a wrong
+// number into a sweep.
+func TestChecksumCatchesInBandDamage(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "abcd1234"
+	res := &core.Results{Stats: &pipeline.Stats{Committed: 1111, Cycles: 2222}}
+	if err := cache.Put(key, res); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(cache.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one digit of Committed: 1111 -> 1911. The envelope still parses.
+	damaged := bytes.Replace(b, []byte("1111"), []byte("1911"), 1)
+	if bytes.Equal(damaged, b) {
+		t.Fatal("test setup: payload digits not found in entry")
+	}
+	if err := os.WriteFile(cache.path(key), damaged, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, err := cache.Get(key); ok || err == nil {
+		t.Fatalf("damaged entry served: ok=%v err=%v res=%+v", ok, err, got)
+	}
+	if s := cache.Stats(); s.Errors == 0 {
+		t.Errorf("in-band damage not surfaced in counters: %+v", s)
+	}
+}
+
+// TestSumlessEntryAccepted: entries written before the checksum field
+// (FormatVersion unchanged) are served unverified rather than invalidated.
+func TestSumlessEntryAccepted(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "ef567890"
+	res := &core.Results{Stats: &pipeline.Stats{Committed: 42}}
+	old, err := json.Marshal(envelope{Version: FormatVersion, Key: key, Res: res})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(cache.path(key)), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(cache.path(key), old, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cache.Get(key)
+	if err != nil || !ok || got.Committed != 42 {
+		t.Fatalf("pre-checksum entry rejected: ok=%v err=%v res=%+v", ok, err, got)
+	}
+}
+
+// TestReadFaultSeam: the chaos hook corrupts bytes between disk and parse,
+// and the checksum turns that into a counted miss; clearing the hook
+// restores the hit.
+func TestReadFaultSeam(t *testing.T) {
+	cache, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const key = "0badf00d"
+	if err := cache.Put(key, &core.Results{Stats: &pipeline.Stats{Committed: 9}}); err != nil {
+		t.Fatal(err)
+	}
+	cache.SetReadFault(func(b []byte) []byte {
+		c := append([]byte(nil), b...)
+		// Damage the res section, not the envelope frame, so the JSON still
+		// parses and only the checksum can object.
+		if i := bytes.LastIndexByte(c, '9'); i >= 0 {
+			c[i] = '7'
+		}
+		return c
+	})
+	if _, ok, err := cache.Get(key); ok || err == nil {
+		t.Fatalf("corrupted read served: ok=%v err=%v", ok, err)
+	}
+	cache.SetReadFault(nil)
+	got, ok, err := cache.Get(key)
+	if err != nil || !ok || got.Committed != 9 {
+		t.Fatalf("clean read after clearing the fault: ok=%v err=%v res=%+v", ok, err, got)
 	}
 }
