@@ -302,8 +302,8 @@ func sweepConfig(o options) (figures.SweepConfig, error) {
 func buildExecutor(o options, log *slog.Logger) (exec sweep.Executor, finish func(), err error) {
 	finish = func() {}
 	reportGrid := func(s grid.ServerSnapshot) {
-		fmt.Fprintf(o.info, "grid: leases granted=%d completed=%d requeued=%d failed=%d\n",
-			s.Granted, s.Completed, s.Requeued, s.Failed)
+		fmt.Fprintf(o.info, "grid: leases granted=%d completed=%d requeued=%d failed=%d incidents=%d quarantined=%d hedged=%d\n",
+			s.Granted, s.Completed, s.Requeued, s.Failed, s.Incidents, s.Quarantined, s.Hedged)
 	}
 	switch {
 	case o.serve != "":

@@ -58,6 +58,8 @@ type config struct {
 	logLevel    string
 	logFormat   string
 	pprofAddr   string
+	memLimitMB  int
+	heartbeat   time.Duration
 }
 
 func main() {
@@ -73,7 +75,9 @@ func main() {
 	flag.BoolVar(&c.quiet, "quiet", false, "suppress per-job progress lines (same as -log-level warn)")
 	flag.StringVar(&c.logLevel, "log-level", "info", "log level: debug|info|warn|error")
 	flag.StringVar(&c.logFormat, "log-format", "text", "log format: text|json")
-	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof and Prometheus /metrics on this address (e.g. 127.0.0.1:6061)")
+	flag.StringVar(&c.pprofAddr, "pprof", "", "serve net/http/pprof, Prometheus /metrics and the /healthz and /readyz probes on this address (e.g. 127.0.0.1:6061)")
+	flag.IntVar(&c.memLimitMB, "mem-limit-mb", 0, "soft heap limit in MiB: a job running while the process heap exceeds it is contained as a memory incident (0 = off)")
+	flag.DurationVar(&c.heartbeat, "heartbeat", 15*time.Second, "interval for /v1/heartbeat liveness beacons to the coordinator (0 = lease polls only)")
 	flag.Parse()
 
 	if c.quiet && c.logLevel == "info" {
@@ -130,18 +134,6 @@ func run(ctx context.Context, c config, log *slog.Logger) error {
 		exec = resultcache.NewExecutor(cache, nil)
 	}
 
-	if c.pprofAddr != "" {
-		ops := http.NewServeMux()
-		ops.Handle("GET /metrics", reg.Handler())
-		addr, err := pprofserve.Serve(c.pprofAddr, ops)
-		if err != nil {
-			return err
-		}
-		log.Info("ops listener up", "addr", addr.String(),
-			"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr),
-			"metrics", fmt.Sprintf("http://%s/metrics", addr))
-	}
-
 	w := &grid.Worker{
 		Coordinator: c.coordinator,
 		Token:       c.token,
@@ -150,9 +142,39 @@ func run(ctx context.Context, c config, log *slog.Logger) error {
 		Exec:        exec,
 		Poll:        c.poll,
 		MaxIdle:     c.maxIdle,
+		MemLimit:    int64(c.memLimitMB) << 20,
+		Heartbeat:   c.heartbeat,
 		Client:      client,
 		Log:         log,
 		Metrics:     metrics,
+	}
+
+	if c.pprofAddr != "" {
+		ops := http.NewServeMux()
+		ops.Handle("GET /metrics", reg.Handler())
+		// /healthz is liveness (the process is up); /readyz is readiness —
+		// the last lease attempt reached the coordinator, so this worker is
+		// actually able to take jobs.
+		ops.HandleFunc("GET /healthz", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			fmt.Fprintln(rw, "ok")
+		})
+		ops.HandleFunc("GET /readyz", func(rw http.ResponseWriter, _ *http.Request) {
+			rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if !w.Ready() {
+				rw.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintln(rw, "coordinator unreachable")
+				return
+			}
+			fmt.Fprintln(rw, "ok")
+		})
+		addr, err := pprofserve.Serve(c.pprofAddr, ops)
+		if err != nil {
+			return err
+		}
+		log.Info("ops listener up", "addr", addr.String(),
+			"pprof", fmt.Sprintf("http://%s/debug/pprof/", addr),
+			"metrics", fmt.Sprintf("http://%s/metrics", addr))
 	}
 	return w.Run(ctx)
 }

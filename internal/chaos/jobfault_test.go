@@ -1,0 +1,134 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"safespec/internal/core"
+	"safespec/internal/sweep"
+)
+
+func faultJobs(t *testing.T) []sweep.Job {
+	t.Helper()
+	spec := sweep.Quick()
+	spec.Instructions = 2_000
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// nopExecutor records calls without simulating anything.
+type nopExecutor struct{ calls int }
+
+func (e *nopExecutor) Execute(ctx context.Context, index int, j sweep.Job) (*core.Results, error) {
+	e.calls++
+	return &core.Results{}, nil
+}
+
+// TestJobFaultClassifyDeterministic pins the injector's core contract: the
+// fault assigned to a job is a pure function of (job, seed) — stable
+// across calls, across injector instances, and insensitive to job order —
+// so a poison job draws the same fault on every worker in a fleet.
+func TestJobFaultClassifyDeterministic(t *testing.T) {
+	jobs := faultJobs(t)
+	cfg := JobFaults{Seed: 7, Panic: 0.2, Stall: 0.2, Alloc: 0.2}
+	a, b := NewJobInjector(cfg), NewJobInjector(cfg)
+	for _, j := range jobs {
+		if got, want := a.Classify(j), b.Classify(j); got != want {
+			t.Fatalf("job %s: instance disagreement %q vs %q", j, got, want)
+		}
+		if first, again := a.Classify(j), a.Classify(j); first != again {
+			t.Fatalf("job %s: unstable classification %q vs %q", j, first, again)
+		}
+	}
+
+	// A different seed must reshuffle at least one assignment, or seeds
+	// would be dead config.
+	other := NewJobInjector(JobFaults{Seed: 8, Panic: 0.2, Stall: 0.2, Alloc: 0.2})
+	moved := false
+	for _, j := range jobs {
+		if a.Classify(j) != other.Classify(j) {
+			moved = true
+			break
+		}
+	}
+	if !moved {
+		t.Fatal("seed change did not move any assignment")
+	}
+}
+
+// TestJobFaultPanicDeterministicMessage checks the panic class fires with
+// a message derived only from the job name, so the error row a quarantined
+// job produces is byte-stable across runs.
+func TestJobFaultPanicDeterministicMessage(t *testing.T) {
+	jobs := faultJobs(t)
+	ji := NewJobInjector(JobFaults{Seed: 1, Panic: 1})
+	exec := ji.WrapExecutor(&nopExecutor{})
+	j := jobs[0]
+
+	catch := func() (msg string) {
+		defer func() { msg = fmt.Sprintf("%v", recover()) }()
+		exec.Execute(context.Background(), 0, j)
+		return ""
+	}
+	want := fmt.Sprintf("chaos: injected poison panic for job %s", j)
+	if got := catch(); got != want {
+		t.Fatalf("panic message %q, want %q", got, want)
+	}
+	if got := catch(); got != want {
+		t.Fatalf("second panic message %q, want %q", got, want)
+	}
+	if st := ji.JobStats(); st.Panics != 2 || st.Passed != 0 {
+		t.Fatalf("stats %+v, want 2 panics", st)
+	}
+	if !strings.Contains(want, j.Bench) {
+		t.Fatalf("panic message %q does not name the bench", want)
+	}
+}
+
+// TestJobFaultStallHonorsContext checks an injected stall aborts promptly
+// on context cancellation instead of pinning a shutdown for StallFor.
+func TestJobFaultStallHonorsContext(t *testing.T) {
+	jobs := faultJobs(t)
+	ji := NewJobInjector(JobFaults{Seed: 1, Stall: 1, StallFor: time.Minute})
+	inner := &nopExecutor{}
+	exec := ji.WrapExecutor(inner)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := exec.Execute(ctx, 0, jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("stall ignored cancellation, took %s", d)
+	}
+	if st := ji.JobStats(); st.Stalls != 1 {
+		t.Fatalf("stats %+v, want 1 stall", st)
+	}
+	if inner.calls != 1 {
+		t.Fatalf("inner executor called %d times, want 1", inner.calls)
+	}
+}
+
+// TestJobFaultCleanPassThrough checks a zero-probability injector is a
+// transparent wrapper that only counts.
+func TestJobFaultCleanPassThrough(t *testing.T) {
+	jobs := faultJobs(t)
+	ji := NewJobInjector(JobFaults{Seed: 3})
+	inner := &nopExecutor{}
+	exec := ji.WrapExecutor(inner)
+	for i, j := range jobs {
+		if _, err := exec.Execute(context.Background(), i, j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := ji.JobStats(); st.Passed != uint64(len(jobs)) || st.Panics+st.Stalls+st.Allocs != 0 {
+		t.Fatalf("stats %+v, want %d clean passes", st, len(jobs))
+	}
+}

@@ -17,6 +17,8 @@
 //
 //	POST   /v1/lease             LeaseRequest  -> 200 LeaseResponse | 204 (no work)
 //	POST   /v1/result            ResultRequest -> 200 | 409 (lease unknown or expired)
+//	POST   /v1/incident          IncidentRequest -> 200 | 409 (lease unknown)
+//	POST   /v1/heartbeat         HeartbeatRequest -> 200
 //	GET    /v1/stats                           -> 200 Snapshot (ServerSnapshot on a Server)
 //	POST   /v1/sweeps            SubmitRequest -> 200 SubmitResponse
 //	POST   /v1/sweeps/{id}/jobs  JobRequest    -> 200 (idempotent per index)
@@ -36,6 +38,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -84,6 +87,16 @@ type Snapshot struct {
 	Completed uint64 `json:"completed"`
 	Requeued  uint64 `json:"requeued"`
 	Failed    uint64 `json:"failed"`
+	// Incidents counts contained worker failures (panic/timeout/memory)
+	// reported through /v1/incident; Quarantined counts jobs completed as
+	// poison after incidents on enough distinct workers; Hedged counts
+	// duplicate tail leases issued against stalled workers.
+	Incidents   uint64 `json:"incidents"`
+	Quarantined uint64 `json:"quarantined"`
+	Hedged      uint64 `json:"hedged"`
+	// Workers is the health registry, sorted by worker id (omitted before
+	// any worker has made contact).
+	Workers []WorkerHealthSnapshot `json:"workers,omitempty"`
 }
 
 // Options configures a Coordinator.
@@ -94,6 +107,24 @@ type Options struct {
 	// MaxAttempts bounds how many times one job may be leased before its
 	// lost leases are converted into a job error (default 5).
 	MaxAttempts int
+	// QuarantineAfter quarantines a job once incidents have been reported
+	// against it from this many distinct workers (default 2, so one
+	// worker's local trouble never condemns a job; 1 quarantines on the
+	// first incident).
+	QuarantineAfter int
+	// UnhealthyAfter is the decayed penalty score at or above which a
+	// worker is refused leases while a healthy worker is live (default 4:
+	// two lease expiries or two incidents inside one half-life).
+	UnhealthyAfter float64
+	// HealthHalfLife is the penalty decay half-life (default 5 minutes).
+	HealthHalfLife time.Duration
+	// HedgeAfter tunes tail-lease hedging: once the queue is empty and a
+	// remaining lease is older than this, a duplicate hedge lease is issued
+	// to the next healthy poller. 0 (the default) adapts the threshold to
+	// the fleet — twice the p95 of observed lease durations, at least
+	// 500ms, once 8 completions have been sampled; negative disables
+	// hedging entirely.
+	HedgeAfter time.Duration
 	// now is a test seam for the lease clock.
 	now func() time.Time
 }
@@ -114,6 +145,10 @@ type task struct {
 	expired   []string      // this task's entries in Coordinator.expired
 	completed bool          // outcome delivered (exactly once)
 	cancelled bool          // Execute abandoned the job (ctx cancellation)
+
+	worker    string         // base worker id of the most recent grant
+	incidents []taskIncident // contained failures reported against this job
+	hedged    bool           // a duplicate tail lease was issued (once per task)
 }
 
 type outcome struct {
@@ -143,6 +178,12 @@ type Coordinator struct {
 	// the metrics histograms. Set before any worker traffic, never after.
 	observe func(sweep.Result)
 
+	// onIncident, when non-nil, receives every accepted incident (under
+	// c.mu); the Server wires it to the state journal so quarantine
+	// history survives a restart. The journal's mutex is the innermost
+	// lock, so appending under c.mu is safe.
+	onIncident func(sweepID string, index int, inc taskIncident)
+
 	// draining stops lease grants during graceful shutdown: workers see an
 	// empty queue (204) and idle, while in-flight results are still
 	// accepted — finished work is never thrown away at the door.
@@ -157,6 +198,21 @@ type Coordinator struct {
 	seq uint64 // lease id counter
 
 	granted, completed, requeued, failed uint64
+	incidents, quarantined, hedged       uint64
+
+	// workers is the health registry (see health.go); lastPrune rate-limits
+	// its idle-entry sweep.
+	workers   map[string]*workerHealth
+	lastPrune time.Time
+
+	// durs is a ring of recent lease durations (grant to accepted result)
+	// feeding the adaptive hedge threshold; hedgeThr/hedgeThrAt cache the
+	// computed quantile for a second so lease polls stay O(1).
+	durs       [256]time.Duration
+	durN       int // filled entries (caps at len(durs))
+	durIdx     int // next write position
+	hedgeThr   time.Duration
+	hedgeThrAt time.Time
 }
 
 // NewCoordinator builds a coordinator with defaults applied.
@@ -167,6 +223,15 @@ func NewCoordinator(opts Options) *Coordinator {
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 5
 	}
+	if opts.QuarantineAfter <= 0 {
+		opts.QuarantineAfter = 2
+	}
+	if opts.UnhealthyAfter <= 0 {
+		opts.UnhealthyAfter = 4
+	}
+	if opts.HealthHalfLife <= 0 {
+		opts.HealthHalfLife = 5 * time.Minute
+	}
 	if opts.now == nil {
 		opts.now = time.Now
 	}
@@ -175,6 +240,7 @@ func NewCoordinator(opts Options) *Coordinator {
 		pending: list.New(),
 		leases:  make(map[string]*task),
 		expired: make(map[string]*task),
+		workers: make(map[string]*workerHealth),
 	}
 }
 
@@ -265,6 +331,12 @@ func (c *Coordinator) requeueExpiredLocked(now time.Time) (exhausted []*task) {
 		}
 		delete(c.leases, id)
 		t.leaseID = ""
+		// An expired lease is a crash, wedge or partition on the holder:
+		// charge its health score so repeat offenders rotate out of grants.
+		if wh := c.workers[t.worker]; wh != nil {
+			wh.expiries++
+			c.penalizeLocked(wh, expiryPenalty, now)
+		}
 		if t.attempts >= c.opts.MaxAttempts {
 			c.failed++
 			t.completed = true
@@ -285,34 +357,57 @@ func (c *Coordinator) requeueExpiredLocked(now time.Time) (exhausted []*task) {
 func (c *Coordinator) drain() { c.draining.Store(true) }
 
 // lease hands the oldest pending job to a worker (none while draining).
-func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
+// worker labels the lease id (free-form, typically "id/loop"); base is the
+// worker's registry identity for health scoring. An unhealthy worker is
+// answered as if the queue were empty — but only while a healthy worker
+// has been heard from recently, so a degraded fleet degrades to the old
+// grant-to-anyone behavior instead of stalling. When the queue is empty
+// but leases remain, the poll may hedge a stalled tail lease (see
+// maybeHedgeLocked) and immediately grant the duplicate.
+func (c *Coordinator) lease(worker, base string) (LeaseResponse, bool) {
 	if c.draining.Load() {
 		return LeaseResponse{}, false
 	}
 	c.mu.Lock()
 	now := c.opts.now()
+	wh := c.touchWorkerLocked(base, now)
 	exhausted := c.requeueExpiredLocked(now)
 	var resp LeaseResponse
 	var ok bool
-	if front := c.pending.Front(); front != nil {
-		t := front.Value.(*task)
-		c.pending.Remove(front)
-		t.elem = nil
-		c.seq++
-		t.leaseID = fmt.Sprintf("%s-%d", worker, c.seq)
-		t.deadline = now.Add(c.opts.LeaseTTL)
-		t.granted = now
-		t.attempts++
-		c.granted++
-		c.leases[t.leaseID] = t
-		resp = LeaseResponse{
-			LeaseID: t.leaseID,
-			Index:   t.index,
-			Job:     t.job,
-			TTLMS:   c.opts.LeaseTTL.Milliseconds(),
-			SweepID: t.sweepID,
+	if c.healthyLocked(wh, now) || !c.anyOtherHealthyLocked(base, now) {
+		if c.pending.Len() == 0 {
+			c.maybeHedgeLocked(now)
 		}
-		ok = true
+		for e := c.pending.Front(); e != nil; e = e.Next() {
+			t := e.Value.(*task)
+			if t.hedged && t.worker == base && c.anyOtherHealthyLocked(base, now) {
+				// A hedge exists to escape the worker already stuck on the
+				// job; hand it to someone else while someone else is live.
+				continue
+			}
+			c.pending.Remove(e)
+			t.elem = nil
+			c.seq++
+			t.leaseID = fmt.Sprintf("%s-%d", worker, c.seq)
+			t.deadline = now.Add(c.opts.LeaseTTL)
+			t.granted = now
+			t.worker = base
+			t.attempts++
+			c.granted++
+			if wh != nil {
+				wh.leased++
+			}
+			c.leases[t.leaseID] = t
+			resp = LeaseResponse{
+				LeaseID: t.leaseID,
+				Index:   t.index,
+				Job:     t.job,
+				TTLMS:   c.opts.LeaseTTL.Milliseconds(),
+				SweepID: t.sweepID,
+			}
+			ok = true
+			break
+		}
 	}
 	c.mu.Unlock()
 	for _, t := range exhausted {
@@ -322,15 +417,97 @@ func (c *Coordinator) lease(worker string) (LeaseResponse, bool) {
 	return resp, ok
 }
 
+// maybeHedgeLocked issues at most one duplicate lease against the oldest
+// stalled tail lease: the lease id moves to the expired index (the
+// original holder's late result is still welcome — first report wins, the
+// loser's gets 409 and is discarded, so output stays byte-identical) and
+// the task re-enters the queue front for the polling worker to take.
+// Caller holds c.mu and has verified the queue is empty.
+func (c *Coordinator) maybeHedgeLocked(now time.Time) {
+	if len(c.leases) == 0 {
+		return
+	}
+	thr := c.hedgeThresholdLocked(now)
+	if thr <= 0 {
+		return
+	}
+	var best *task
+	var bestID string
+	for id, t := range c.leases {
+		if t.hedged || t.attempts >= c.opts.MaxAttempts {
+			continue // one hedge per task; never hedge past the attempt bound
+		}
+		if now.Sub(t.granted) < thr {
+			continue
+		}
+		if best == nil || t.granted.Before(best.granted) {
+			best, bestID = t, id
+		}
+	}
+	if best == nil {
+		return
+	}
+	delete(c.leases, bestID)
+	c.expired[bestID] = best
+	best.expired = append(best.expired, bestID)
+	best.leaseID = ""
+	best.hedged = true
+	c.hedged++
+	best.elem = c.pending.PushFront(best)
+}
+
+// hedgeThresholdLocked returns the lease age beyond which a tail lease is
+// hedged (0 disables). An explicit HedgeAfter wins; the adaptive default
+// needs a sample base and recomputes its quantile at most once a second.
+func (c *Coordinator) hedgeThresholdLocked(now time.Time) time.Duration {
+	if c.opts.HedgeAfter != 0 {
+		return c.opts.HedgeAfter // negative disables
+	}
+	const (
+		minSamples = 8
+		floor      = 500 * time.Millisecond
+	)
+	if c.durN < minSamples {
+		return 0
+	}
+	if !c.hedgeThrAt.IsZero() && now.Sub(c.hedgeThrAt) < time.Second {
+		return c.hedgeThr
+	}
+	samples := make([]time.Duration, c.durN)
+	copy(samples, c.durs[:c.durN])
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	p95 := samples[(len(samples)*95+99)/100-1]
+	c.hedgeThr = max(2*p95, floor)
+	c.hedgeThrAt = now
+	return c.hedgeThr
+}
+
+// recordDurationLocked feeds one completed lease's grant-to-report
+// duration into the hedge sample ring. Caller holds c.mu.
+func (c *Coordinator) recordDurationLocked(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.durs[c.durIdx] = d
+	c.durIdx = (c.durIdx + 1) % len(c.durs)
+	if c.durN < len(c.durs) {
+		c.durN++
+	}
+}
+
 // complete resolves a lease with its reported result. An expired lease is
 // honored as long as its job has not completed elsewhere (the simulation is
 // deterministic, so a slow worker's late result is the same result); the
 // re-queued or re-leased copy is withdrawn. It returns false for an unknown
 // lease, a cancelled job, or a job already completed; the worker discards
-// the result.
-func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
+// the result. base, when non-empty, credits the reporting worker's health
+// record and refreshes its liveness clock.
+func (c *Coordinator) complete(leaseID string, r sweep.Result, base string) bool {
 	c.mu.Lock()
 	now := c.opts.now()
+	if wh := c.touchWorkerLocked(base, now); wh != nil {
+		wh.completed++
+	}
 	t, ok := c.leases[leaseID]
 	if ok {
 		delete(c.leases, leaseID)
@@ -354,6 +531,7 @@ func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
 		t.completed = true
 		c.purgeExpiredLocked(t)
 		c.completed++
+		c.recordDurationLocked(now.Sub(t.granted))
 		if r.Timing != nil {
 			// Stamp the server-side spans onto a copy of the worker's
 			// breakdown: queue wait (enqueue to the completing lease's grant)
@@ -378,18 +556,148 @@ func (c *Coordinator) complete(leaseID string, r sweep.Result) bool {
 	return true
 }
 
+// incident records one contained job failure against a lease. The lease is
+// released (its id stays welcome for a late result — a timed-out job's
+// stalled goroutine may still finish, and its result is the result) and the
+// job either requeues, quarantines (incidents from QuarantineAfter distinct
+// workers), or fails (attempt bound reached). It returns false only for a
+// lease id the coordinator has never heard of; an incident against a job
+// that already completed is accepted as worker-ledger bookkeeping.
+func (c *Coordinator) incident(leaseID string, inc taskIncident) bool {
+	var finish *task
+	var finishErr error
+	c.mu.Lock()
+	now := c.opts.now()
+	wh := c.touchWorkerLocked(inc.Worker, now)
+	if wh != nil {
+		wh.incidents++
+	}
+	c.penalizeLocked(wh, incidentPenalty, now)
+	c.incidents++
+	t, live := c.leases[leaseID]
+	if live {
+		delete(c.leases, leaseID)
+		t.leaseID = ""
+		c.expired[leaseID] = t // a late result under this lease is still welcome
+		t.expired = append(t.expired, leaseID)
+	} else if t = c.expired[leaseID]; t == nil {
+		c.mu.Unlock()
+		return false
+	}
+	if !t.completed && !t.cancelled {
+		t.incidents = append(t.incidents, inc)
+		if c.onIncident != nil && t.sweepID != "" {
+			c.onIncident(t.sweepID, t.index, inc)
+		}
+		switch distinct := distinctIncidentWorkersLocked(t); {
+		case distinct >= c.opts.QuarantineAfter:
+			c.quarantineLocked(t)
+			finish, finishErr = t, quarantineError(t, distinct)
+		case live && t.attempts >= c.opts.MaxAttempts:
+			// The job keeps drawing incidents on one worker (a fleet smaller
+			// than the quarantine threshold): the attempt bound converts it
+			// into an error row, same as exhausted leases.
+			c.failed++
+			t.completed = true
+			c.purgeExpiredLocked(t)
+			last := t.incidents[len(t.incidents)-1]
+			finish, finishErr = t, fmt.Errorf("grid: %s: %d incidents without a completed lease (last %s: %s); giving up",
+				t.job, len(t.incidents), last.Kind, last.Message)
+		case live:
+			// The incident released a live lease: requeue at the front, like
+			// TTL expiry (an expired-lease incident's job is already queued
+			// or re-leased).
+			c.requeued++
+			t.elem = c.pending.PushFront(t)
+		}
+	}
+	c.mu.Unlock()
+	if finish != nil {
+		finish.finish(outcome{err: finishErr})
+	}
+	return true
+}
+
+// quarantineLocked completes a task as poison: it is withdrawn from the
+// queue, the lease table and the expired index, and counted. Caller holds
+// c.mu and must call finish (with quarantineError) after releasing it.
+func (c *Coordinator) quarantineLocked(t *task) {
+	if t.elem != nil {
+		c.pending.Remove(t.elem)
+		t.elem = nil
+	}
+	if t.leaseID != "" {
+		delete(c.leases, t.leaseID)
+		t.leaseID = ""
+	}
+	t.completed = true
+	c.purgeExpiredLocked(t)
+	c.quarantined++
+}
+
+// seedIncidents attaches journaled incident history to a recovered task,
+// reporting true when the history already crosses the quarantine
+// threshold — the task has then been withdrawn and the caller must finish
+// it with quarantineFinish after releasing sweep-level locks.
+func (c *Coordinator) seedIncidents(t *task, hist []taskIncident) bool {
+	if len(hist) == 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	t.incidents = append(t.incidents, hist...)
+	if distinctIncidentWorkersLocked(t) < c.opts.QuarantineAfter {
+		return false
+	}
+	c.quarantineLocked(t)
+	return true
+}
+
+// quarantineFinish delivers the deterministic quarantine outcome for a
+// task seedIncidents withdrew. Callers must not hold Coordinator.mu or the
+// owning sweep's mutex.
+func (c *Coordinator) quarantineFinish(t *task) {
+	t.finish(outcome{err: quarantineError(t, distinctIncidentWorkersLocked(t))})
+}
+
+// incidentHistory returns a copy of the incidents recorded against a task,
+// for snapshotting live state on graceful shutdown.
+func (c *Coordinator) incidentHistory(t *task) []taskIncident {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]taskIncident(nil), t.incidents...)
+}
+
+// heartbeat refreshes a worker's registry entry outside the lease path: a
+// worker saturated with long jobs stops polling but keeps beating.
+func (c *Coordinator) heartbeat(hb HeartbeatRequest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.opts.now()
+	if wh := c.touchWorkerLocked(hb.Worker, now); wh != nil {
+		wh.lastBeat = now
+		wh.busy = hb.Busy
+		wh.heap = hb.HeapBytes
+	}
+}
+
 // Stats snapshots the coordinator accounting.
 func (c *Coordinator) Stats() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.opts.now()
 	return Snapshot{
-		Pending:   c.pending.Len(),
-		Leased:    len(c.leases),
-		Expired:   len(c.expired),
-		Granted:   c.granted,
-		Completed: c.completed,
-		Requeued:  c.requeued,
-		Failed:    c.failed,
+		Pending:     c.pending.Len(),
+		Leased:      len(c.leases),
+		Expired:     len(c.expired),
+		Granted:     c.granted,
+		Completed:   c.completed,
+		Requeued:    c.requeued,
+		Failed:      c.failed,
+		Incidents:   c.incidents,
+		Quarantined: c.quarantined,
+		Hedged:      c.hedged,
+		Workers:     c.workerSnapshotsLocked(now),
 	}
 }
 
@@ -405,18 +713,41 @@ func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", c.handleLease)
 	mux.HandleFunc("POST /v1/result", c.handleResult)
+	mux.HandleFunc("POST /v1/incident", c.handleIncident)
+	mux.HandleFunc("POST /v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, c.Stats())
 	})
 	return mux
 }
 
+// decodeWorkerJSON is decodeJSON for worker-facing endpoints: a checksum
+// mismatch is additionally attributed to the worker named in the request
+// header (the body itself is unreadable by definition).
+func (c *Coordinator) decodeWorkerJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	ok, sumFail := decodeJSONSum(w, req, v)
+	if sumFail {
+		c.noteChecksumFailure(req.Header.Get(workerHeader))
+	}
+	return ok
+}
+
+// reqWorker resolves the worker's registry identity for a request: the
+// worker header when present, fallback otherwise (older workers send only
+// their per-loop lease label).
+func reqWorker(req *http.Request, fallback string) string {
+	if id := req.Header.Get(workerHeader); id != "" {
+		return id
+	}
+	return fallback
+}
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 	var lr LeaseRequest
-	if !decodeJSON(w, req, &lr) {
+	if !c.decodeWorkerJSON(w, req, &lr) {
 		return
 	}
-	resp, ok := c.lease(lr.Worker)
+	resp, ok := c.lease(lr.Worker, reqWorker(req, lr.Worker))
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
@@ -426,7 +757,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
 
 func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 	var rr ResultRequest
-	if !decodeJSON(w, req, &rr) {
+	if !c.decodeWorkerJSON(w, req, &rr) {
 		return
 	}
 	if rr.Result.Res == nil && rr.Result.Err == nil {
@@ -435,10 +766,45 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, req *http.Request) {
 		http.Error(w, "result carries neither res nor err", http.StatusBadRequest)
 		return
 	}
-	if !c.complete(rr.LeaseID, rr.Result) {
+	if !c.complete(rr.LeaseID, rr.Result, reqWorker(req, "")) {
 		http.Error(w, "unknown or expired lease", http.StatusConflict)
 		return
 	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleIncident(w http.ResponseWriter, req *http.Request) {
+	var ir IncidentRequest
+	if !c.decodeWorkerJSON(w, req, &ir) {
+		return
+	}
+	if !validIncidentKind(ir.Kind) {
+		http.Error(w, fmt.Sprintf("unknown incident kind %q", ir.Kind), http.StatusBadRequest)
+		return
+	}
+	worker := reqWorker(req, ir.Worker)
+	if worker == "" {
+		http.Error(w, "incident names no worker", http.StatusBadRequest)
+		return
+	}
+	if !c.incident(ir.LeaseID, taskIncident{Worker: worker, Kind: ir.Kind, Message: ir.Message}) {
+		http.Error(w, "unknown lease", http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var hb HeartbeatRequest
+	if !c.decodeWorkerJSON(w, req, &hb) {
+		return
+	}
+	hb.Worker = reqWorker(req, hb.Worker)
+	if hb.Worker == "" {
+		http.Error(w, "heartbeat names no worker", http.StatusBadRequest)
+		return
+	}
+	c.heartbeat(hb)
 	w.WriteHeader(http.StatusOK)
 }
 
@@ -454,23 +820,31 @@ func bodySum(b []byte) string {
 }
 
 func decodeJSON(w http.ResponseWriter, req *http.Request, v any) bool {
+	ok, _ := decodeJSONSum(w, req, v)
+	return ok
+}
+
+// decodeJSONSum is decodeJSON additionally reporting whether the failure
+// was a body-checksum mismatch, so worker-facing handlers can attribute
+// transit damage to the sending worker's health record.
+func decodeJSONSum(w http.ResponseWriter, req *http.Request, v any) (ok, sumFail bool) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxBody))
 	if err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return false
+		return false, false
 	}
 	if sum := req.Header.Get(sumHeader); sum != "" && sum != bodySum(body) {
 		// 503, not 400: the sender's copy is intact and a retry with fresh
 		// bytes will succeed — a 4xx would make a worker discard a finished
 		// result over a transit fault.
 		http.Error(w, "body checksum mismatch (damaged in transit)", http.StatusServiceUnavailable)
-		return false
+		return false, true
 	}
 	if err := json.Unmarshal(body, v); err != nil {
 		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
-		return false
+		return false, false
 	}
-	return true
+	return true, false
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -49,6 +49,11 @@ const (
 	opJob    = "job"    // job enqueued into a sweep
 	opResult = "result" // terminal result appended to a sweep's completion log
 	opClose  = "close"  // sweep released (client close or TTL abandonment)
+	// opIncident records one contained worker failure against a job, so
+	// quarantine history survives a restart (a poison job must not get a
+	// fresh set of K workers to burn after every coordinator crash).
+	// Readers predating the op ignore it, so the format version stays 1.
+	opIncident = "incident"
 )
 
 // journalRecord is one journal frame's payload. Exactly the fields for its
@@ -61,6 +66,10 @@ type journalRecord struct {
 	Index  int           `json:"index,omitempty"`
 	Job    *sweep.Job    `json:"job,omitempty"`
 	Result *sweep.Result `json:"result,omitempty"`
+	// Worker, Kind and Message carry an opIncident's taskIncident.
+	Worker  string `json:"worker,omitempty"`
+	Kind    string `json:"kind,omitempty"`
+	Message string `json:"message,omitempty"`
 }
 
 // stateSnapshot is the snapshot.json format.
@@ -78,6 +87,10 @@ type sweepSnapshot struct {
 	Tenant string         `json:"tenant,omitempty"`
 	Jobs   []jobEntry     `json:"jobs"`
 	Log    []sweep.Result `json:"log"`
+	// Incidents is the contained-failure history of jobs not yet
+	// completed, feeding the quarantine threshold across restarts (history
+	// for completed jobs is dropped at compaction).
+	Incidents []incidentEntry `json:"incidents,omitempty"`
 }
 
 // jobEntry is one submitted job keyed by its sweep index.
@@ -86,12 +99,21 @@ type jobEntry struct {
 	Job   sweep.Job `json:"job"`
 }
 
+// incidentEntry is one recorded incident keyed by its job's sweep index.
+type incidentEntry struct {
+	Index   int    `json:"index"`
+	Worker  string `json:"worker"`
+	Kind    string `json:"kind"`
+	Message string `json:"message,omitempty"`
+}
+
 // recoveredSweep is one sweep reconstructed by replay, in a form the
 // Server adopts directly.
 type recoveredSweep struct {
 	ID, Nonce, Tenant string
 	Jobs              map[int]sweep.Job
 	Log               []sweep.Result
+	Incidents         map[int][]taskIncident
 	logged            map[int]bool // indexes already in Log (replay dedupe)
 }
 
@@ -218,7 +240,8 @@ func replayState(snap stateSnapshot, records []journalRecord) []recoveredSweep {
 			return rs
 		}
 		rs := &recoveredSweep{ID: id, Nonce: nonce, Tenant: tenant,
-			Jobs: make(map[int]sweep.Job), logged: make(map[int]bool)}
+			Jobs: make(map[int]sweep.Job), Incidents: make(map[int][]taskIncident),
+			logged: make(map[int]bool)}
 		byID[id] = rs
 		order = append(order, id)
 		return rs
@@ -233,6 +256,10 @@ func replayState(snap stateSnapshot, records []journalRecord) []recoveredSweep {
 				rs.logged[res.Index] = true
 				rs.Log = append(rs.Log, res)
 			}
+		}
+		for _, ie := range ss.Incidents {
+			rs.Incidents[ie.Index] = append(rs.Incidents[ie.Index],
+				taskIncident{Worker: ie.Worker, Kind: ie.Kind, Message: ie.Message})
 		}
 	}
 	for _, rec := range records {
@@ -251,6 +278,14 @@ func replayState(snap stateSnapshot, records []journalRecord) []recoveredSweep {
 					rs.logged[rec.Result.Index] = true
 					rs.Log = append(rs.Log, *rec.Result)
 				}
+			}
+		case opIncident:
+			// Quarantine counts DISTINCT workers, so the duplicate entries a
+			// snapshot-overlap replay produces cannot tip a job over the
+			// threshold; no dedupe needed.
+			if rs, ok := byID[rec.Sweep]; ok && rec.Worker != "" {
+				rs.Incidents[rec.Index] = append(rs.Incidents[rec.Index],
+					taskIncident{Worker: rec.Worker, Kind: rec.Kind, Message: rec.Message})
 			}
 		case opClose:
 			if _, ok := byID[rec.Sweep]; ok {
@@ -277,6 +312,22 @@ func recoveredSnapshots(recovered []recoveredSweep) []sweepSnapshot {
 			ss.Jobs = append(ss.Jobs, jobEntry{Index: idx, Job: j})
 		}
 		sort.Slice(ss.Jobs, func(i, j int) bool { return ss.Jobs[i].Index < ss.Jobs[j].Index })
+		for idx, hist := range rs.Incidents {
+			if rs.logged[idx] {
+				continue // the job completed; its incident history is spent
+			}
+			for _, ti := range hist {
+				ss.Incidents = append(ss.Incidents, incidentEntry{
+					Index: idx, Worker: ti.Worker, Kind: ti.Kind, Message: ti.Message})
+			}
+		}
+		sort.Slice(ss.Incidents, func(i, j int) bool {
+			a, b := ss.Incidents[i], ss.Incidents[j]
+			if a.Index != b.Index {
+				return a.Index < b.Index
+			}
+			return a.Worker < b.Worker
+		})
 		out = append(out, ss)
 	}
 	return out

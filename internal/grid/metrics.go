@@ -26,6 +26,12 @@ func (s *Server) newRegistry() *obs.Registry {
 	requeued := reg.Counter("safespec_leases_requeued_total", "Leases lost to TTL expiry and requeued.")
 	failed := reg.Counter("safespec_jobs_failed_total", "Jobs failed after exhausting their lease attempts.")
 
+	incidents := reg.Counter("safespec_incidents_total", "Contained worker incidents (panic, timeout, memory) reported to the coordinator.")
+	quarantined := reg.Counter("safespec_jobs_quarantined_total", "Jobs quarantined as poison after incidents on distinct workers.")
+	hedged := reg.Counter("safespec_leases_hedged_total", "Duplicate hedge leases issued against slow tail leases.")
+	workersKnown := reg.Gauge("safespec_workers_known", "Workers seen by the health registry within the forget window.")
+	workersUnhealthy := reg.Gauge("safespec_workers_unhealthy", "Known workers currently scored unhealthy for lease grants.")
+
 	sweeps := reg.Gauge("safespec_sweeps_active", "Sweeps currently open on the server.")
 	submitted := reg.Counter("safespec_sweeps_submitted_total", "Sweeps opened over the server's lifetime.")
 	abandoned := reg.Counter("safespec_sweeps_abandoned_total", "Sweeps abandoned after their client went idle past the TTL.")
@@ -55,6 +61,17 @@ func (s *Server) newRegistry() *obs.Registry {
 		completed.Set(snap.Completed)
 		requeued.Set(snap.Requeued)
 		failed.Set(snap.Failed)
+		incidents.Set(snap.Incidents)
+		quarantined.Set(snap.Quarantined)
+		hedged.Set(snap.Hedged)
+		workersKnown.Set(int64(len(snap.Workers)))
+		var sick int64
+		for _, ws := range snap.Workers {
+			if !ws.Healthy {
+				sick++
+			}
+		}
+		workersUnhealthy.Set(sick)
 		sweeps.Set(int64(snap.Sweeps))
 		submitted.Set(snap.SweepsSubmitted)
 		abandoned.Set(snap.SweepsAbandoned)
@@ -98,17 +115,35 @@ func (s *Server) WriteMetrics(w io.Writer) {
 }
 
 // OpsHandler returns the unauthenticated operations surface mounted on the
-// dedicated -pprof/ops listener: GET /metrics (Prometheus text format) and
-// GET /status (read-only live HTML). Keep that listener on loopback or a
-// firewalled operations network — it is deliberately token-free so
-// scrapers and dashboards need no tenant credential, and it exposes tenant
-// names and sweep shapes (never tokens or results).
+// dedicated -pprof/ops listener: GET /metrics (Prometheus text format),
+// GET /status (read-only live HTML), and the GET /healthz and GET /readyz
+// probes. Keep that listener on loopback or a firewalled operations
+// network — it is deliberately token-free so scrapers and dashboards need
+// no tenant credential, and it exposes tenant names and sweep shapes
+// (never tokens or results).
 func (s *Server) OpsHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", s.reg.Handler())
 	mux.HandleFunc("GET /status", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		s.WriteStatus(w)
+	})
+	// /healthz is liveness: the process is up and serving. /readyz is
+	// readiness: state is loaded (main opens the journal before starting
+	// this listener) and the server has not begun draining, so it is safe
+	// to route new sweeps here.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		io.WriteString(w, "ok\n")
 	})
 	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, req *http.Request) {
 		http.Redirect(w, req, "/status", http.StatusFound)

@@ -618,6 +618,13 @@ func doJSON(ctx context.Context, client *http.Client, method, url, token string,
 // byte damaged in transit that might still parse as JSON) is returned as
 // a transport-shaped error so retry loops fetch fresh bytes.
 func doJSONHdr(ctx context.Context, client *http.Client, method, url, token string, in, out any) (int, http.Header, error) {
+	return doJSONAs(ctx, client, method, url, token, "", in, out)
+}
+
+// doJSONAs is doJSONHdr additionally stamping the worker identity header
+// (when worker is non-empty), so the coordinator's health registry can
+// attribute even requests whose body arrives damaged.
+func doJSONAs(ctx context.Context, client *http.Client, method, url, token, worker string, in, out any) (int, http.Header, error) {
 	var body io.Reader
 	var sum string
 	if in != nil {
@@ -638,6 +645,9 @@ func doJSONHdr(ctx context.Context, client *http.Client, method, url, token stri
 	}
 	if token != "" {
 		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	if worker != "" {
+		req.Header.Set(workerHeader, worker)
 	}
 	resp, err := client.Do(req)
 	if err != nil {

@@ -230,6 +230,13 @@ func NewServer(opts ServerOptions) *Server {
 		drainCh: make(chan struct{}),
 	}
 	s.reg = s.newRegistry()
+	// Journal every accepted incident so a poison job's quarantine history
+	// survives a restart (hook runs under Coordinator.mu; the store's mutex
+	// is the innermost lock, so the append is safe there).
+	s.coord.onIncident = func(sweepID string, index int, inc taskIncident) {
+		s.journal(journalRecord{Op: opIncident, Sweep: sweepID, Index: index,
+			Worker: inc.Worker, Kind: inc.Kind, Message: inc.Message})
+	}
 	return s
 }
 
@@ -304,10 +311,24 @@ func (s *Server) adoptLocked(rs recoveredSweep, tenant *tenantState) int {
 		}
 	}
 	sort.Ints(requeue) // deterministic queue order across recoveries
+	// Requeued jobs inherit their journaled incident history; one whose
+	// history already crosses the quarantine threshold (the crash landed
+	// between the deciding incident and its result) is quarantined right
+	// here instead of burning a fresh set of workers. The finish must wait
+	// until st.mu is released: delivery takes it.
+	var quarantined []*task
 	for _, idx := range requeue {
 		s.enqueueSlotLocked(st, idx, rs.Jobs[idx])
+		if hist := rs.Incidents[idx]; len(hist) > 0 {
+			if t := st.slots[idx].task; s.coord.seedIncidents(t, hist) {
+				quarantined = append(quarantined, t)
+			}
+		}
 	}
 	st.mu.Unlock()
+	for _, t := range quarantined {
+		s.coord.quarantineFinish(t)
+	}
 	s.sweeps[st.id] = st
 	if st.nonce != "" {
 		s.byNonce[st.nonce] = st.id
@@ -333,9 +354,25 @@ func (s *Server) CloseState() error {
 			Log: append([]sweep.Result(nil), st.log...)}
 		for idx, sl := range st.slots {
 			ss.Jobs = append(ss.Jobs, jobEntry{Index: idx, Job: sl.job})
+			if sl.res == nil && sl.task != nil {
+				// Unfinished jobs carry their incident history forward, so a
+				// graceful restart cannot reset a poison job's quarantine
+				// progress.
+				for _, ti := range s.coord.incidentHistory(sl.task) {
+					ss.Incidents = append(ss.Incidents, incidentEntry{
+						Index: idx, Worker: ti.Worker, Kind: ti.Kind, Message: ti.Message})
+				}
+			}
 		}
 		st.mu.Unlock()
 		sort.Slice(ss.Jobs, func(i, j int) bool { return ss.Jobs[i].Index < ss.Jobs[j].Index })
+		sort.Slice(ss.Incidents, func(i, j int) bool {
+			a, b := ss.Incidents[i], ss.Incidents[j]
+			if a.Index != b.Index {
+				return a.Index < b.Index
+			}
+			return a.Worker < b.Worker
+		})
 		sweeps = append(sweeps, ss)
 	}
 	s.mu.Unlock()
@@ -401,6 +438,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/lease", s.coord.handleLease)
 	mux.HandleFunc("POST /v1/result", s.coord.handleResult)
+	mux.HandleFunc("POST /v1/incident", s.coord.handleIncident)
+	mux.HandleFunc("POST /v1/heartbeat", s.coord.handleHeartbeat)
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, s.Stats())
 	})

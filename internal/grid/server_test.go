@@ -276,19 +276,19 @@ func TestExpiredLeasesPurgedOnCompletion(t *testing.T) {
 	ch := make(chan outcome, 1)
 	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, "", func(o outcome) { ch <- o })
 
-	crash, ok := coord.lease("crasher")
+	crash, ok := coord.lease("crasher", "crasher")
 	if !ok {
 		t.Fatal("no lease granted")
 	}
 	clk.Advance(2 * time.Minute)
-	release, ok := coord.lease("healthy") // triggers expiry + immediate re-grant
+	release, ok := coord.lease("healthy", "healthy") // triggers expiry + immediate re-grant
 	if !ok {
 		t.Fatal("expired job not re-leased")
 	}
 	if s := coord.Stats(); s.Expired != 1 || s.Requeued != 1 {
 		t.Fatalf("expiry not indexed: %+v", s)
 	}
-	if !coord.complete(release.LeaseID, sweep.Result{Res: &core.Results{Stats: &pipeline.Stats{Committed: 1}}}) {
+	if !coord.complete(release.LeaseID, sweep.Result{Res: &core.Results{Stats: &pipeline.Stats{Committed: 1}}}, "") {
 		t.Fatal("healthy completion rejected")
 	}
 	if s := coord.Stats(); s.Expired != 0 {
@@ -304,7 +304,7 @@ func TestExpiredLeasesPurgedOnCompletion(t *testing.T) {
 	}
 	// The crasher's stale lease is gone from the index too: its late report
 	// is rejected rather than double-completing the job.
-	if coord.complete(crash.LeaseID, sweep.Result{Res: &core.Results{Stats: &pipeline.Stats{Committed: 1}}}) {
+	if coord.complete(crash.LeaseID, sweep.Result{Res: &core.Results{Stats: &pipeline.Stats{Committed: 1}}}, "") {
 		t.Error("purged expired lease still accepted a result")
 	}
 }
@@ -317,15 +317,15 @@ func TestExpiredLeasesPurgedOnFailure(t *testing.T) {
 	ch := make(chan outcome, 1)
 	coord.enqueue(0, sweep.Job{Bench: "exchange2", Mode: "baseline"}, "", func(o outcome) { ch <- o })
 
-	if _, ok := coord.lease("c1"); !ok {
+	if _, ok := coord.lease("c1", "c1"); !ok {
 		t.Fatal("no first lease")
 	}
 	clk.Advance(2 * time.Minute)
-	if _, ok := coord.lease("c2"); !ok { // requeue + second (final) attempt
+	if _, ok := coord.lease("c2", "c2"); !ok { // requeue + second (final) attempt
 		t.Fatal("no second lease")
 	}
 	clk.Advance(2 * time.Minute)
-	if _, ok := coord.lease("c3"); ok { // expiry exhausts the job; queue is empty
+	if _, ok := coord.lease("c3", "c3"); ok { // expiry exhausts the job; queue is empty
 		t.Fatal("exhausted job leased again")
 	}
 	select {
@@ -355,11 +355,11 @@ func TestExpiredLeasesPurgedOnAbandon(t *testing.T) {
 	for coord.Stats().Pending == 0 {
 		time.Sleep(time.Millisecond)
 	}
-	if _, ok := coord.lease("crasher"); !ok {
+	if _, ok := coord.lease("crasher", "crasher"); !ok {
 		t.Fatal("no lease granted")
 	}
 	clk.Advance(2 * time.Minute)
-	if _, ok := coord.lease("w2"); !ok { // expiry + re-grant
+	if _, ok := coord.lease("w2", "w2"); !ok { // expiry + re-grant
 		t.Fatal("expired job not re-leased")
 	}
 	if s := coord.Stats(); s.Expired != 1 {

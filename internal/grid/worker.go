@@ -9,9 +9,11 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"safespec/internal/backoff"
+	"safespec/internal/core"
 	"safespec/internal/obs"
 	"safespec/internal/sweep"
 )
@@ -34,6 +36,9 @@ type WorkerMetrics struct {
 	// LeaseLatency observes the lease POST round trip; SimulateTime
 	// observes each job's simulate span.
 	LeaseLatency, SimulateTime *obs.Histogram
+	// Incidents counts contained job failures by kind (panic, timeout,
+	// memory) — each one a job this worker survived instead of dying on.
+	Incidents *obs.CounterVec
 }
 
 // NewWorkerMetrics registers the worker instrument set on reg.
@@ -48,6 +53,7 @@ func NewWorkerMetrics(reg *obs.Registry) *WorkerMetrics {
 		CacheMisses:  reg.Counter("safespec_worker_cache_misses_total", "Result-cache misses (0 without -cache-dir)."),
 		LeaseLatency: reg.Histogram("safespec_worker_lease_latency_seconds", "Lease request round-trip latency.", nil),
 		SimulateTime: reg.Histogram("safespec_worker_job_simulate_seconds", "Per-job simulation time.", nil),
+		Incidents:    reg.CounterVec("safespec_worker_incidents_total", "Contained job failures reported to the coordinator, by kind.", "kind"),
 	}
 }
 
@@ -82,10 +88,34 @@ type Worker struct {
 	Log *slog.Logger
 	// Metrics, when non-nil, counts job outcomes and observes latencies.
 	Metrics *WorkerMetrics
+	// MemLimit, when positive, arms a soft memory guard: while a job runs,
+	// the process heap is polled and a job observed past the limit is
+	// abandoned with a "memory" incident. The guard is process-wide (Go
+	// cannot account one goroutine's allocations), so size it for the
+	// whole worker, not one job.
+	MemLimit int64
+	// Heartbeat, when positive, posts /v1/heartbeat liveness beacons at
+	// this interval, complementing the implicit heartbeat of lease polls
+	// (a worker saturated with long jobs stops polling but keeps beating).
+	// Zero disables the explicit beacon.
+	Heartbeat time.Duration
+
+	// busy counts lease slots currently executing a job (heartbeat and
+	// readiness reporting).
+	busy atomic.Int32
+	// ready tracks coordinator reachability for the ops /readyz probe:
+	// true after any answered request, false across an unreachable streak
+	// and after Run returns.
+	ready atomic.Bool
 
 	// sleepFn is a test seam for backoff pauses (defaults to sleep).
 	sleepFn func(ctx context.Context, d time.Duration) bool
 }
+
+// Ready reports whether the worker has a live coordinator connection — the
+// ops listener's /readyz answer. It is false until the first answered
+// request, across unreachable streaks, and after Run returns.
+func (w *Worker) Ready() bool { return w.ready.Load() }
 
 func (w *Worker) log() *slog.Logger {
 	if w.Log != nil {
@@ -129,6 +159,12 @@ func (w *Worker) Run(ctx context.Context) error {
 		loops = runtime.GOMAXPROCS(0)
 	}
 	w.log().Info("worker polling", "worker", w.ID, "coordinator", w.Coordinator, "loops", loops)
+	defer w.ready.Store(false)
+	if w.Heartbeat > 0 {
+		hbCtx, stopHB := context.WithCancel(ctx)
+		defer stopHB()
+		go w.heartbeatLoop(hbCtx, client, w.Heartbeat)
+	}
 	err := sweep.ForEach(ctx, loops, loops, func(ctx context.Context, loop int) error {
 		return w.loop(ctx, loop, client, exec, poll)
 	})
@@ -136,6 +172,23 @@ func (w *Worker) Run(ctx context.Context) error {
 		return nil
 	}
 	return err
+}
+
+// heartbeatLoop posts periodic liveness beacons carrying the busy-slot
+// count and live heap size. Failures are silent: the lease loop's own
+// backoff already reports an unreachable coordinator.
+func (w *Worker) heartbeatLoop(ctx context.Context, client *http.Client, every time.Duration) {
+	for {
+		if !w.sleep(ctx, every) {
+			return
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		hb := HeartbeatRequest{Worker: w.ID, Busy: int(w.busy.Load()), HeapBytes: ms.HeapAlloc}
+		if _, _, err := w.post(ctx, client, "/v1/heartbeat", hb, nil); err != nil {
+			w.log().Debug("heartbeat failed", "worker", w.ID, "err", err.Error())
+		}
+	}
 }
 
 // loop is one lease loop: lease, execute, report, repeat.
@@ -157,6 +210,10 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 		if err == nil && w.Metrics != nil {
 			w.Metrics.LeaseLatency.Observe(time.Since(leaseStart).Seconds())
 		}
+		// Readiness tracks reachability, not queue depth: any useful answer
+		// — including 204 (idle) and 429 (paced) — proves the coordinator is
+		// there; transport failures and auth rejections flip it off.
+		w.ready.Store(err == nil || errors.Is(err, errRateLimited))
 		switch {
 		case errors.Is(err, errUnauthorized):
 			// A wrong token never becomes right; polling on would only spam
@@ -211,13 +268,22 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 		}
 
 		start := time.Now()
-		var timing *sweep.Timing
 		out := sweep.Result{Index: lease.Index, Job: lease.Job}
-		if timed, isTimed := exec.(sweep.TimedExecutor); isTimed {
-			out.Res, timing, out.Err = timed.ExecuteTimed(ctx, lease.Index, lease.Job)
-		} else {
-			out.Res, out.Err = exec.Execute(ctx, lease.Index, lease.Job)
+		got, inc := w.execContained(ctx, lease, exec)
+		if inc != nil {
+			// The job was contained (panic, watchdog, memory guard): the
+			// slot survives and the incident — not a dead process — tells
+			// the coordinator, which requeues or quarantines the job.
+			inc.LeaseID, inc.Worker = lease.LeaseID, w.ID
+			if w.Metrics != nil && w.Metrics.Incidents != nil {
+				w.Metrics.Incidents.With(inc.Kind).Inc()
+			}
+			jlog.Warn("job contained", "kind", inc.Kind, "msg", inc.Message)
+			w.reportIncident(ctx, client, *inc)
+			continue
 		}
+		timing := got.timing
+		out.Res, out.Err = got.res, got.err
 		jobErr := out.Err
 		if ctx.Err() != nil && (errors.Is(jobErr, context.Canceled) || errors.Is(jobErr, context.DeadlineExceeded)) {
 			// The job died with this worker's own shutdown, not on its own
@@ -264,6 +330,122 @@ func (w *Worker) loop(ctx context.Context, loop int, client *http.Client,
 		}
 		jlog.Info("job done", "wall", out.Wall.Round(time.Millisecond).String())
 	}
+}
+
+// contained is one contained job execution's outcome.
+type contained struct {
+	res      *core.Results
+	timing   *sweep.Timing
+	err      error
+	panicked string // non-empty when the execution goroutine panicked
+}
+
+// memPollEvery is the soft memory guard's heap sampling interval while a
+// job runs (runtime.ReadMemStats briefly stops the world, so the guard
+// polls coarsely rather than continuously).
+const memPollEvery = 100 * time.Millisecond
+
+// watchdogFor derives the slot watchdog from the lease TTL: 90% of it, so
+// the coordinator hears a structured timeout incident before its own TTL
+// silently requeues the job (0 disables — a lease without a TTL cannot be
+// outlived).
+func watchdogFor(lease LeaseResponse) time.Duration {
+	if lease.TTLMS <= 0 {
+		return 0
+	}
+	ttl := time.Duration(lease.TTLMS) * time.Millisecond
+	return ttl - ttl/10
+}
+
+// execContained runs one leased job inside the slot's containment
+// envelope: a recover() converting panics (in the executor wrapper chain —
+// result cache, fault injectors — as well as the simulator) into "panic"
+// incidents, a wall-clock watchdog derived from the lease TTL ("timeout"),
+// and an optional soft memory guard ("memory"). Exactly one of the
+// returned values is meaningful: inc is nil for a normal completion.
+//
+// On timeout and memory incidents the execution goroutine is abandoned,
+// not killed (Go cannot kill a goroutine): its eventual send lands in the
+// buffered channel and is collected, never reported — the coordinator has
+// already requeued the job under a fresh lease, and the original lease id
+// still honors whichever report arrives first. Incident messages carry no
+// clocks, addresses or worker names, so a quarantined job's error row is
+// byte-stable whenever the underlying fault is deterministic.
+func (w *Worker) execContained(ctx context.Context, lease LeaseResponse, exec sweep.Executor) (contained, *IncidentRequest) {
+	w.busy.Add(1)
+	defer w.busy.Add(-1)
+	ch := make(chan contained, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- contained{panicked: fmt.Sprintf("%v", r)}
+			}
+		}()
+		var c contained
+		if timed, isTimed := exec.(sweep.TimedExecutor); isTimed {
+			c.res, c.timing, c.err = timed.ExecuteTimed(ctx, lease.Index, lease.Job)
+		} else {
+			c.res, c.err = exec.Execute(ctx, lease.Index, lease.Job)
+		}
+		ch <- c
+	}()
+	var watchC <-chan time.Time
+	wd := watchdogFor(lease)
+	if wd > 0 {
+		timer := time.NewTimer(wd)
+		defer timer.Stop()
+		watchC = timer.C
+	}
+	var memC <-chan time.Time
+	if w.MemLimit > 0 {
+		tick := time.NewTicker(memPollEvery)
+		defer tick.Stop()
+		memC = tick.C
+	}
+	for {
+		select {
+		case c := <-ch:
+			if c.panicked != "" {
+				return contained{}, &IncidentRequest{Kind: IncidentPanic, Message: c.panicked}
+			}
+			return c, nil
+		case <-watchC:
+			return contained{}, &IncidentRequest{Kind: IncidentTimeout,
+				Message: fmt.Sprintf("job exceeded the slot watchdog (%s, 90%% of the lease TTL)", wd)}
+		case <-memC:
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > uint64(w.MemLimit) {
+				w.log().Warn("soft memory limit crossed", "worker", w.ID,
+					"heap", ms.HeapAlloc, "limit", w.MemLimit)
+				return contained{}, &IncidentRequest{Kind: IncidentMemory,
+					Message: fmt.Sprintf("process heap crossed the soft memory limit (%d bytes)", w.MemLimit)}
+			}
+		}
+	}
+}
+
+// reportIncident posts one contained failure, best-effort: a few transport
+// retries, then give up — the coordinator's lease TTL covers a lost
+// incident the same way it covers a lost worker. A shutting-down worker
+// reports on a short detached deadline, like final results.
+func (w *Worker) reportIncident(ctx context.Context, client *http.Client, inc IncidentRequest) {
+	rctx, cancel := ctx, context.CancelFunc(func() {})
+	if ctx.Err() != nil {
+		rctx, cancel = context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
+	}
+	defer cancel()
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 && !w.sleep(rctx, reportTransport.Pause(attempt-1)) {
+			return
+		}
+		status, _, err := w.post(rctx, client, "/v1/incident", inc, nil)
+		if err != nil || status >= 500 {
+			continue // transport fault or server error: retry
+		}
+		return // accepted (200) or terminally judged (4xx): done either way
+	}
+	w.log().Warn("incident report lost", "worker", w.ID, "kind", inc.Kind)
 }
 
 // errUnauthorized marks a coordinator 401 — a configuration error, not a
@@ -373,9 +555,11 @@ func (w *Worker) report(ctx context.Context, client *http.Client, leaseID string
 }
 
 // post sends one JSON request and decodes a JSON body into out (when non-nil
-// and the status is 200).
+// and the status is 200). Every request carries the worker identity header
+// so the coordinator's health registry can attribute it even when the body
+// arrives damaged.
 func (w *Worker) post(ctx context.Context, client *http.Client, path string, in, out any) (int, http.Header, error) {
-	return doJSONHdr(ctx, client, http.MethodPost, w.Coordinator+path, w.Token, in, out)
+	return doJSONAs(ctx, client, http.MethodPost, w.Coordinator+path, w.Token, w.ID, in, out)
 }
 
 // sleep waits d or until ctx is done, reporting whether the full wait
